@@ -1,0 +1,28 @@
+# Convenience targets for the repro toolchain.
+
+.PHONY: install test bench experiments experiments-full examples lint clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments
+
+experiments-full:
+	python -m repro.experiments --full
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,60 @@
+"""Ablation benchmarks — the design-choice probes of DESIGN.md §5."""
+
+from repro.experiments import ablations
+
+
+def test_estimated_vs_naive(once):
+    result = once(ablations.estimated_vs_naive, n_users=10_000, seed=0)
+    print()
+    print(result)
+
+
+def test_step_size_sweep(once):
+    result = once(ablations.step_size_sweep, n_users=10_000, seed=0)
+    print()
+    print(result)
+    iters = result.column("iterations")
+    assert iters[-1] > iters[0]     # bigger η₀ → more shrink cycles
+
+
+def test_oracle_comparison(once):
+    result = once(ablations.oracle_comparison, n_users=200, seed=0)
+    print()
+    print(result)
+    gaps = result.column("gap_to_gamma_star")
+    assert all(gap < 0.05 for gap in gaps)
+
+
+def test_delay_model_sweep(once):
+    result = once(ablations.delay_model_sweep, n_users=10_000, seed=0)
+    print()
+    print(result)
+    assert all(0.0 < g < 1.0 for g in result.column("gamma_star"))
+
+
+def test_capacity_sensitivity(once):
+    result = once(ablations.capacity_sensitivity, n_users=10_000, seed=0)
+    print()
+    print(result)
+    gammas = result.column("gamma_star")
+    assert all(b < a for a, b in zip(gammas, gammas[1:]))
+
+
+def test_weight_sweep(once):
+    result = once(ablations.weight_sweep, n_users=10_000, seed=0)
+    print()
+    print(result)
+    gammas = result.column("gamma_star")
+    assert all(b > a for a, b in zip(gammas, gammas[1:]))
+
+
+def test_step_rule_comparison(once):
+    result = once(ablations.step_rule_comparison, n_users=10_000, seed=0)
+    print()
+    print(result)
+    far_rows = {row[1]: row for row in result.rows if "far" in row[0]}
+    # From the far start, only the paper's rule both arrives and stays.
+    assert far_rows["paper (η₀/L on oscillation)"][2] != "never"
+    assert far_rows["paper (η₀/L on oscillation)"][3] < 0.01
+    assert far_rows["constant η₀"][3] > 0.02
+    assert far_rows["Robbins–Monro η₀/t"][3] > 0.05

@@ -1,0 +1,14 @@
+"""Edge-model benchmark — deriving g(γ) from a physical M/M/k edge."""
+
+from repro.experiments import edge_model
+
+
+def test_edge_delay_curve(once):
+    result = once(edge_model.run, servers=8, des_horizon=4000.0, seed=0)
+    print()
+    print(result)
+    assert result.des_max_gap_pct < 10.0
+    # The reciprocal family is exact for k = 1.
+    k1 = [row for row in result.fits.rows if row[0] == 1][0]
+    assert k1[3] < 1.0
+    assert edge_model.delay_curve_is_admissible(servers=8)

@@ -1,0 +1,34 @@
+"""Extension benchmarks — MDP validation, finite-N convergence, PoA."""
+
+from repro.experiments import extensions
+
+
+def test_mdp_validation(once):
+    result = once(extensions.mdp_validation, n_users=150, seed=0)
+    print()
+    print(result)
+    checks = dict(result.rows)
+    assert checks["optimal policy is threshold-type"] == "150/150"
+    assert checks["MDP threshold == Lemma 1 threshold"] == "150/150"
+
+
+def test_finite_system_convergence(once):
+    result = once(extensions.finite_system_convergence,
+                  sizes=(10, 30, 100, 300, 1000), draws=5, seed=0)
+    print()
+    print(result)
+    gaps = result.column("mean |gamma_N - gamma*|")
+    # The mean-field approximation claim: the gap shrinks with N.
+    assert gaps[-1] < gaps[0]
+    regrets = result.column("max MF regret")
+    assert regrets[-1] < 0.02
+
+
+def test_price_of_anarchy(once):
+    result = once(extensions.price_of_anarchy, seed=0)
+    print()
+    print(result)
+    poa = result.column("PoA")
+    assert all(p >= 1.0 - 1e-9 for p in poa)
+    # The congestion externality grows with load.
+    assert poa[-1] >= poa[0]

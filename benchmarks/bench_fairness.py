@@ -1,0 +1,14 @@
+"""Fairness benchmark — the per-user cost distribution, DTU vs DPO."""
+
+from repro.experiments import fairness
+
+
+def test_fairness_distribution(once):
+    result = once(fairness.run, n_users=5000, seed=0)
+    print()
+    print(result)
+    table = {row[0]: (row[1], row[2]) for row in result.rows}
+    # DTU dominates at every reported percentile and the mean.
+    for statistic in ("p10", "p50", "p90", "p99", "mean"):
+        dtu, dpo = table[statistic]
+        assert dtu <= dpo + 1e-9

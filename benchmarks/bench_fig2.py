@@ -1,0 +1,27 @@
+"""Fig. 2 benchmark — Q(x) and α(x) curves at θ = 4."""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+
+def test_fig2_series(benchmark):
+    result = benchmark(fig2.run, intensity=4.0, x_max=10.0, points=401)
+    print()
+    print(result)
+    alpha = result.column("alpha(x)")
+    q = result.column("Q(x)")
+    assert alpha[0] == 1.0 and q[0] == 0.0
+    assert all(b <= a + 1e-12 for a, b in zip(alpha, alpha[1:]))
+    assert all(b >= a - 1e-12 for a, b in zip(q, q[1:]))
+
+
+def test_fig2_vectorized_kernel(benchmark):
+    """Microbenchmark: the Eq. (7)/(8) closed forms on 10⁶ inputs."""
+    from repro.core.tro import queue_and_offload
+
+    rng = np.random.default_rng(0)
+    thresholds = rng.uniform(0.0, 20.0, size=1_000_000)
+    intensities = rng.uniform(0.1, 8.0, size=1_000_000)
+    q, alpha = benchmark(queue_and_offload, thresholds, intensities)
+    assert q.shape == alpha.shape == (1_000_000,)

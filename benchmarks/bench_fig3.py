@@ -1,0 +1,14 @@
+"""Fig. 3 benchmark — the offloading-probability staircase over γ."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_staircase(benchmark):
+    result = benchmark(fig3.run, points=401)
+    print()
+    print(result)
+    thresholds = result.column("x*")
+    alpha = result.column("alpha(x*)")
+    assert all(b >= a for a, b in zip(thresholds, thresholds[1:]))
+    # The individual best response is genuinely discontinuous.
+    assert len(set(alpha)) >= 2

@@ -1,0 +1,16 @@
+"""Fig. 4 benchmark — γ̂ dynamics from below and above γ* (Theorem 2)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_bisection_dynamics(once):
+    result = once(fig4.run, n_users=10_000, rng=0)
+    print()
+    print(result)
+    gamma_star = result.gamma_star
+    below = result.below.column("gamma_hat")
+    above = result.above.column("gamma_hat")
+    assert below[0] < gamma_star < above[0]
+    # Both traces end within the step-size floor of γ*.
+    assert abs(below[-1] - gamma_star) < 0.02
+    assert abs(above[-1] - gamma_star) < 0.02

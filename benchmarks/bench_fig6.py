@@ -1,0 +1,11 @@
+"""Fig. 6 benchmark — the (synthetic) real-world data histograms."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_histograms(benchmark):
+    result = benchmark(fig6.run, bins=30)
+    print()
+    print(result)
+    assert result.mean_service_rate == result.paper_mean_service_rate or \
+        abs(result.mean_service_rate - result.paper_mean_service_rate) < 1e-6

@@ -1,0 +1,20 @@
+"""Fig. 8 benchmark — the cost landscape T(x|γ) for θ = 2 and θ = 4."""
+
+import numpy as np
+
+from repro.experiments import fig8
+
+
+def test_fig8_panels(benchmark):
+    result = benchmark(fig8.run, x_max=6.0, points=601)
+    print()
+    print(result)
+    # Panel a (boundary case): flat on [1, 2].
+    flat = [c for x, c in result.panel_a.rows if 1.0 <= x <= 2.0]
+    assert max(flat) - min(flat) < 1e-9
+    # Panel b: minimum at the Lemma-1 threshold x* = 1.
+    xs = result.panel_b.column("x")
+    costs = result.panel_b.column("T(x|gamma)")
+    assert xs[int(np.argmin(costs))] == min(
+        xs, key=lambda x: abs(x - 1.0)
+    )

@@ -1,0 +1,13 @@
+"""Blind-DTU benchmark — rate estimation and convergence, jointly."""
+
+from repro.experiments import learning
+
+
+def test_blind_dtu(once):
+    result = once(learning.run, n_users=150, iterations=25, window=30.0,
+                  seed=0)
+    print()
+    print(result)
+    assert result.final_gap < 0.03
+    assert result.final_median_arrival_error < 0.05
+    assert result.final_median_service_error < 0.2

@@ -1,0 +1,16 @@
+"""Multi-edge benchmark — 3-tier deployment equilibrium and its DTU."""
+
+from repro.experiments import multiedge_experiment
+
+
+def test_multiedge_deployment(once):
+    result = once(multiedge_experiment.run, n_users=4000, seed=0)
+    print()
+    print(result)
+    gammas = result.equilibrium.column("gamma*")
+    # The near/fast site runs hottest; the far cloud coldest.
+    assert gammas[0] > gammas[2]
+    assert result.dtu_gap < 0.05
+    assert result.dtu_iterations < 60
+    # The tiered deployment beats consolidating capacity in one place.
+    assert result.multi_site_cost < result.consolidation_cost

@@ -1,0 +1,13 @@
+"""Continuous-time benchmark — Algorithm 1 as one uninterrupted run."""
+
+from repro.experiments import online_experiment
+
+
+def test_online_deployment_trace(once):
+    result = once(online_experiment.run, n_users=200, duration=600.0, seed=0)
+    print()
+    print(result)
+    # The fully-asynchronous continuous system settles on the MFNE.
+    assert result.settled_gap < 0.01
+    gaps = result.timescales.column("tail |gamma - gamma*|")
+    assert all(gap < 0.02 for gap in gaps)

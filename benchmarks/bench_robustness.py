@@ -1,0 +1,40 @@
+"""Robustness benchmarks — noise, churn, and stale broadcasts at scale."""
+
+from repro.experiments import robustness
+
+
+def test_noise_sweep(once):
+    result = once(robustness.noise_sweep, n_users=10_000, seed=0)
+    print()
+    print(result)
+    assert all(result.column("converged"))
+    # Even σ = 0.05 (a third of γ* itself) must not derail DTU.
+    assert all(gap < 0.02 for gap in result.column("final_gap"))
+
+
+def test_churn_sweep(once):
+    result = once(robustness.churn_sweep, n_users=10_000, seed=0)
+    print()
+    print(result)
+    assert all(result.column("converged"))
+    assert all(gap < 0.02 for gap in result.column("final_gap"))
+
+
+def test_staleness_sweep(once):
+    result = once(robustness.staleness_sweep, n_users=10_000, seed=0)
+    print()
+    print(result)
+    assert all(result.column("converged"))
+    assert all(gap < 0.02 for gap in result.column("final_gap"))
+
+
+def test_burstiness_sweep(once):
+    result = once(robustness.burstiness_sweep, cvs=(0.5, 1.0, 2.0, 3.0),
+                  n_users=150, seed=0)
+    print()
+    print(result)
+    assert all(result.column("converged"))
+    gaps = result.column("final_gap")
+    # The Poisson-theory gap grows with the burstiness mismatch but DTU
+    # keeps converging; even cv = 3 stays within 0.05 of γ*.
+    assert all(gap < 0.05 for gap in gaps)

@@ -1,0 +1,27 @@
+"""Table I benchmark — MFNE under theoretical settings at paper scale.
+
+Regenerates the three equilibria of Table I (γ* = 0.13 / 0.21 / 0.28) with
+N = 10⁴ users and checks our values stay within 5% of the paper's.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_full_scale(once):
+    result = once(table1.run, n_users=10_000, rng=0)
+    print()
+    print(result)
+    assert len(result.rows) == 3
+    assert result.max_relative_error() < 0.05
+
+
+def test_table1_single_equilibrium_kernel(benchmark):
+    """Microbenchmark: one bisection MFNE solve on 10⁴ users."""
+    from repro.core.equilibrium import solve_mfne
+    from repro.core.meanfield import MeanFieldMap
+    from repro.experiments.settings import PAPER_G, theoretical_population
+
+    population = theoretical_population("E[A]<E[S]", n_users=10_000, rng=0)
+    mean_field = MeanFieldMap(population, PAPER_G)
+    result = benchmark(solve_mfne, mean_field)
+    assert result.converged

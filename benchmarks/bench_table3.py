@@ -1,0 +1,21 @@
+"""Table III benchmark — DTU vs DPO at paper scale.
+
+N = 10³ users per setup, 500 DPO repetitions with a 98% confidence
+interval (the paper uses 5×10³ repetitions; the CI width scales as
+1/√repetitions). The headline claim — DTU strictly beats DPO in all six
+rows — must hold.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_full_scale(once):
+    result = once(table3.run, n_users=1_000, repetitions=500, seed=0)
+    print()
+    print(result)
+    assert len(result.rows) == 6
+    assert result.all_dtu_wins()
+    for row in result.rows:
+        if row.family == "theoretical":
+            # Our DTU costs reproduce the paper's almost exactly.
+            assert abs(row.dtu_cost - row.paper_dtu) / row.paper_dtu < 0.06

@@ -1,0 +1,19 @@
+"""Latency-tail benchmark — TRO's bounded waits vs DPO's unbounded ones."""
+
+from repro.experiments import tails
+
+
+def test_latency_tails(once):
+    result = once(tails.run, n_users=60, horizon=3000.0, seed=0)
+    print()
+    print(result)
+    ratios = result.column("DPO/TRO")
+    # Queue-aware admission must dominate at the tail; at the median the
+    # ratio can be inf (TRO median wait is often exactly 0).
+    finite = [r for r in ratios if r != float("inf")]
+    assert all(r > 1.5 for r in finite)
+    tro_p999 = dict(zip(result.column("quantile"),
+                        result.column("TRO wait")))["p99.9"]
+    dpo_p999 = dict(zip(result.column("quantile"),
+                        result.column("DPO wait")))["p99.9"]
+    assert dpo_p999 > 2.0 * tro_p999

@@ -1,0 +1,11 @@
+"""Validation-battery benchmark — DES vs theory across the (θ, x) grid."""
+
+from repro.simulation.validate import run_battery
+
+
+def test_validation_battery(once):
+    report = once(run_battery, horizon=6000.0, warmup=300.0, seed=0)
+    print()
+    print(report)
+    assert report.pass_rate == 1.0, str(report)
+    assert len(report.cells) == 27

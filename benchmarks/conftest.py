@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's evaluation artifacts at full
+scale and prints the resulting table/series (visible with ``pytest -s`` or
+on failure). Heavy experiments run a single timed round via
+``benchmark.pedantic``; cheap analytic kernels use normal auto-calibrated
+rounds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round (for multi-second experiments)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(func, *args)`` — time one invocation and return its result."""
+    def _run(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+    return _run

@@ -1,0 +1,105 @@
+"""Beyond the paper: how inefficient is the equilibrium, and can a toll fix it?
+
+At the MFNE every device best-responds to the edge delay it *sees*,
+ignoring that its own offloading slows the edge down for everyone else —
+a classic congestion externality. This example:
+
+1. solves the MFNE for a loaded system;
+2. solves the social planner's problem within the same threshold-policy
+   class (devices best-respond to a *virtual* price, i.e. the physical
+   delay plus a Pigouvian toll);
+3. sweeps the offered load and reports the price of anarchy;
+4. checks the finite-N story: the mean-field thresholds are ε-Nash in a
+   finite system, with ε shrinking as N grows.
+
+Run:  python examples/congestion_pricing.py       (~1 minute)
+"""
+
+from repro import (
+    MeanFieldMap,
+    PopulationConfig,
+    Uniform,
+    best_response_dynamics,
+    mean_field_regret,
+    sample_population,
+    solve_mfne,
+    solve_social_optimum,
+)
+from repro.utils.tables import format_table
+
+CAPACITY = 10.0
+
+
+def build_population(a_max: float, n_users: int = 4000, seed: int = 0):
+    config = PopulationConfig(
+        arrival=Uniform(0.0, a_max),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=CAPACITY,
+    )
+    return sample_population(config, n_users, rng=seed)
+
+
+def main() -> None:
+    # --- 1 & 2: one loaded system, equilibrium vs planner.
+    population = build_population(a_max=9.5)
+    social = solve_social_optimum(population)
+    print("Loaded system (A ~ U(0, 9.5), c = 10):")
+    print(f"  equilibrium: γ* = {social.equilibrium_utilization:.4f}, "
+          f"cost = {social.equilibrium_cost:.4f}")
+    print(f"  planner:     γ  = {social.utilization:.4f}, "
+          f"cost = {social.average_cost:.4f} "
+          f"(toll = {social.toll:.3f} on top of the physical delay)")
+    print(f"  price of anarchy = {social.price_of_anarchy:.4f} "
+          f"({social.efficiency_gap_pct:.2f}% recoverable by pricing)\n")
+
+    # --- 3: PoA across load.
+    rows = []
+    for a_max in (2.0, 4.0, 6.0, 8.0, 9.5):
+        result = solve_social_optimum(build_population(a_max))
+        rows.append((
+            f"U(0,{a_max:g})",
+            f"{result.equilibrium_utilization:.3f}",
+            f"{result.utilization:.3f}",
+            f"{result.price_of_anarchy:.4f}",
+            f"{result.toll:.3f}",
+        ))
+    print(format_table(
+        headers=("load", "γ* (NE)", "γ (social)", "PoA", "toll"),
+        rows=rows,
+        title="Price of anarchy grows with the congestion externality",
+    ))
+
+    # --- 4: the finite-N story.
+    print("\nFinite-N check (is the mean-field answer ε-Nash?):")
+    reference = solve_mfne(
+        MeanFieldMap(build_population(4.0, n_users=20_000))
+    ).utilization
+    rows = []
+    for n in (10, 100, 1000):
+        population = build_population(4.0, n_users=n, seed=7)
+        finite = best_response_dynamics(population)
+        mean_field = MeanFieldMap(population)
+        thresholds = mean_field.best_response(
+            solve_mfne(mean_field).utilization
+        ).astype(float)
+        regret = mean_field_regret(population, thresholds)
+        rows.append((
+            n,
+            f"{abs(finite.utilization - reference):.4f}",
+            f"{regret.max_regret:.2e}",
+            finite.rounds,
+        ))
+    print(format_table(
+        headers=("N", "|γ_N − γ*|", "max regret", "BR rounds"),
+        rows=rows,
+    ))
+    print("\nThe exact finite-game equilibrium hugs the mean-field one, and "
+          "no single device can meaningfully gain by deviating — the "
+          "large-system limit is doing its job.")
+
+
+if __name__ == "__main__":
+    main()

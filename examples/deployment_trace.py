@@ -1,0 +1,73 @@
+"""Watch the system run in continuous time — no rounds, no resets.
+
+Everything in the paper's Algorithm 1, but as a single uninterrupted
+discrete-event simulation: devices keep their queues between threshold
+updates, the edge measures utilisation over a sliding window and
+broadcasts γ̂ every 5 time units, and every device re-optimises on its own
+Poisson clock (mean every 10 time units). The trajectory settles on the
+mean-field equilibrium computed independently from the closed forms.
+
+Run:  python examples/deployment_trace.py        (~10 s)
+"""
+
+from repro import (
+    MeanFieldMap,
+    PopulationConfig,
+    Uniform,
+    sample_population,
+    solve_mfne,
+)
+from repro.simulation.online import OnlineSimulation
+from repro.utils.asciiplot import line_plot
+
+N_USERS = 200
+DURATION = 600.0
+
+
+def main() -> None:
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    population = sample_population(config, N_USERS, rng=0)
+    gamma_star = solve_mfne(MeanFieldMap(population)).utilization
+    print(f"{N_USERS} devices, closed-form γ* = {gamma_star:.4f}")
+
+    simulation = OnlineSimulation(
+        population,
+        broadcast_interval=5.0,     # edge broadcasts γ̂ every 5 time units
+        update_interval=10.0,       # devices re-optimise ~every 10
+        window=25.0,                # utilisation measured over this window
+        seed=1,
+    )
+    result = simulation.run(duration=DURATION)
+    arrays = result.trace.as_arrays()
+
+    print(line_plot(
+        arrays["times"],
+        {
+            "gamma_hat": arrays["estimated"],
+            "gamma_window": arrays["measured"],
+            "gamma*": [gamma_star] * len(arrays["times"]),
+        },
+        width=70, height=16,
+        title="Continuous deployment trace",
+        x_label="time",
+    ))
+    print(f"\nsettled: tail-mean measured γ = "
+          f"{result.tail_mean_measured():.4f} vs γ* = {gamma_star:.4f} "
+          f"(gap {abs(result.tail_mean_measured() - gamma_star):.4f}) "
+          f"after {result.broadcasts} broadcasts")
+    print("Every device also drifted its threshold upward as it learned "
+          "the edge is shared:")
+    thresholds = arrays["mean_threshold"]
+    print(f"  mean threshold: {thresholds[0]:.2f} (start) → "
+          f"{thresholds[-1]:.2f} (end)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""An IoT fleet with three device classes sharing one edge.
+
+The paper's intro motivates heterogeneous fleets: health monitors, farm
+trackers, camera nodes — different task rates, CPUs, batteries, and radios.
+This example builds such a fleet explicitly with mixture distributions:
+
+* **sensors** (70%): trickle of tiny tasks, weak CPU, cellular uplink;
+* **cameras** (25%): heavy detection workload, mid CPU, WiFi;
+* **gateways** (5%): high task rate but server-class CPUs, wired backhaul.
+
+It then solves the MFNE, runs DTU, and reports how each *class* behaves at
+equilibrium — who offloads, what thresholds they pick, what they pay.
+
+Run:  python examples/iot_fleet.py
+"""
+
+import numpy as np
+
+from repro import (
+    MeanFieldMap,
+    Mixture,
+    PopulationConfig,
+    TruncatedNormal,
+    Uniform,
+    run_dtu,
+    sample_population,
+    solve_mfne,
+)
+from repro.utils.tables import format_table
+
+#: (share of fleet, arrival dist, service dist, latency dist, p_L, p_E)
+DEVICE_CLASSES = {
+    "sensor": dict(
+        share=0.70,
+        arrival=Uniform(0.05, 1.0),
+        service=Uniform(0.8, 2.0),
+        latency=TruncatedNormal(mu=0.4, sigma=0.15, low=0.05, high=1.0),
+        energy_local=Uniform(1.5, 3.0),      # weak battery: local is costly
+        energy_offload=Uniform(0.1, 0.4),
+    ),
+    "camera": dict(
+        share=0.25,
+        arrival=Uniform(2.0, 6.0),
+        service=Uniform(2.0, 5.0),
+        latency=TruncatedNormal(mu=0.15, sigma=0.05, low=0.02, high=0.4),
+        energy_local=Uniform(0.5, 1.5),
+        energy_offload=Uniform(0.3, 0.8),
+    ),
+    "gateway": dict(
+        share=0.05,
+        arrival=Uniform(4.0, 9.0),
+        service=Uniform(8.0, 15.0),
+        latency=TruncatedNormal(mu=0.05, sigma=0.02, low=0.01, high=0.15),
+        energy_local=Uniform(0.1, 0.5),
+        energy_offload=Uniform(0.2, 0.6),
+    ),
+}
+CAPACITY = 10.0
+N_USERS = 6_000
+
+
+def build_population(rng_seed: int = 0):
+    """Sample the fleet and remember each user's class label."""
+    shares = [spec["share"] for spec in DEVICE_CLASSES.values()]
+    config = PopulationConfig(
+        arrival=Mixture([s["arrival"] for s in DEVICE_CLASSES.values()], shares),
+        service=Mixture([s["service"] for s in DEVICE_CLASSES.values()], shares),
+        latency=Mixture([s["latency"] for s in DEVICE_CLASSES.values()], shares),
+        energy_local=Mixture(
+            [s["energy_local"] for s in DEVICE_CLASSES.values()], shares
+        ),
+        energy_offload=Mixture(
+            [s["energy_offload"] for s in DEVICE_CLASSES.values()], shares
+        ),
+        capacity=CAPACITY,
+    )
+    # For per-class reporting we re-sample class-by-class instead of using
+    # the mixture (same marginal population, but with known labels).
+    rng = np.random.default_rng(rng_seed)
+    populations, labels = [], []
+    for name, spec in DEVICE_CLASSES.items():
+        count = int(round(N_USERS * spec["share"]))
+        class_config = PopulationConfig(
+            arrival=spec["arrival"], service=spec["service"],
+            latency=spec["latency"], energy_local=spec["energy_local"],
+            energy_offload=spec["energy_offload"], capacity=CAPACITY,
+        )
+        populations.append(sample_population(class_config, count, rng=rng))
+        labels.extend([name] * count)
+    merged = populations[0]
+    for extra in populations[1:]:
+        merged = _concat(merged, extra)
+    return config, merged, np.array(labels)
+
+
+def _concat(a, b):
+    from repro.population.sampler import Population
+    return Population(
+        arrival_rates=np.concatenate([a.arrival_rates, b.arrival_rates]),
+        service_rates=np.concatenate([a.service_rates, b.service_rates]),
+        offload_latencies=np.concatenate(
+            [a.offload_latencies, b.offload_latencies]
+        ),
+        energy_local=np.concatenate([a.energy_local, b.energy_local]),
+        energy_offload=np.concatenate([a.energy_offload, b.energy_offload]),
+        weights=np.concatenate([a.weights, b.weights]),
+        capacity=a.capacity,
+    )
+
+
+def main() -> None:
+    _, population, labels = build_population()
+    mean_field = MeanFieldMap(population)
+
+    mfne = solve_mfne(mean_field)
+    result = run_dtu(mean_field)
+    print(f"fleet of {population.size} devices, c = {CAPACITY}")
+    print(f"MFNE γ* = {mfne.utilization:.4f}; DTU reached "
+          f"γ = {result.actual_utilization:.4f} in {result.iterations} "
+          "iterations\n")
+
+    thresholds = result.thresholds
+    alpha = mean_field.offload_probabilities(thresholds)
+    costs = mean_field.user_costs(
+        min(result.actual_utilization, 1.0), thresholds
+    )
+    rows = []
+    for name in DEVICE_CLASSES:
+        mask = labels == name
+        rows.append((
+            name,
+            int(mask.sum()),
+            f"{population.intensities[mask].mean():.2f}",
+            f"{thresholds[mask].mean():.2f}",
+            f"{alpha[mask].mean():.3f}",
+            f"{costs[mask].mean():.3f}",
+        ))
+    print(format_table(
+        headers=("class", "devices", "mean θ", "mean x*",
+                 "mean offload prob", "mean cost"),
+        rows=rows,
+        title="Per-class equilibrium behaviour",
+    ))
+    print("\nReading: battery-poor sensors dump everything on the edge "
+          "(x* ≈ 0), cameras split, gateways mostly self-serve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — Distributed Threshold-based Offloading for Heterogeneous MEC.
+
+A from-scratch reproduction of Qin, Xie & Li, *Distributed Threshold-based
+Offloading for Heterogeneous Mobile Edge Computing* (IEEE ICDCS 2023):
+the TRO policy and its exact queueing analysis, the mean-field
+best-response map and MFNE solver, the DTU algorithm, the DPO baseline,
+heterogeneous population modelling, a discrete-event simulator, and a
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import (PopulationConfig, Uniform, sample_population,
+...                    MeanFieldMap, solve_mfne, run_dtu)
+>>> config = PopulationConfig(
+...     arrival=Uniform(0.01, 4.0), service=Uniform(1.0, 5.0),
+...     latency=Uniform(0.0, 1.0), energy_local=Uniform(0.0, 3.0),
+...     energy_offload=Uniform(0.0, 1.0), capacity=10.0)
+>>> population = sample_population(config, n_users=10_000, rng=0)
+>>> mean_field = MeanFieldMap(population)
+>>> mfne = solve_mfne(mean_field)         # Theorem 1: the unique γ*
+>>> result = run_dtu(mean_field)          # Theorem 2: DTU converges to γ*
+>>> abs(result.actual_utilization - mfne.utilization) < 0.01
+True
+"""
+
+from repro.core import (
+    DpoEquilibrium,
+    DtuConfig,
+    DtuResult,
+    DtuTrace,
+    EdgeSite,
+    FiniteEquilibrium,
+    GeneralServiceMeanFieldMap,
+    MeanFieldMap,
+    MfneResult,
+    MultiEdgeEquilibrium,
+    MultiEdgeSystem,
+    RegretReport,
+    SocialOptimum,
+    best_response_dynamics,
+    mean_field_regret,
+    run_multiedge_dtu,
+    solve_multiedge_equilibrium,
+    solve_social_optimum,
+    average_queue_length,
+    best_response_thresholds,
+    dpo_population_cost,
+    occupancy_distribution,
+    offload_probability,
+    optimal_offload_probability,
+    optimal_threshold,
+    population_average_cost,
+    queue_length_variance,
+    run_dtu,
+    solve_dpo_equilibrium,
+    solve_mfne,
+    threshold_staircase,
+    user_cost,
+    user_cost_components,
+)
+from repro.core.edge_delay import (
+    PAPER_DELAY_MODEL,
+    EdgeDelayModel,
+    LinearDelay,
+    PowerDelay,
+    ReciprocalDelay,
+)
+from repro.population import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Population,
+    PopulationConfig,
+    RealWorldData,
+    TruncatedNormal,
+    Uniform,
+    UserProfile,
+    load_realworld_data,
+    sample_population,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # population
+    "Distribution", "Uniform", "TruncatedNormal", "Exponential", "LogNormal",
+    "Gamma", "Deterministic", "Empirical", "Mixture",
+    "UserProfile", "Population", "PopulationConfig", "sample_population",
+    "RealWorldData", "load_realworld_data",
+    # TRO analytics & cost
+    "average_queue_length", "offload_probability", "occupancy_distribution",
+    "queue_length_variance",
+    "user_cost", "user_cost_components", "population_average_cost",
+    # best response / mean field / equilibrium
+    "threshold_staircase", "optimal_threshold", "best_response_thresholds",
+    "MeanFieldMap", "MfneResult", "solve_mfne",
+    # DTU
+    "DtuConfig", "DtuResult", "DtuTrace", "run_dtu",
+    # DPO baseline
+    "DpoEquilibrium", "optimal_offload_probability", "dpo_population_cost",
+    "solve_dpo_equilibrium",
+    # finite-N game & social planner (extensions)
+    "FiniteEquilibrium", "RegretReport", "best_response_dynamics",
+    "mean_field_regret", "SocialOptimum", "solve_social_optimum",
+    # general-service best response & multi-edge (extensions)
+    "GeneralServiceMeanFieldMap",
+    "EdgeSite", "MultiEdgeSystem", "MultiEdgeEquilibrium",
+    "solve_multiedge_equilibrium", "run_multiedge_dtu",
+    # edge delay models
+    "EdgeDelayModel", "ReciprocalDelay", "LinearDelay", "PowerDelay",
+    "PAPER_DELAY_MODEL",
+]

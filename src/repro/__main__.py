@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows without writing any Python::
+
+    python -m repro solve    --scenario paper-theoretical --users 10000
+    python -m repro dtu      --scenario vision-fleet --plot
+    python -m repro compare  --scenario paper-practical
+    python -m repro scenarios
+
+(`python -m repro.experiments` separately regenerates the paper's tables
+and figures.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.dpo import solve_dpo_equilibrium
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.core.social import solve_social_optimum
+from repro.population.sampler import sample_population
+from repro.population.scenarios import build_scenario, scenario_names
+from repro.utils.asciiplot import convergence_plot
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="paper-theoretical",
+                        help="named scenario (see `scenarios` subcommand)")
+    parser.add_argument("--users", type=int, default=5000,
+                        help="population size (default 5000)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _population(args):
+    config = build_scenario(args.scenario)
+    return sample_population(config, args.users, rng=args.seed)
+
+
+def cmd_scenarios(_args) -> int:
+    for name in scenario_names():
+        config = build_scenario(name)
+        print(f"{name:20s} {config.describe()}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    population = _population(args)
+    mean_field = MeanFieldMap(population)
+    result = solve_mfne(mean_field)
+    print(f"scenario: {args.scenario} (N={population.size}, "
+          f"c={population.capacity:g})")
+    print(f"MFNE γ* = {result.utilization:.6f} "
+          f"(residual {result.residual:.2e}, "
+          f"{result.iterations} bisections)")
+    print(f"equilibrium population cost = "
+          f"{mean_field.average_cost(result.utilization):.6f}")
+    if args.social:
+        social = solve_social_optimum(population)
+        print(f"social optimum: γ = {social.utilization:.6f}, "
+              f"cost = {social.average_cost:.6f}, "
+              f"PoA = {social.price_of_anarchy:.4f}, "
+              f"toll = {social.toll:.4f}")
+    return 0
+
+
+def cmd_dtu(args) -> int:
+    population = _population(args)
+    mean_field = MeanFieldMap(population)
+    gamma_star = solve_mfne(mean_field).utilization
+    config = DtuConfig(
+        initial_step=args.step,
+        tolerance=args.tolerance,
+        update_probability=args.update_probability,
+        seed=args.seed,
+    )
+    result = run_dtu(mean_field, config)
+    print(f"scenario: {args.scenario} (N={population.size})")
+    print(f"γ* = {gamma_star:.4f}; DTU converged={result.converged} in "
+          f"{result.iterations} iterations; final γ = "
+          f"{result.actual_utilization:.4f}, γ̂ = "
+          f"{result.estimated_utilization:.4f}")
+    if args.plot:
+        print()
+        print(convergence_plot(
+            result.trace.estimated_utilization,
+            result.trace.actual_utilization,
+            gamma_star,
+        ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    population = _population(args)
+    mean_field = MeanFieldMap(population)
+    mfne = solve_mfne(mean_field)
+    dtu_cost = mean_field.average_cost(mfne.utilization)
+    dpo = solve_dpo_equilibrium(population)
+    saving = 100 * (dpo.average_cost - dtu_cost) / dpo.average_cost
+    print(f"scenario: {args.scenario} (N={population.size})")
+    print(f"DTU: γ* = {mfne.utilization:.4f}, cost = {dtu_cost:.4f}")
+    print(f"DPO: γ* = {dpo.utilization:.4f}, cost = {dpo.average_cost:.4f}")
+    print(f"threshold policy saves {saving:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Distributed threshold-based offloading toolkit "
+                    "(ICDCS 2023 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list the named population scenarios")
+    scenarios.set_defaults(func=cmd_scenarios)
+
+    solve = subparsers.add_parser(
+        "solve", help="solve the MFNE for a scenario")
+    _add_common(solve)
+    solve.add_argument("--social", action="store_true",
+                       help="also compute the social optimum / PoA")
+    solve.set_defaults(func=cmd_solve)
+
+    dtu = subparsers.add_parser(
+        "dtu", help="run the DTU algorithm on a scenario")
+    _add_common(dtu)
+    dtu.add_argument("--step", type=float, default=0.1, help="η₀")
+    dtu.add_argument("--tolerance", type=float, default=0.01, help="ε")
+    dtu.add_argument("--update-probability", type=float, default=1.0,
+                     help="per-user update probability (async < 1)")
+    dtu.add_argument("--plot", action="store_true",
+                     help="draw the convergence trace")
+    dtu.set_defaults(func=cmd_dtu)
+
+    compare = subparsers.add_parser(
+        "compare", help="DTU vs DPO on a scenario")
+    _add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep one model knob against the equilibrium")
+    sweep.add_argument("--param", required=True,
+                       help="knob to sweep (see repro.sweep.PARAMETERS)")
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated values, e.g. 9,10,12,16")
+    sweep.add_argument("--users", type=int, default=3000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import parse_values, run_sweep
+    result = run_sweep(args.param, parse_values(args.values),
+                       n_users=args.users, seed=args.seed)
+    print(result)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

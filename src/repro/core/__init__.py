@@ -1,0 +1,102 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.tro` — exact stationary analysis of the Threshold-based
+  Randomized Offloading policy (Eq. 7/8);
+* :mod:`repro.core.cost` — the per-user average cost (Eq. 1);
+* :mod:`repro.core.best_response` — Lemma 1: the staircase ``f(m|θ)`` and
+  the optimal threshold ``x*``;
+* :mod:`repro.core.meanfield` — the best-response map ``V(γ)`` (Eq. 9);
+* :mod:`repro.core.equilibrium` — Theorem 1: existence/uniqueness of the
+  MFNE and its fixed-point solver;
+* :mod:`repro.core.dtu` — Algorithm 1: the Distributed Threshold Update
+  algorithm, synchronous and asynchronous (Theorem 2);
+* :mod:`repro.core.dpo` — the Distributed Probabilistic Offloading baseline
+  of Section IV-C.
+"""
+
+from repro.core.best_response import (
+    best_response_thresholds,
+    optimal_threshold,
+    threshold_staircase,
+)
+from repro.core.cost import population_average_cost, user_cost, user_cost_components
+from repro.core.dpo import (
+    DpoEquilibrium,
+    dpo_population_cost,
+    optimal_offload_probability,
+    solve_dpo_equilibrium,
+)
+from repro.core.dtu import DtuConfig, DtuResult, DtuTrace, run_dtu
+from repro.core.equilibrium import MfneResult, solve_mfne
+from repro.core.finite import (
+    FiniteEquilibrium,
+    RegretReport,
+    best_response_dynamics,
+    mean_field_regret,
+)
+from repro.core.general_service import (
+    GeneralServiceMeanFieldMap,
+    optimal_threshold_general,
+)
+from repro.core.multiedge import (
+    EdgeSite,
+    MultiEdgeEquilibrium,
+    MultiEdgeSystem,
+    run_multiedge_dtu,
+    solve_multiedge_equilibrium,
+)
+from repro.core.planning import (
+    CapacityPlan,
+    capacity_for_cost,
+    capacity_for_utilization,
+)
+from repro.core.social import SocialOptimum, solve_social_optimum
+from repro.core.meanfield import MeanFieldMap
+from repro.core.tro import (
+    average_queue_length,
+    empty_probability,
+    occupancy_distribution,
+    offload_probability,
+    queue_length_variance,
+)
+
+__all__ = [
+    "average_queue_length",
+    "offload_probability",
+    "queue_length_variance",
+    "empty_probability",
+    "occupancy_distribution",
+    "user_cost",
+    "user_cost_components",
+    "population_average_cost",
+    "threshold_staircase",
+    "optimal_threshold",
+    "best_response_thresholds",
+    "MeanFieldMap",
+    "MfneResult",
+    "solve_mfne",
+    "DtuConfig",
+    "DtuResult",
+    "DtuTrace",
+    "run_dtu",
+    "DpoEquilibrium",
+    "optimal_offload_probability",
+    "dpo_population_cost",
+    "solve_dpo_equilibrium",
+    "FiniteEquilibrium",
+    "RegretReport",
+    "best_response_dynamics",
+    "mean_field_regret",
+    "SocialOptimum",
+    "solve_social_optimum",
+    "GeneralServiceMeanFieldMap",
+    "optimal_threshold_general",
+    "EdgeSite",
+    "MultiEdgeSystem",
+    "MultiEdgeEquilibrium",
+    "solve_multiedge_equilibrium",
+    "run_multiedge_dtu",
+    "CapacityPlan",
+    "capacity_for_cost",
+    "capacity_for_utilization",
+]

@@ -1,0 +1,144 @@
+"""Lemma 1: each user's optimal threshold given the edge utilisation.
+
+The paper shows (Appendix B) that the cost ``T(x|γ)`` is piecewise monotone
+in ``x`` with its minimum pinned by the staircase function
+
+    f(m|θ) = Σ_{i=1}^m (m − i + 1) θ^i,     f(0|θ) = 0,
+
+which is strictly increasing in ``m``. With the *offload comparison value*
+
+    U = a · (g(γ) + τ + w (p_E − p_L)),
+
+the optimal threshold is
+
+* ``x* = 0``                if ``U < f(1|θ) = θ``  (offload everything);
+* ``x* = m``                if ``f(m|θ) ≤ U < f(m+1|θ)``.
+
+(The optimum is unique except on the measure-zero boundary
+``U = f(m|θ)``, where any ``x ∈ [m, m+1)`` is optimal; we return ``m``.)
+
+The population version runs the search simultaneously for all users with
+incremental updates — ``f(m+1) = f(m) + Σ_{i=1}^{m+1} θ^i`` — so no large
+power ever needs to be formed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.population.sampler import Population
+from repro.population.user import UserProfile
+from repro.utils.validation import check_int_non_negative, check_non_negative
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Safety cap on the threshold search. ``f(m|θ) ≥ m·θ`` implies
+#: ``m* ≤ U/θ``; hitting this cap indicates pathological parameters.
+MAX_THRESHOLD = 10_000_000
+
+
+def threshold_staircase(m: int, intensity: ArrayLike) -> ArrayLike:
+    """The staircase ``f(m|θ)`` of Eq. (10).
+
+    Closed form: for θ ≠ 1,
+    ``f(m|θ) = [θ^{m+1} − (m+1)θ + m] · θ / (1−θ)²`` and for θ = 1,
+    ``f(m|1) = m(m+1)/2``.
+    """
+    check_int_non_negative("m", m)
+    theta = np.asarray(intensity, dtype=float)
+    if np.any(theta <= 0):
+        raise ValueError("intensity must be > 0")
+    scalar = theta.ndim == 0
+    theta = np.atleast_1d(theta)
+    out = np.empty_like(theta)
+    near_one = np.abs(theta - 1.0) < 1e-9
+    out[near_one] = m * (m + 1) / 2.0
+    th = theta[~near_one]
+    if th.size:
+        # f(m|θ) = (m+1)·Σ_{i=1..m} θ^i − Σ_{i=1..m} i θ^i, which telescopes
+        # to θ(θ^{m+1} − (m+1)θ + m)/(1−θ)²; valid for m = 0 as well.
+        one_minus = 1.0 - th
+        out[~near_one] = th * (np.power(th, m + 1) - (m + 1) * th + m) / \
+            (one_minus * one_minus)
+    return float(out[0]) if scalar else out
+
+
+def optimal_threshold(profile: UserProfile, edge_delay: float) -> int:
+    """Lemma 1 best response of a single user to edge delay ``g(γ)``."""
+    check_non_negative("edge_delay", edge_delay)
+    comparison = profile.arrival_rate * profile.offload_surcharge(edge_delay)
+    return _search_threshold(comparison, profile.intensity)
+
+
+def optimal_threshold_from_surcharge(
+    arrival_rate: float, intensity: float, surcharge: float
+) -> int:
+    """Best response given the raw surcharge ``g(γ) + τ + w(p_E − p_L)``."""
+    return _search_threshold(arrival_rate * surcharge, intensity)
+
+
+def _search_threshold(comparison: float, intensity: float) -> int:
+    """Scalar staircase search: largest m with ``f(m|θ) ≤ comparison``."""
+    if intensity <= 0:
+        raise ValueError("intensity must be > 0")
+    if comparison < intensity:  # f(1|θ) = θ
+        return 0
+    m = 1
+    geometric = intensity            # Σ_{i=1}^{m} θ^i
+    staircase = intensity            # f(m|θ)
+    power = intensity                # θ^m
+    while m < MAX_THRESHOLD:
+        power *= intensity
+        geometric += power
+        if staircase + geometric > comparison:   # f(m+1|θ) > U
+            return m
+        staircase += geometric
+        m += 1
+    raise ArithmeticError(
+        f"threshold search exceeded {MAX_THRESHOLD}; "
+        f"comparison={comparison}, intensity={intensity}"
+    )
+
+
+def best_response_thresholds(
+    population: Population, edge_delay: float
+) -> np.ndarray:
+    """Vector of Lemma-1 optimal thresholds for every user.
+
+    Runs the staircase search for all users simultaneously with incremental
+    updates; the number of sweeps equals the largest optimal threshold in
+    the population.
+    """
+    check_non_negative("edge_delay", edge_delay)
+    theta = population.intensities
+    comparison = population.arrival_rates * population.offload_surcharges(edge_delay)
+
+    n = population.size
+    thresholds = np.zeros(n, dtype=np.int64)
+    active = comparison >= theta          # users not yet settled at x* = 0
+    if not np.any(active):
+        return thresholds
+
+    # Incremental staircase state, maintained only for active users.
+    geometric = theta.copy()              # Σ_{i=1}^{m} θ^i
+    staircase = theta.copy()              # f(m|θ)
+    power = theta.copy()                  # θ^m
+    m = 1
+    while np.any(active):
+        if m >= MAX_THRESHOLD:
+            raise ArithmeticError(
+                f"threshold search exceeded {MAX_THRESHOLD} for "
+                f"{int(active.sum())} users"
+            )
+        power[active] *= theta[active]
+        geometric[active] += power[active]
+        next_staircase = staircase[active] + geometric[active]   # f(m+1|θ)
+        settle = next_staircase > comparison[active]
+        idx = np.flatnonzero(active)
+        thresholds[idx[settle]] = m
+        staircase[idx[~settle]] = next_staircase[~settle]
+        active[idx[settle]] = False
+        m += 1
+    return thresholds

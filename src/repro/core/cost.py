@@ -1,0 +1,89 @@
+"""The per-user average cost function (paper Eq. 1).
+
+For user ``n`` with threshold ``x`` and edge utilisation ``γ``::
+
+    cost = w·p_L·(1 − α(x))  +  Q(x)/a  +  (w·p_E + g(γ) + τ)·α(x)
+
+* ``w·p_L·(1 − α)`` — energy of locally processed tasks;
+* ``Q(x)/a`` — per-task local delay: by Little's law the locally processed
+  tasks wait ``Q/(a(1−α))`` on average and a task is local with probability
+  ``1 − α``, so the delay contribution is exactly ``Q/a``;
+* ``(w·p_E + g(γ) + τ)·α`` — offloaded tasks pay transmission energy, edge
+  processing delay ``g(γ)``, and offloading latency ``τ``.
+
+``edge_delay`` in this module is always the *evaluated* ``g(γ)`` so the cost
+code stays independent of the edge-delay model (see
+:mod:`repro.simulation.edge` for the ``g`` functions themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.tro import queue_and_offload
+from repro.population.sampler import Population
+from repro.population.user import UserProfile
+from repro.utils.validation import check_non_negative
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The three additive components of Eq. (1), plus their total."""
+
+    local_energy: float
+    local_delay: float
+    offload: float
+
+    @property
+    def total(self) -> float:
+        return self.local_energy + self.local_delay + self.offload
+
+
+def user_cost(profile: UserProfile, threshold: float, edge_delay: float) -> float:
+    """Average cost (Eq. 1) of ``profile`` at ``threshold`` given ``g(γ)``."""
+    return user_cost_components(profile, threshold, edge_delay).total
+
+
+def user_cost_components(
+    profile: UserProfile, threshold: float, edge_delay: float
+) -> CostBreakdown:
+    """Eq. (1) split into its three components."""
+    check_non_negative("edge_delay", edge_delay)
+    q, alpha = queue_and_offload(threshold, profile.intensity)
+    return CostBreakdown(
+        local_energy=profile.weight * profile.energy_local * (1.0 - alpha),
+        local_delay=q / profile.arrival_rate,
+        offload=(profile.weight * profile.energy_offload + edge_delay
+                 + profile.offload_latency) * alpha,
+    )
+
+
+def population_costs(
+    population: Population, thresholds: ArrayLike, edge_delay: float
+) -> np.ndarray:
+    """Vector of per-user costs (Eq. 1) for the whole population.
+
+    ``thresholds`` may be a scalar (same threshold for everyone) or an array
+    with one entry per user.
+    """
+    check_non_negative("edge_delay", edge_delay)
+    x = np.broadcast_to(np.asarray(thresholds, dtype=float),
+                        (population.size,))
+    q, alpha = queue_and_offload(x, population.intensities)
+    local_energy = population.weights * population.energy_local * (1.0 - alpha)
+    local_delay = q / population.arrival_rates
+    offload = (population.weights * population.energy_offload + edge_delay
+               + population.offload_latencies) * alpha
+    return local_energy + local_delay + offload
+
+
+def population_average_cost(
+    population: Population, thresholds: ArrayLike, edge_delay: float
+) -> float:
+    """Population-mean of Eq. (1) — the quantity Table III compares."""
+    return float(population_costs(population, thresholds, edge_delay).mean())

@@ -1,0 +1,186 @@
+"""The Distributed Probabilistic Offloading (DPO) baseline (Section IV-C).
+
+Under DPO each user offloads every arriving task independently with a
+probability ``p`` chosen to minimise its own average cost. The local queue
+is then an M/M/1 queue with Bernoulli-thinned arrival rate ``a(1−p)``, so
+
+    C(p) = w·p_L·(1−p) + Q(p)/a + (w·p_E + g(γ) + τ)·p,
+    Q(p) = ρ/(1−ρ),  ρ = θ(1−p)   (infinite when ρ ≥ 1).
+
+With the offload surcharge ``B = g(γ) + τ + w(p_E − p_L)``::
+
+    dC/dp = B − (1/s)·(1 − θ(1−p))^{-2},
+
+which is increasing in ``p`` (C is convex on the stable region), giving the
+closed-form best response
+
+* ``p* = 1``                        if ``B ≤ 0`` or ``s·B ≤ 1``;
+* ``p* = clip(1 − (1 − 1/√(s·B))/θ, 0, 1)``   otherwise,
+
+where the interior point automatically satisfies stability
+(``1 − θ(1−p*) = 1/√(s·B) > 0``). ``p*`` is non-increasing in ``γ``, so the
+DPO mean-field fixed point ``γ = E[A·p*(γ)]/c`` exists and is unique by the
+same argument as Theorem 1 and is solved by bisection here.
+
+This is the comparison policy of Table III; it uses the *same* population,
+edge-delay model and cost definition as DTU so the comparison isolates the
+policy difference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.population.sampler import Population
+from repro.population.user import UserProfile
+from repro.utils.validation import (
+    check_int_positive,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def optimal_offload_probability(profile: UserProfile, edge_delay: float) -> float:
+    """Closed-form DPO best response of one user to edge delay ``g(γ)``."""
+    check_non_negative("edge_delay", edge_delay)
+    surcharge = profile.offload_surcharge(edge_delay)
+    return _best_probability(profile.service_rate, profile.intensity, surcharge)
+
+
+def _best_probability(service_rate: float, intensity: float, surcharge: float) -> float:
+    if surcharge <= 0.0:
+        return 1.0
+    sb = service_rate * surcharge
+    if sb <= 1.0:
+        return 1.0
+    p = 1.0 - (1.0 - 1.0 / math.sqrt(sb)) / intensity
+    return min(1.0, max(0.0, p))
+
+
+def optimal_offload_probabilities(
+    population: Population, edge_delay: float
+) -> np.ndarray:
+    """Vectorised DPO best responses for the whole population."""
+    check_non_negative("edge_delay", edge_delay)
+    surcharge = population.offload_surcharges(edge_delay)
+    sb = population.service_rates * surcharge
+    with np.errstate(invalid="ignore", divide="ignore"):
+        interior = 1.0 - (1.0 - 1.0 / np.sqrt(np.maximum(sb, 1e-300))) / \
+            population.intensities
+    p = np.where(sb <= 1.0, 1.0, interior)
+    p = np.where(surcharge <= 0.0, 1.0, p)
+    return np.clip(p, 0.0, 1.0)
+
+
+def dpo_user_cost(profile: UserProfile, probability: float, edge_delay: float) -> float:
+    """Average cost of one user offloading i.i.d. with ``probability``.
+
+    Returns ``inf`` when the thinned local queue is unstable
+    (``θ(1−p) ≥ 1``) — matching the model, where an overloaded device's
+    queueing delay grows without bound.
+    """
+    check_probability("probability", probability)
+    check_non_negative("edge_delay", edge_delay)
+    rho = profile.intensity * (1.0 - probability)
+    if rho >= 1.0:
+        return math.inf
+    queue = rho / (1.0 - rho)
+    return (profile.weight * profile.energy_local * (1.0 - probability)
+            + queue / profile.arrival_rate
+            + (profile.weight * profile.energy_offload + edge_delay
+               + profile.offload_latency) * probability)
+
+
+def dpo_population_costs(
+    population: Population, probabilities: ArrayLike, edge_delay: float
+) -> np.ndarray:
+    """Vector of per-user DPO costs; ``inf`` marks unstable local queues."""
+    check_non_negative("edge_delay", edge_delay)
+    p = np.broadcast_to(np.asarray(probabilities, dtype=float), (population.size,))
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("offload probabilities must lie in [0, 1]")
+    rho = population.intensities * (1.0 - p)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        queue = np.where(rho < 1.0, rho / (1.0 - rho), np.inf)
+    return (population.weights * population.energy_local * (1.0 - p)
+            + queue / population.arrival_rates
+            + (population.weights * population.energy_offload + edge_delay
+               + population.offload_latencies) * p)
+
+
+def dpo_population_cost(
+    population: Population, probabilities: ArrayLike, edge_delay: float
+) -> float:
+    """Population-mean DPO cost — the Table III quantity."""
+    return float(dpo_population_costs(population, probabilities, edge_delay).mean())
+
+
+@dataclass(frozen=True)
+class DpoEquilibrium:
+    """The DPO mean-field equilibrium and the population's state there."""
+
+    utilization: float                 # γ* of the DPO game
+    probabilities: np.ndarray          # per-user equilibrium p*
+    average_cost: float                # mean of Eq. (1)-style DPO cost
+    residual: float
+    iterations: int
+    converged: bool
+
+    @property
+    def gamma_star(self) -> float:
+        return self.utilization
+
+
+def dpo_value(
+    population: Population, delay_model: EdgeDelayModel, utilization: float
+) -> float:
+    """The DPO best-response map ``W(γ) = E[A·p*(γ)]/c``."""
+    gamma = check_probability("utilization", utilization)
+    p = optimal_offload_probabilities(population, delay_model(gamma))
+    return float((population.arrival_rates * p).mean() / population.capacity)
+
+
+def solve_dpo_equilibrium(
+    population: Population,
+    delay_model: Optional[EdgeDelayModel] = None,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+) -> DpoEquilibrium:
+    """Bisection solve of the DPO fixed point ``W(γ) = γ``."""
+    check_positive("tolerance", tolerance)
+    check_int_positive("max_iterations", max_iterations)
+    model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+
+    low, high = 0.0, 1.0
+    if dpo_value(population, model, 1.0) >= 1.0:
+        raise ArithmeticError(
+            "W(1) >= 1: the model violates A_max < c and has no interior "
+            "DPO equilibrium"
+        )
+    iterations = 0
+    while high - low > tolerance and iterations < max_iterations:
+        mid = 0.5 * (low + high)
+        if dpo_value(population, model, mid) > mid:
+            low = mid
+        else:
+            high = mid
+        iterations += 1
+    gamma = 0.5 * (low + high)
+    probabilities = optimal_offload_probabilities(population, model(gamma))
+    cost = dpo_population_cost(population, probabilities, model(gamma))
+    return DpoEquilibrium(
+        utilization=gamma,
+        probabilities=probabilities,
+        average_cost=cost,
+        residual=abs(dpo_value(population, model, gamma) - gamma),
+        iterations=iterations,
+        converged=(high - low) <= tolerance,
+    )

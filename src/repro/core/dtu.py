@@ -1,0 +1,227 @@
+"""Algorithm 1: the Distributed Threshold Update (DTU) algorithm.
+
+Each iteration ``t``:
+
+1. the edge updates the **estimated** utilisation (Eq. 4)::
+
+       γ̂_t ← min{1, γ̂_{t−1} + η_{t−1} · sign(γ_t − γ̂_{t−1})}
+
+   and broadcasts it — the estimate moves a full step toward the *actual*
+   utilisation, which gives the bisection behaviour Theorem 2 exploits;
+2. every user plays its Lemma-1 best response to ``γ̂_t`` (Eq. 5) — in the
+   asynchronous variant each user only updates with probability
+   ``update_probability`` (Section IV-B uses 0.8);
+3. if the estimate oscillated (``γ̂_t = γ̂_{t−2}``) the step size shrinks to
+   ``η_0 / L`` with an incremented counter ``L``;
+4. the actual utilisation ``γ_{t+1}`` induced by the new thresholds is
+   measured (Eq. 6).
+
+The loop stops when ``|γ̂_{t−1} − γ̂_{t−2}| ≤ ε``. Theorem 2 proves
+convergence to the MFNE ``γ*`` when the utilisation oracle is the analytic
+``J1``; the oracle is pluggable so the *practical settings* experiments can
+drive the same algorithm with a discrete-event-simulated edge instead
+(non-exponential service times, measurement noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.core.meanfield import MeanFieldMap
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import (
+    check_int_positive,
+    check_positive,
+    check_unit_interval,
+)
+
+#: Tolerance for the oscillation test ``γ̂_t == γ̂_{t−2}`` — exact equality
+#: is the paper's condition; floating point needs a hair of slack.
+_OSCILLATION_TOL = 1e-12
+
+
+class UtilizationOracle(Protocol):
+    """Anything that can report the edge utilisation for given thresholds."""
+
+    def measure(self, thresholds: np.ndarray) -> float:
+        """Return the actual utilisation ``γ`` induced by ``thresholds``."""
+
+
+class AnalyticUtilizationOracle:
+    """The closed-form ``J1`` of Eq. (6) — exact under exponential service."""
+
+    def __init__(self, mean_field: MeanFieldMap):
+        self.mean_field = mean_field
+
+    def measure(self, thresholds: np.ndarray) -> float:
+        return self.mean_field.utilization(thresholds)
+
+
+@dataclass(frozen=True)
+class DtuConfig:
+    """Hyperparameters of Algorithm 1.
+
+    The paper does not publish η₀ and ε; the defaults here converge in
+    ≈20 iterations on the Section-IV settings, matching Figs. 5 and 7.
+    """
+
+    initial_step: float = 0.1          # η0 ∈ (0, 1]
+    tolerance: float = 1e-2            # ε ∈ (0, 1)
+    max_iterations: int = 500
+    update_probability: float = 1.0    # < 1 → asynchronous updates (IV-B)
+    seed: SeedLike = None              # drives the asynchronous coin flips
+    record_thresholds: bool = False    # keep per-iteration threshold snapshots
+
+    def __post_init__(self) -> None:
+        check_unit_interval("initial_step", self.initial_step, open_left=True)
+        check_unit_interval("tolerance", self.tolerance,
+                            open_left=True, open_right=True)
+        check_int_positive("max_iterations", self.max_iterations)
+        check_unit_interval("update_probability", self.update_probability,
+                            open_left=True)
+        check_positive("initial_step", self.initial_step)
+
+
+@dataclass
+class DtuTrace:
+    """Per-iteration history (the series plotted in Figs. 4, 5 and 7)."""
+
+    estimated_utilization: List[float] = field(default_factory=list)  # γ̂_t
+    actual_utilization: List[float] = field(default_factory=list)     # γ_t
+    step_sizes: List[float] = field(default_factory=list)             # η_t
+    average_costs: List[float] = field(default_factory=list)
+    thresholds: List[np.ndarray] = field(default_factory=list)
+
+    def as_arrays(self) -> dict:
+        return {
+            "estimated_utilization": np.asarray(self.estimated_utilization),
+            "actual_utilization": np.asarray(self.actual_utilization),
+            "step_sizes": np.asarray(self.step_sizes),
+            "average_costs": np.asarray(self.average_costs),
+        }
+
+
+@dataclass(frozen=True)
+class DtuResult:
+    """Final state of a DTU run."""
+
+    estimated_utilization: float       # final γ̂
+    actual_utilization: float          # final γ
+    thresholds: np.ndarray             # final per-user thresholds
+    iterations: int
+    converged: bool
+    trace: DtuTrace
+
+    @property
+    def average_cost(self) -> float:
+        """Population-mean cost at the final iterate."""
+        return self.trace.average_costs[-1]
+
+
+def run_dtu(
+    mean_field: MeanFieldMap,
+    config: Optional[DtuConfig] = None,
+    oracle: Optional[UtilizationOracle] = None,
+    initial_estimate: float = 0.0,
+) -> DtuResult:
+    """Run Algorithm 1 on ``mean_field``.
+
+    Parameters
+    ----------
+    mean_field:
+        Provides the users' best responses to the broadcast estimate and
+        the population cost bookkeeping.
+    config:
+        Hyperparameters; defaults follow :class:`DtuConfig`.
+    oracle:
+        Where the *actual* utilisation ``γ_t`` comes from. Defaults to the
+        analytic ``J1``; pass a simulation-backed oracle for the paper's
+        practical-settings experiments.
+    initial_estimate:
+        ``γ̂_0`` (paper uses 0; other starts exercise the γ̂ > γ* branch of
+        Theorem 2, cf. Fig. 4b).
+    """
+    config = config or DtuConfig()
+    oracle = oracle or AnalyticUtilizationOracle(mean_field)
+    check_unit_interval("initial_estimate", initial_estimate)
+    rng = as_generator(config.seed)
+    asynchronous = config.update_probability < 1.0
+
+    trace = DtuTrace()
+    # γ̂_{-1} = 1, γ̂_0 = initial_estimate (Algorithm 1, line 1).
+    estimate_prev2 = 1.0
+    estimate_prev = float(initial_estimate)
+    step = config.initial_step
+    counter = 1
+
+    # Users start from the best response to the initial broadcast estimate;
+    # the oracle then supplies γ_1.
+    thresholds = mean_field.best_response(estimate_prev).astype(float)
+    actual = oracle.measure(thresholds)
+    _record(trace, mean_field, estimate_prev, actual, step, thresholds, config)
+
+    iterations = 0
+    converged = False
+    for t in range(1, config.max_iterations + 1):
+        if abs(estimate_prev - estimate_prev2) <= config.tolerance:
+            converged = True
+            break
+        iterations = t
+
+        # --- Eq. (4): move the estimate one step toward the actual γ_t.
+        diff = actual - estimate_prev
+        if abs(diff) <= _OSCILLATION_TOL:
+            estimate = estimate_prev
+        else:
+            direction = 1.0 if diff > 0 else -1.0
+            estimate = min(1.0, max(0.0, estimate_prev + step * direction))
+
+        # --- Eq. (5): users best-respond to the broadcast estimate.
+        response = mean_field.best_response(estimate).astype(float)
+        if asynchronous:
+            updating = rng.random(thresholds.size) < config.update_probability
+            thresholds = np.where(updating, response, thresholds)
+        else:
+            thresholds = response
+
+        # --- Step-size rule (lines 9–14): shrink on oscillation.
+        if t >= 2 and abs(estimate - estimate_prev2) <= _OSCILLATION_TOL:
+            counter += 1
+            step = config.initial_step / counter
+
+        # --- Eq. (6): measure the actual utilisation of the new thresholds.
+        actual = oracle.measure(thresholds)
+
+        estimate_prev2, estimate_prev = estimate_prev, estimate
+        _record(trace, mean_field, estimate, actual, step, thresholds, config)
+
+    return DtuResult(
+        estimated_utilization=estimate_prev,
+        actual_utilization=actual,
+        thresholds=thresholds,
+        iterations=iterations,
+        converged=converged,
+        trace=trace,
+    )
+
+
+def _record(
+    trace: DtuTrace,
+    mean_field: MeanFieldMap,
+    estimate: float,
+    actual: float,
+    step: float,
+    thresholds: np.ndarray,
+    config: DtuConfig,
+) -> None:
+    trace.estimated_utilization.append(estimate)
+    trace.actual_utilization.append(actual)
+    trace.step_sizes.append(step)
+    trace.average_costs.append(
+        mean_field.average_cost(min(actual, 1.0), thresholds)
+    )
+    if config.record_thresholds:
+        trace.thresholds.append(thresholds.copy())

@@ -1,0 +1,94 @@
+"""Edge-server delay models ``g(γ)``.
+
+The system model only requires ``g : [0,1] → [0, G_max]`` increasing and
+continuous. The paper's simulations use ``g(γ) = 1/(1.1 − γ)``
+(:class:`ReciprocalDelay` with its defaults); the alternatives here are
+ablation targets showing the MFNE/DTU machinery is model-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+class EdgeDelayModel(ABC):
+    """An increasing continuous map from utilisation to edge delay."""
+
+    @abstractmethod
+    def __call__(self, utilization: float) -> float:
+        """Delay experienced at the edge when the utilisation is ``γ``."""
+
+    @property
+    @abstractmethod
+    def max_delay(self) -> float:
+        """``G_max = g(1)`` — the model's delay bound."""
+
+
+class ReciprocalDelay(EdgeDelayModel):
+    """``g(γ) = scale / (headroom − γ)`` — the paper's choice (1/(1.1 − γ)).
+
+    ``headroom`` must exceed 1 so the delay stays bounded on [0, 1].
+    """
+
+    def __init__(self, headroom: float = 1.1, scale: float = 1.0):
+        self.headroom = check_positive("headroom", headroom)
+        if headroom <= 1.0:
+            raise ValueError(f"headroom must be > 1 for a bounded delay, got {headroom}")
+        self.scale = check_positive("scale", scale)
+
+    def __call__(self, utilization: float) -> float:
+        gamma = check_probability("utilization", utilization)
+        return self.scale / (self.headroom - gamma)
+
+    @property
+    def max_delay(self) -> float:
+        return self.scale / (self.headroom - 1.0)
+
+    def __repr__(self) -> str:
+        return f"ReciprocalDelay(headroom={self.headroom:g}, scale={self.scale:g})"
+
+
+class LinearDelay(EdgeDelayModel):
+    """``g(γ) = base + slope · γ`` — the simplest admissible model."""
+
+    def __init__(self, base: float = 0.0, slope: float = 1.0):
+        self.base = check_non_negative("base", base)
+        self.slope = check_non_negative("slope", slope)
+
+    def __call__(self, utilization: float) -> float:
+        gamma = check_probability("utilization", utilization)
+        return self.base + self.slope * gamma
+
+    @property
+    def max_delay(self) -> float:
+        return self.base + self.slope
+
+    def __repr__(self) -> str:
+        return f"LinearDelay(base={self.base:g}, slope={self.slope:g})"
+
+
+class PowerDelay(EdgeDelayModel):
+    """``g(γ) = base + gain · γ^p`` — convex (p > 1) congestion ramp."""
+
+    def __init__(self, base: float = 0.1, gain: float = 5.0, exponent: float = 2.0):
+        self.base = check_non_negative("base", base)
+        self.gain = check_positive("gain", gain)
+        self.exponent = check_positive("exponent", exponent)
+
+    def __call__(self, utilization: float) -> float:
+        gamma = check_probability("utilization", utilization)
+        return self.base + self.gain * gamma**self.exponent
+
+    @property
+    def max_delay(self) -> float:
+        return self.base + self.gain
+
+    def __repr__(self) -> str:
+        return (f"PowerDelay(base={self.base:g}, gain={self.gain:g}, "
+                f"exponent={self.exponent:g})")
+
+
+#: The configuration used throughout Section IV of the paper.
+PAPER_DELAY_MODEL = ReciprocalDelay(headroom=1.1, scale=1.0)

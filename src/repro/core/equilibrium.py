@@ -1,0 +1,150 @@
+"""Theorem 1: the Mean-Field Nash Equilibrium and its fixed-point solver.
+
+Theorem 1 shows ``V(γ)`` is continuous and non-increasing, so
+``h(γ) = V(γ) − γ`` is continuous and strictly decreasing; together with
+``h(0) = V(0) ≥ 0`` and ``h(1) = V(1) − 1 < 0`` (which follows from
+``A_max < c``), the fixed point ``γ* = V(γ*)`` exists and is unique.
+Bisection on ``h`` is therefore guaranteed to converge — that is the
+default solver. A damped fixed-point iteration is provided as a secondary
+method (an ablation target: plain iteration of a non-increasing map can
+two-cycle, which is exactly why the paper's DTU algorithm needs its
+estimated-utilisation trick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.meanfield import MeanFieldMap
+from repro.utils.validation import check_int_positive, check_positive
+
+
+@dataclass(frozen=True)
+class MfneResult:
+    """The solved equilibrium and solver diagnostics."""
+
+    utilization: float            # γ*
+    value: float                  # V(γ*) — equals γ* up to `residual`
+    residual: float               # |V(γ*) − γ*|
+    iterations: int
+    converged: bool
+    method: str
+    history: tuple                # visited γ values
+
+    @property
+    def gamma_star(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.utilization
+
+
+def solve_mfne(
+    mean_field: MeanFieldMap,
+    tolerance: float = 1e-10,
+    max_iterations: int = 200,
+    method: str = "bisection",
+    damping: float = 0.5,
+) -> MfneResult:
+    """Solve ``V(γ) = γ`` for the unique MFNE of Theorem 1.
+
+    Parameters
+    ----------
+    mean_field:
+        The population's best-response map.
+    tolerance:
+        Convergence tolerance on the bracket width / fixed-point residual.
+    method:
+        ``"bisection"`` (guaranteed, default) or ``"damped"`` (fixed-point
+        iteration ``γ ← (1−d)γ + d·V(γ)``, for ablations).
+    """
+    check_positive("tolerance", tolerance)
+    check_int_positive("max_iterations", max_iterations)
+    if method == "bisection":
+        return _solve_bisection(mean_field, tolerance, max_iterations)
+    if method == "damped":
+        return _solve_damped(mean_field, tolerance, max_iterations, damping)
+    raise ValueError(f"unknown method {method!r}; use 'bisection' or 'damped'")
+
+
+def _solve_bisection(
+    mean_field: MeanFieldMap, tolerance: float, max_iterations: int
+) -> MfneResult:
+    history: List[float] = []
+    v0 = mean_field.value(0.0)
+    history.append(0.0)
+    if v0 <= tolerance:
+        # Nobody offloads even at an idle edge; the equilibrium is γ* = v0
+        # (0 up to tolerance). The paper's setting has γ* ∈ (0, 1) because
+        # some users always offload, but the solver handles the corner.
+        return MfneResult(
+            utilization=v0, value=mean_field.value(v0),
+            residual=abs(mean_field.value(v0) - v0), iterations=1,
+            converged=True, method="bisection", history=tuple(history),
+        )
+    low, high = 0.0, 1.0
+    v_high = mean_field.value(1.0)
+    if v_high >= 1.0:
+        raise ArithmeticError(
+            "V(1) >= 1: the model violates A_max < c and has no interior MFNE"
+        )
+    iterations = 0
+    while high - low > tolerance and iterations < max_iterations:
+        mid = 0.5 * (low + high)
+        history.append(mid)
+        if mean_field.value(mid) > mid:
+            low = mid
+        else:
+            high = mid
+        iterations += 1
+    gamma = 0.5 * (low + high)
+    value = mean_field.value(gamma)
+    return MfneResult(
+        utilization=gamma,
+        value=value,
+        residual=abs(value - gamma),
+        iterations=iterations,
+        converged=(high - low) <= tolerance,
+        method="bisection",
+        history=tuple(history),
+    )
+
+
+def _solve_damped(
+    mean_field: MeanFieldMap,
+    tolerance: float,
+    max_iterations: int,
+    damping: float,
+) -> MfneResult:
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    gamma = 0.0
+    history: List[float] = [gamma]
+    converged = False
+    iterations = 0
+    value = mean_field.value(gamma)
+    for iterations in range(1, max_iterations + 1):
+        value = mean_field.value(gamma)
+        new_gamma = (1.0 - damping) * gamma + damping * value
+        history.append(new_gamma)
+        if abs(new_gamma - gamma) <= tolerance:
+            gamma = new_gamma
+            converged = True
+            break
+        gamma = new_gamma
+    value = mean_field.value(gamma)
+    return MfneResult(
+        utilization=gamma,
+        value=value,
+        residual=abs(value - gamma),
+        iterations=iterations,
+        converged=converged,
+        method="damped",
+        history=tuple(history),
+    )
+
+
+def verify_equilibrium(
+    mean_field: MeanFieldMap, gamma: float, tolerance: float = 1e-6
+) -> bool:
+    """Check the MFNE condition γ = J1(J2(γ)) (Eq. 2) at ``gamma``."""
+    return abs(mean_field.value(gamma) - gamma) <= tolerance

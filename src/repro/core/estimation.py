@@ -1,0 +1,159 @@
+"""Online estimation of each device's own rates.
+
+The DTU best response needs each user's mean arrival rate ``a`` and mean
+service rate ``s`` — quantities a real device does not know a priori but
+must *estimate from its own traffic*. This module provides the estimators
+and an estimation-aware best-response wrapper, completing the practical
+story: with them, the only global signal a device consumes is the
+broadcast γ̂, exactly as Algorithm 1 intends.
+
+:class:`RateEstimator` is a count/exposure estimator with optional
+exponential forgetting (for drifting workloads): after observing ``n``
+events over exposure ``T`` its estimate is ``n/T``, and with a forgetting
+factor ``β < 1`` both the numerator and denominator decay per window, so
+old traffic fades at rate ``β``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.best_response import optimal_threshold_from_surcharge
+from repro.population.sampler import Population
+from repro.simulation.device import DeviceStats
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class RateEstimator:
+    """Estimate a rate from event counts over exposure time.
+
+    ``update(events, exposure)`` folds in one observation window;
+    ``rate`` is the current estimate. ``forgetting < 1`` discounts old
+    windows geometrically (sliding-window flavour without storing them).
+    """
+
+    def __init__(self, forgetting: float = 1.0,
+                 prior_rate: Optional[float] = None,
+                 prior_weight: float = 1e-3):
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting must be in (0, 1], got {forgetting}")
+        self.forgetting = forgetting
+        self._events = 0.0
+        self._exposure = 0.0
+        if prior_rate is not None:
+            check_positive("prior_rate", prior_rate)
+            check_positive("prior_weight", prior_weight)
+            self._events = prior_rate * prior_weight
+            self._exposure = prior_weight
+
+    def update(self, events: float, exposure: float) -> None:
+        check_non_negative("events", events)
+        check_positive("exposure", exposure)
+        self._events = self.forgetting * self._events + events
+        self._exposure = self.forgetting * self._exposure + exposure
+
+    @property
+    def observed_exposure(self) -> float:
+        return self._exposure
+
+    @property
+    def rate(self) -> float:
+        if self._exposure <= 0.0:
+            raise ValueError("no observations yet")
+        return self._events / self._exposure
+
+    def __repr__(self) -> str:
+        if self._exposure <= 0:
+            return "RateEstimator(no data)"
+        return (f"RateEstimator(rate={self.rate:.4g}, "
+                f"exposure={self._exposure:.4g})")
+
+
+@dataclass
+class DeviceRateEstimates:
+    """Arrival- and service-rate estimators for one device."""
+
+    arrival: RateEstimator
+    service: RateEstimator
+
+    def update_from_stats(self, stats: DeviceStats) -> None:
+        """Fold in one observation window of DES measurements.
+
+        Arrivals per observation time estimate ``a``; completions per busy
+        time estimate ``s`` (services only run while the server is busy).
+        """
+        self.arrival.update(stats.arrivals, stats.observation_time)
+        busy_time = stats.busy_fraction * stats.observation_time
+        if stats.completed > 0 and busy_time > 0:
+            self.service.update(stats.completed, busy_time)
+
+
+class EstimatedBestResponder:
+    """Best responses computed from *estimated* rates.
+
+    Holds one :class:`DeviceRateEstimates` per user; ``observe`` folds in
+    a round of per-device measurements, ``best_response(γ̂)`` runs Lemma 1
+    with the current estimates. Until a device has accumulated
+    ``min_exposure`` of observation it falls back to its prior (the true
+    rates are *never* consulted after construction).
+    """
+
+    def __init__(self, population: Population,
+                 prior_arrival: float = 1.0,
+                 prior_service: float = 1.0,
+                 forgetting: float = 1.0,
+                 min_exposure: float = 1.0):
+        self.population = population
+        check_positive("min_exposure", min_exposure)
+        self.min_exposure = min_exposure
+        self.estimates = [
+            DeviceRateEstimates(
+                arrival=RateEstimator(forgetting, prior_rate=prior_arrival),
+                service=RateEstimator(forgetting, prior_rate=prior_service),
+            )
+            for _ in range(population.size)
+        ]
+
+    def observe(self, stats_list) -> None:
+        """Fold in one round of per-device :class:`DeviceStats`."""
+        if len(stats_list) != self.population.size:
+            raise ValueError(
+                f"need {self.population.size} device stats, got {len(stats_list)}"
+            )
+        for estimate, stats in zip(self.estimates, stats_list):
+            estimate.update_from_stats(stats)
+
+    def estimated_rates(self) -> tuple:
+        """Current (arrival, service) rate vectors."""
+        arrivals = np.array([e.arrival.rate for e in self.estimates])
+        services = np.array([e.service.rate for e in self.estimates])
+        return arrivals, services
+
+    def best_response(self, estimated_utilization: float,
+                      edge_delay: float) -> np.ndarray:
+        """Lemma 1 thresholds from the estimated rates at ``g(γ̂)``."""
+        pop = self.population
+        arrivals, services = self.estimated_rates()
+        thresholds = np.zeros(pop.size)
+        for i in range(pop.size):
+            surcharge = (edge_delay + pop.offload_latencies[i]
+                         + pop.weights[i] * (pop.energy_offload[i]
+                                             - pop.energy_local[i]))
+            a_hat = max(arrivals[i], 1e-9)
+            s_hat = max(services[i], 1e-9)
+            thresholds[i] = optimal_threshold_from_surcharge(
+                a_hat, a_hat / s_hat, float(surcharge)
+            )
+        return thresholds
+
+    def estimation_errors(self) -> tuple:
+        """Relative errors of the current estimates vs the true rates."""
+        arrivals, services = self.estimated_rates()
+        a_err = np.abs(arrivals - self.population.arrival_rates) / \
+            self.population.arrival_rates
+        s_err = np.abs(services - self.population.service_rates) / \
+            self.population.service_rates
+        return a_err, s_err

@@ -1,0 +1,182 @@
+"""Finite-N best-response dynamics and ε-Nash analysis.
+
+The paper works in the large-system limit, where a single user's threshold
+change has no effect on the utilisation γ. In a *finite* system it does:
+user ``i`` contributes ``a_i α_i / (N c)`` to γ, so the mean-field
+equilibrium is only an ε-Nash equilibrium of the finite game. This module
+quantifies both halves of that statement:
+
+* :func:`best_response_dynamics` — sequential best responses in the finite
+  game (each user re-optimises against the utilisation the *others*
+  induce) until no user moves — a pure-strategy Nash equilibrium of the
+  finite game when it terminates;
+* :func:`mean_field_regret` — the maximum any user could gain by
+  unilaterally deviating from the mean-field thresholds, *accounting for
+  the shift in γ its own deviation causes*. The mean-field approximation
+  claim is exactly that this regret vanishes as N → ∞.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.best_response import optimal_threshold_from_surcharge
+from repro.core.cost import user_cost
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.core.tro import offload_probability
+from repro.population.sampler import Population
+from repro.utils.validation import check_int_positive
+
+
+@dataclass(frozen=True)
+class FiniteEquilibrium:
+    """Result of sequential best-response dynamics in the finite game."""
+
+    thresholds: np.ndarray
+    utilization: float            # γ_N at the final profile
+    rounds: int                   # full passes over the population
+    moves: int                    # total threshold changes
+    converged: bool               # no user moved in the last pass
+
+
+def _utilization(population: Population, alpha: np.ndarray) -> float:
+    return float((population.arrival_rates * alpha).mean()
+                 / population.capacity)
+
+
+def best_response_dynamics(
+    population: Population,
+    delay_model: Optional[EdgeDelayModel] = None,
+    initial_thresholds: Optional[np.ndarray] = None,
+    max_rounds: int = 100,
+) -> FiniteEquilibrium:
+    """Sequential (round-robin) best responses in the finite game.
+
+    In each pass every user, in turn, recomputes its optimal threshold
+    against the utilisation induced by the *other* users' current
+    thresholds plus its own prospective choice — i.e. it best-responds in
+    the true finite game, not the mean-field one. Terminates when a full
+    pass produces no change.
+
+    Termination is not guaranteed in general finite games, but the
+    negative externality structure here makes cycles rare; ``max_rounds``
+    bounds the worst case (``converged=False`` if hit).
+    """
+    model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+    check_int_positive("max_rounds", max_rounds)
+    n = population.size
+    if initial_thresholds is None:
+        thresholds = np.zeros(n)
+    else:
+        thresholds = np.asarray(initial_thresholds, dtype=float).copy()
+        if thresholds.shape != (n,):
+            raise ValueError(f"need {n} initial thresholds")
+
+    theta = population.intensities
+    alpha = offload_probability(thresholds, theta)
+    load = population.arrival_rates * alpha          # per-user offered load
+    total_capacity = n * population.capacity
+
+    moves = 0
+    rounds = 0
+    converged = False
+    for rounds in range(1, max_rounds + 1):
+        changed = False
+        for i in range(n):
+            others_load = load.sum() - load[i]
+            # The user evaluates the edge delay it would actually face.
+            # Its own contribution depends on its choice; we use the
+            # fixed-point-free approximation "others + current self",
+            # matching how a device would measure γ before deviating.
+            gamma_seen = min(1.0, (others_load + load[i]) / total_capacity)
+            surcharge = (model(gamma_seen) + population.offload_latencies[i]
+                         + population.weights[i]
+                         * (population.energy_offload[i]
+                            - population.energy_local[i]))
+            best = float(optimal_threshold_from_surcharge(
+                float(population.arrival_rates[i]), float(theta[i]),
+                float(surcharge),
+            ))
+            if best != thresholds[i]:
+                thresholds[i] = best
+                new_alpha = offload_probability(best, float(theta[i]))
+                load[i] = population.arrival_rates[i] * new_alpha
+                changed = True
+                moves += 1
+        if not changed:
+            converged = True
+            break
+
+    alpha = offload_probability(thresholds, theta)
+    return FiniteEquilibrium(
+        thresholds=thresholds,
+        utilization=_utilization(population, alpha),
+        rounds=rounds,
+        moves=moves,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
+class RegretReport:
+    """How ε-Nash the mean-field thresholds are in the finite game."""
+
+    max_regret: float             # largest unilateral improvement available
+    mean_regret: float
+    deviating_fraction: float     # share of users with any positive regret
+    utilization: float            # γ_N under the mean-field thresholds
+
+
+def mean_field_regret(
+    population: Population,
+    thresholds: np.ndarray,
+    delay_model: Optional[EdgeDelayModel] = None,
+    candidate_range: int = 5,
+) -> RegretReport:
+    """Per-user regret of playing ``thresholds`` in the finite game.
+
+    For each user, every integer deviation within ``candidate_range`` of
+    its current threshold (plus 0) is evaluated **with the utilisation
+    shift its own deviation causes**; the regret is the best improvement
+    found. This is the quantity that must vanish as N → ∞ for the MFNE to
+    be asymptotically Nash.
+    """
+    model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+    x = np.asarray(thresholds, dtype=float)
+    n = population.size
+    if x.shape != (n,):
+        raise ValueError(f"need {n} thresholds")
+    theta = population.intensities
+    alpha = offload_probability(x, theta)
+    load = population.arrival_rates * alpha
+    total_capacity = n * population.capacity
+    gamma = min(1.0, float(load.sum()) / total_capacity)
+
+    regrets = np.zeros(n)
+    for i in range(n):
+        profile = population.profile(i)
+        current_cost = user_cost(profile, float(x[i]), model(gamma))
+        others_load = float(load.sum() - load[i])
+        lo = max(0, int(x[i]) - candidate_range)
+        hi = int(x[i]) + candidate_range
+        best_gain = 0.0
+        for candidate in range(lo, hi + 1):
+            if candidate == x[i]:
+                continue
+            cand_alpha = offload_probability(float(candidate), float(theta[i]))
+            cand_load = population.arrival_rates[i] * cand_alpha
+            cand_gamma = min(1.0, (others_load + cand_load) / total_capacity)
+            cand_cost = user_cost(profile, float(candidate),
+                                  model(cand_gamma))
+            best_gain = max(best_gain, current_cost - cand_cost)
+        regrets[i] = best_gain
+
+    return RegretReport(
+        max_regret=float(regrets.max()),
+        mean_regret=float(regrets.mean()),
+        deviating_fraction=float((regrets > 1e-12).mean()),
+        utilization=gamma,
+    )

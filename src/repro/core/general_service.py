@@ -1,0 +1,189 @@
+"""Distribution-aware best responses for non-exponential service times.
+
+Lemma 1 is exact when local processing is exponential; the paper's
+practical settings run the same *model-based* best response on devices
+whose true service times are YOLO-shaped, and show empirically that DTU
+still converges. This module closes the loop analytically: it computes the
+**true** optimal TRO threshold for an arbitrary service-time law by
+evaluating the cost with the exact M/G/1 embedded-chain solver
+(:func:`repro.queueing.mg1.mg1k_threshold_metrics`) instead of Eq. (7)/(8).
+
+That enables two things:
+
+* a *distribution-aware* mean-field map and equilibrium — the fixed point
+  users would reach if they knew their service distribution, not just its
+  mean;
+* a quantified **model-mismatch penalty**: how much average cost the
+  exponential assumption leaves on the table under the measured workload
+  (see :mod:`repro.experiments.model_mismatch` — empirically small, which
+  is the analytic backbone of the paper's robustness story).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.population.sampler import Population
+from repro.queueing.mg1 import MG1Metrics, mg1k_threshold_metrics
+from repro.utils.validation import check_int_positive, check_non_negative
+
+#: Stop the integer-threshold search after the cost has risen this many
+#: consecutive steps past the incumbent (the cost is unimodal for every
+#: service law we have encountered; the patience guards rare plateaus).
+_SEARCH_PATIENCE = 3
+
+#: Hard cap on the threshold search.
+_MAX_THRESHOLD = 500
+
+
+def general_service_cost(
+    metrics: MG1Metrics,
+    arrival_rate: float,
+    surcharge_energy_local: float,
+    offload_price: float,
+) -> float:
+    """Eq. (1) evaluated from exact M/G/1 metrics.
+
+    ``surcharge_energy_local`` is ``w·p_L``; ``offload_price`` is
+    ``w·p_E + g(γ) + τ``.
+    """
+    alpha = metrics.offload_probability
+    return (surcharge_energy_local * (1.0 - alpha)
+            + metrics.mean_queue_length / arrival_rate
+            + offload_price * alpha)
+
+
+def optimal_threshold_general(
+    arrival_rate: float,
+    service_samples: Sequence[float],
+    local_energy_cost: float,
+    offload_price: float,
+    max_threshold: int = _MAX_THRESHOLD,
+) -> int:
+    """True optimal integer TRO threshold under a general service law.
+
+    Evaluates the exact cost at m = 0, 1, 2, … via the embedded-chain
+    solver and returns the argmin (stopping once the cost has increased
+    ``_SEARCH_PATIENCE`` times in a row past the incumbent).
+    """
+    check_non_negative("local_energy_cost", local_energy_cost)
+    check_int_positive("max_threshold", max_threshold)
+    samples = np.asarray(service_samples, dtype=float)
+
+    best_m = 0
+    best_cost = float("inf")
+    worse_streak = 0
+    for m in range(max_threshold + 1):
+        metrics = mg1k_threshold_metrics(arrival_rate, samples, float(m))
+        cost = general_service_cost(metrics, arrival_rate,
+                                    local_energy_cost, offload_price)
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_m = m
+            worse_streak = 0
+        else:
+            worse_streak += 1
+            if worse_streak >= _SEARCH_PATIENCE:
+                break
+    else:
+        raise ArithmeticError(
+            f"threshold search did not settle within {max_threshold}"
+        )
+    return best_m
+
+
+class GeneralServiceMeanFieldMap:
+    """The mean-field map when users know their service distribution.
+
+    Every user's service-time law is the (normalised) ``base_samples``
+    rescaled to its own mean ``1/s_n`` — matching
+    :class:`~repro.simulation.measurement.EmpiricalService` — and its best
+    response is the exact M/G/1 threshold. The interface mirrors
+    :class:`~repro.core.meanfield.MeanFieldMap` closely enough for the
+    equilibrium solver and DTU to run unchanged.
+
+    Cost: one embedded-chain solve per (user, candidate threshold), so this
+    map suits populations of hundreds, not the 10⁴ of the closed-form path.
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        base_samples: Sequence[float],
+        delay_model: Optional[EdgeDelayModel] = None,
+    ):
+        self.population = population
+        samples = np.asarray(base_samples, dtype=float)
+        if samples.ndim != 1 or samples.size == 0 or np.any(samples <= 0):
+            raise ValueError("base_samples must be a 1-D array of positive times")
+        self._normalized = samples / samples.mean()
+        self.delay_model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+        self._metrics_cache: dict = {}
+
+    def edge_delay(self, utilization: float) -> float:
+        return self.delay_model(utilization)
+
+    def _user_samples(self, index: int) -> np.ndarray:
+        return self._normalized / float(self.population.service_rates[index])
+
+    def _metrics(self, index: int, threshold: float) -> MG1Metrics:
+        key = (index, threshold)
+        if key not in self._metrics_cache:
+            self._metrics_cache[key] = mg1k_threshold_metrics(
+                float(self.population.arrival_rates[index]),
+                self._user_samples(index),
+                threshold,
+            )
+        return self._metrics_cache[key]
+
+    def best_response(self, utilization: float) -> np.ndarray:
+        """Exact per-user optimal thresholds at utilisation ``γ``."""
+        edge_delay = self.edge_delay(utilization)
+        pop = self.population
+        thresholds = np.zeros(pop.size, dtype=np.int64)
+        for i in range(pop.size):
+            offload_price = (pop.weights[i] * pop.energy_offload[i]
+                             + edge_delay + pop.offload_latencies[i])
+            thresholds[i] = optimal_threshold_general(
+                float(pop.arrival_rates[i]),
+                self._user_samples(i),
+                float(pop.weights[i] * pop.energy_local[i]),
+                float(offload_price),
+            )
+        return thresholds
+
+    def utilization(self, thresholds: np.ndarray) -> float:
+        """``J1`` with exact M/G/1 offload probabilities."""
+        pop = self.population
+        x = np.broadcast_to(np.asarray(thresholds, dtype=float), (pop.size,))
+        total = 0.0
+        for i in range(pop.size):
+            metrics = self._metrics(i, float(x[i]))
+            total += pop.arrival_rates[i] * metrics.offload_probability
+        return float(total / (pop.size * pop.capacity))
+
+    def value(self, utilization: float) -> float:
+        return self.utilization(self.best_response(utilization))
+
+    def average_cost(self, utilization: float,
+                     thresholds: Optional[np.ndarray] = None) -> float:
+        """Population-mean cost with exact M/G/1 metrics."""
+        if thresholds is None:
+            thresholds = self.best_response(utilization)
+        pop = self.population
+        edge_delay = self.edge_delay(utilization)
+        x = np.broadcast_to(np.asarray(thresholds, dtype=float), (pop.size,))
+        costs = np.empty(pop.size)
+        for i in range(pop.size):
+            metrics = self._metrics(i, float(x[i]))
+            offload_price = (pop.weights[i] * pop.energy_offload[i]
+                             + edge_delay + pop.offload_latencies[i])
+            costs[i] = general_service_cost(
+                metrics, float(pop.arrival_rates[i]),
+                float(pop.weights[i] * pop.energy_local[i]),
+                float(offload_price),
+            )
+        return float(costs.mean())

@@ -1,0 +1,98 @@
+"""The mean-field best-response map ``V(γ)`` (paper Eq. 9).
+
+The paper analyses two coupled mappings:
+
+* ``J1 : (x_n) → γ`` — given everyone's thresholds, the induced edge
+  utilisation is ``γ = Σ_n a_n α_n(x_n) / (N c)``;
+* ``J2 : γ → (x_n)`` — given the utilisation, every user plays its Lemma-1
+  best response.
+
+Their composition restricted to a sampled population,
+
+    V(γ) = (1 / N c) Σ_n a_n α(x*_n(γ)),
+
+is the empirical version of Eq. (9); by the strong law of large numbers it
+converges to the expectation form as ``N → ∞``. :class:`MeanFieldMap`
+packages a population together with an edge-delay model and exposes
+``J1``, ``J2``, ``V`` and the induced population cost; the MFNE solver and
+the DTU algorithm both operate on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.best_response import best_response_thresholds
+from repro.core.cost import population_average_cost, population_costs
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.core.tro import queue_and_offload
+from repro.population.sampler import Population
+from repro.utils.validation import check_probability
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class MeanFieldMap:
+    """``V(γ)`` and its two constituent mappings over a sampled population."""
+
+    def __init__(
+        self,
+        population: Population,
+        delay_model: Optional[EdgeDelayModel] = None,
+    ):
+        self.population = population
+        self.delay_model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+
+    def edge_delay(self, utilization: float) -> float:
+        """Evaluate ``g(γ)``."""
+        return self.delay_model(utilization)
+
+    def best_response(self, utilization: float) -> np.ndarray:
+        """``J2``: every user's Lemma-1 optimal threshold at ``γ``."""
+        gamma = check_probability("utilization", utilization)
+        return best_response_thresholds(self.population, self.edge_delay(gamma))
+
+    def utilization(self, thresholds: ArrayLike) -> float:
+        """``J1``: the edge utilisation induced by ``thresholds`` (Eq. 6)."""
+        pop = self.population
+        x = np.broadcast_to(np.asarray(thresholds, dtype=float), (pop.size,))
+        _, alpha = queue_and_offload(x, pop.intensities)
+        return float((pop.arrival_rates * alpha).mean() / pop.capacity)
+
+    def offload_probabilities(self, thresholds: ArrayLike) -> np.ndarray:
+        """Per-user ``α_n(x_n)`` for given thresholds."""
+        pop = self.population
+        x = np.broadcast_to(np.asarray(thresholds, dtype=float), (pop.size,))
+        _, alpha = queue_and_offload(x, pop.intensities)
+        return alpha
+
+    def value(self, utilization: float) -> float:
+        """The best-response map ``V(γ) = J1(J2(γ))`` (Eq. 9)."""
+        return self.utilization(self.best_response(utilization))
+
+    def average_cost(
+        self, utilization: float, thresholds: Optional[ArrayLike] = None
+    ) -> float:
+        """Population-mean cost (Eq. 1) at utilisation ``γ``.
+
+        With ``thresholds=None`` each user plays its best response to ``γ``
+        (the cost at an equilibrium candidate); otherwise the given
+        thresholds are evaluated as-is.
+        """
+        gamma = check_probability("utilization", utilization)
+        if thresholds is None:
+            thresholds = self.best_response(gamma)
+        return population_average_cost(
+            self.population, thresholds, self.edge_delay(gamma)
+        )
+
+    def user_costs(self, utilization: float, thresholds: ArrayLike) -> np.ndarray:
+        """Per-user costs (Eq. 1) at utilisation ``γ``."""
+        gamma = check_probability("utilization", utilization)
+        return population_costs(self.population, thresholds, self.edge_delay(gamma))
+
+    def __repr__(self) -> str:
+        return (f"MeanFieldMap(n={self.population.size}, "
+                f"c={self.population.capacity:g}, delay={self.delay_model!r})")

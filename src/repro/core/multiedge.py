@@ -1,0 +1,344 @@
+"""Multi-edge extension: several edge sites with distinct delays.
+
+The paper models one edge with capacity ``N·c``. Real deployments have
+several sites (a WiFi MEC rack, a 5G MEC, a regional cloud) with different
+capacities, congestion curves, and per-user network latencies. This module
+extends the mean-field machinery to ``m`` sites:
+
+* each user ``i`` sees a per-site offloading latency ``τ_{ij}``;
+* given the utilisation vector ``γ = (γ_1..γ_m)``, a user's *offload
+  price* at site ``j`` is ``g_j(γ_j) + τ_{ij}``. For a fixed site the
+  optimal threshold is Lemma 1 with that price, and the achieved optimal
+  cost is non-decreasing in the price — so the best site is simply
+  ``argmin_j (g_j(γ_j) + τ_{ij})``, after which Lemma 1 applies unchanged;
+* the equilibrium is a fixed point of the vector best-response map
+  ``V : [0,1]^m → [0,1]^m`` where
+  ``V_j(γ) = Σ_{i → j} a_i α_i / (N c_j)``.
+
+Unlike the scalar case, ``V`` is not monotone (users switch sites), so the
+solver uses damped fixed-point iteration with a residual certificate
+rather than bisection; a DTU-style distributed algorithm with per-site
+estimated utilisations is provided as well and converges in the same ~20
+iterations as the paper's single-site version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.best_response import best_response_thresholds
+from repro.core.edge_delay import EdgeDelayModel
+from repro.core.tro import queue_and_offload
+from repro.population.distributions import Distribution
+from repro.population.sampler import Population
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_int_positive, check_positive
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """One edge location: its share of capacity and its congestion curve."""
+
+    name: str
+    capacity_per_user: float          # c_j  (γ_j = load_j / (N c_j))
+    delay_model: EdgeDelayModel
+    latency: Distribution             # per-user mean offload latency to here
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_per_user", self.capacity_per_user)
+
+
+class MultiEdgeSystem:
+    """A population facing several edge sites.
+
+    Per-user per-site latencies are drawn once at construction (they model
+    geography, which does not change between DTU iterations).
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        sites: Sequence[EdgeSite],
+        rng: SeedLike = None,
+    ):
+        if not sites:
+            raise ValueError("need at least one edge site")
+        self.population = population
+        self.sites = list(sites)
+        gen = as_generator(rng)
+        self.latencies = np.column_stack([
+            site.latency.sample_array(gen, population.size)
+            for site in self.sites
+        ])
+        if np.any(self.latencies < 0):
+            raise ValueError("site latencies must be non-negative")
+        total_arrival = float(population.arrival_rates.mean())
+        total_capacity = sum(s.capacity_per_user for s in self.sites)
+        if total_arrival >= total_capacity:
+            raise ValueError(
+                "aggregate capacity must exceed mean offered load "
+                f"(E[a]={total_arrival:.3g} >= Σc_j={total_capacity:.3g})"
+            )
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def offload_prices(self, utilizations: np.ndarray) -> np.ndarray:
+        """``g_j(γ_j) + τ_{ij}`` for every user/site pair (n × m)."""
+        gammas = self._check_gammas(utilizations)
+        delays = np.array([
+            site.delay_model(float(g)) for site, g in zip(self.sites, gammas)
+        ])
+        return self.latencies + delays[None, :]
+
+    def best_response(self, utilizations: np.ndarray):
+        """Per-user (site choice, threshold) given the utilisation vector.
+
+        Returns ``(site_indices, thresholds)``.
+        """
+        prices = self.offload_prices(utilizations)
+        site_indices = np.argmin(prices, axis=1)
+        best_prices = prices[np.arange(self.population.size), site_indices]
+        # Lemma 1 with each user's chosen offload price: reuse the scalar
+        # machinery by treating the price as (edge delay + latency) with a
+        # per-user effective latency equal to best_price and edge delay 0.
+        thresholds = _thresholds_for_prices(self.population, best_prices)
+        return site_indices, thresholds
+
+    def utilizations(self, site_indices: np.ndarray,
+                     thresholds: np.ndarray) -> np.ndarray:
+        """The J1 analogue: per-site utilisation from the users' choices."""
+        pop = self.population
+        x = np.asarray(thresholds, dtype=float)
+        _, alpha = queue_and_offload(x, pop.intensities)
+        offered = pop.arrival_rates * alpha
+        gammas = np.zeros(self.n_sites)
+        for j in range(self.n_sites):
+            mask = site_indices == j
+            gammas[j] = offered[mask].sum() / (
+                pop.size * self.sites[j].capacity_per_user
+            )
+        return np.clip(gammas, 0.0, 1.0)
+
+    def value(self, utilizations: np.ndarray) -> np.ndarray:
+        """The vector best-response map ``V(γ)``."""
+        site_indices, thresholds = self.best_response(utilizations)
+        return self.utilizations(site_indices, thresholds)
+
+    def average_cost(self, utilizations: np.ndarray,
+                     site_indices: np.ndarray,
+                     thresholds: np.ndarray) -> float:
+        """Population-mean cost (Eq. 1 with per-user site prices)."""
+        pop = self.population
+        prices = self.offload_prices(utilizations)
+        chosen = prices[np.arange(pop.size), site_indices]
+        x = np.asarray(thresholds, dtype=float)
+        q, alpha = queue_and_offload(x, pop.intensities)
+        costs = (pop.weights * pop.energy_local * (1.0 - alpha)
+                 + q / pop.arrival_rates
+                 + (pop.weights * pop.energy_offload + chosen) * alpha)
+        return float(costs.mean())
+
+    def _check_gammas(self, utilizations: np.ndarray) -> np.ndarray:
+        gammas = np.asarray(utilizations, dtype=float)
+        if gammas.shape != (self.n_sites,):
+            raise ValueError(f"need {self.n_sites} utilisations")
+        if np.any((gammas < 0) | (gammas > 1)):
+            raise ValueError("utilisations must lie in [0, 1]")
+        return gammas
+
+
+def _thresholds_for_prices(population: Population,
+                           prices: np.ndarray) -> np.ndarray:
+    """Lemma-1 thresholds when each user faces its own offload price."""
+    shadow = Population(
+        arrival_rates=population.arrival_rates,
+        service_rates=population.service_rates,
+        offload_latencies=prices,              # price plays the role of τ
+        energy_local=population.energy_local,
+        energy_offload=population.energy_offload,
+        weights=population.weights,
+        capacity=population.capacity,
+    )
+    return best_response_thresholds(shadow, edge_delay=0.0)
+
+
+@dataclass(frozen=True)
+class MultiEdgeEquilibrium:
+    """A fixed point of the multi-site best-response map."""
+
+    utilizations: np.ndarray
+    site_indices: np.ndarray
+    thresholds: np.ndarray
+    average_cost: float
+    residual: float                    # ||V(γ*) − γ*||_∞
+    iterations: int
+    converged: bool
+
+    def site_shares(self, n_sites: int) -> np.ndarray:
+        """Fraction of users whose preferred site is each j."""
+        return np.bincount(self.site_indices, minlength=n_sites) / \
+            self.site_indices.size
+
+
+def solve_multiedge_equilibrium(
+    system: MultiEdgeSystem,
+    damping: float = 0.3,
+    residual_tolerance: float = 2e-3,
+    max_iterations: int = 2000,
+) -> MultiEdgeEquilibrium:
+    """Annealed damped fixed-point iteration ``γ ← (1−d_t)γ + d_t·V(γ)``.
+
+    The vector map is neither monotone nor continuous: with a finite
+    population a single user switching sites moves ``V`` by
+    ``O(a_max / (N c_j))``, which puts a granularity floor under the
+    achievable residual and lets a *fixed* damping limit-cycle around the
+    equilibrium. The solver therefore anneals the damping (halved every
+    200 iterations), tracks the best iterate by the certified residual
+    ``||V(γ) − γ||_∞``, and declares convergence once that residual drops
+    below ``residual_tolerance`` (set it no tighter than the granularity
+    of your population size).
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    check_positive("residual_tolerance", residual_tolerance)
+    check_int_positive("max_iterations", max_iterations)
+
+    gammas = np.zeros(system.n_sites)
+    best_gammas = gammas.copy()
+    best_residual = float("inf")
+    converged = False
+    iterations = 0
+    current_damping = damping
+    for iterations in range(1, max_iterations + 1):
+        target = system.value(gammas)
+        residual = float(np.abs(target - gammas).max())
+        if residual < best_residual:
+            best_residual = residual
+            best_gammas = gammas.copy()
+        if residual <= residual_tolerance:
+            converged = True
+            break
+        gammas = (1.0 - current_damping) * gammas + current_damping * target
+        if iterations % 200 == 0:
+            current_damping = max(0.01, current_damping * 0.5)
+
+    gammas = best_gammas
+    site_indices, thresholds = system.best_response(gammas)
+    realized = system.utilizations(site_indices, thresholds)
+    residual = float(np.abs(realized - gammas).max())
+    return MultiEdgeEquilibrium(
+        utilizations=gammas,
+        site_indices=site_indices,
+        thresholds=thresholds.astype(float),
+        average_cost=system.average_cost(gammas, site_indices, thresholds),
+        residual=residual,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+@dataclass
+class MultiEdgeDtuTrace:
+    estimated: List[np.ndarray] = field(default_factory=list)
+    actual: List[np.ndarray] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class MultiEdgeDtuResult:
+    estimated_utilizations: np.ndarray
+    actual_utilizations: np.ndarray
+    site_indices: np.ndarray
+    thresholds: np.ndarray
+    iterations: int
+    converged: bool
+    trace: MultiEdgeDtuTrace
+
+
+def run_multiedge_dtu(
+    system: MultiEdgeSystem,
+    initial_step: float = 0.1,
+    tolerance: float = 0.01,
+    max_iterations: int = 500,
+) -> MultiEdgeDtuResult:
+    """Algorithm 1 generalised: per-site estimated utilisations.
+
+    Each site maintains its own γ̂_j with the paper's sign-step update and
+    oscillation-shrunk step size; every iteration the sites broadcast the
+    whole vector and users best-respond (site choice + threshold) to it.
+
+    One departure from the scalar algorithm is required: in the vector
+    game a site's target moves while the others converge (users switch
+    sites), so a step size that only ever shrinks can strand a site far
+    from its moving target. After ``_REGROW_PATIENCE`` consecutive
+    same-direction moves a site's step is allowed to grow back (capped at
+    ``initial_step``) — a trust-region-style escape that preserves the
+    scalar behaviour when the target is static.
+    """
+    if not 0.0 < initial_step <= 1.0:
+        raise ValueError("initial_step must be in (0, 1]")
+    _REGROW_PATIENCE = 4
+    m = system.n_sites
+    trace = MultiEdgeDtuTrace()
+    estimates = np.zeros(m)          # γ̂_{t-1}
+    estimates_prev = np.ones(m)      # γ̂_{t-2}
+    steps = np.full(m, initial_step)
+    counters = np.ones(m)
+    same_direction = np.zeros(m)
+    last_direction = np.zeros(m)
+
+    site_indices, thresholds = system.best_response(estimates)
+    actual = system.utilizations(site_indices, thresholds)
+    trace.estimated.append(estimates.copy())
+    trace.actual.append(actual.copy())
+
+    iterations = 0
+    converged = False
+    for t in range(1, max_iterations + 1):
+        if float(np.abs(estimates - estimates_prev).max()) <= tolerance:
+            converged = True
+            break
+        iterations = t
+        diff = actual - estimates
+        direction = np.sign(diff)
+        new_estimates = np.clip(estimates + steps * direction, 0.0, 1.0)
+
+        site_indices, thresholds = system.best_response(new_estimates)
+
+        # The paper's rule: γ̂_t == γ̂_{t−2} means the target is bracketed.
+        oscillated = (t >= 2) & (np.abs(new_estimates - estimates_prev)
+                                 <= 1e-12)
+        counters[oscillated] += 1.0
+        steps[oscillated] = initial_step / counters[oscillated]
+
+        # Trust-region escape: persistent same-direction movement means the
+        # step is too small for a moving target — let it grow back.
+        persisting = (direction != 0) & (direction == last_direction)
+        same_direction = np.where(persisting, same_direction + 1, 0.0)
+        regrow = same_direction >= _REGROW_PATIENCE
+        if np.any(regrow):
+            counters[regrow] = np.maximum(1.0, counters[regrow] / 2.0)
+            steps[regrow] = np.minimum(initial_step,
+                                       initial_step / counters[regrow])
+            same_direction[regrow] = 0.0
+        last_direction = direction
+
+        actual = system.utilizations(site_indices, thresholds)
+        estimates_prev = estimates.copy()
+        estimates = new_estimates
+        trace.estimated.append(estimates.copy())
+        trace.actual.append(actual.copy())
+
+    return MultiEdgeDtuResult(
+        estimated_utilizations=estimates,
+        actual_utilizations=actual,
+        site_indices=site_indices,
+        thresholds=thresholds.astype(float),
+        iterations=iterations,
+        converged=converged,
+        trace=trace,
+    )

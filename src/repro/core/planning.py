@@ -1,0 +1,136 @@
+"""Capacity planning: the operator's inverse problems.
+
+The forward model answers "given capacity ``c``, what equilibrium do
+selfish devices reach?". An operator asks the inverse: *how much edge do I
+need to buy* so that, at equilibrium,
+
+* the population's average cost stays under a budget
+  (:func:`capacity_for_cost`), or
+* the edge utilisation stays under a safety ceiling
+  (:func:`capacity_for_utilization`)?
+
+Both equilibrium quantities are monotone in ``c`` (more edge → lower γ*
+and lower cost; `tests/test_comparative_statics.py` pins this), so
+bisection solves each inverse exactly. The population is held fixed across
+probes — the plan is for *these* users — and each answer carries the
+achieved value so the caller can see the slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.population.sampler import Population
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The solved inverse problem."""
+
+    capacity: float              # minimal per-user c meeting the target
+    achieved: float              # equilibrium value at that capacity
+    target: float
+    quantity: str                # "average_cost" or "utilization"
+    iterations: int
+
+    @property
+    def slack(self) -> float:
+        """How far below the target the achieved value sits."""
+        return self.target - self.achieved
+
+
+def _with_capacity(population: Population, capacity: float) -> Population:
+    return Population(
+        arrival_rates=population.arrival_rates,
+        service_rates=population.service_rates,
+        offload_latencies=population.offload_latencies,
+        energy_local=population.energy_local,
+        energy_offload=population.energy_offload,
+        weights=population.weights,
+        capacity=capacity,
+    )
+
+
+def _equilibrium_value(
+    population: Population,
+    capacity: float,
+    delay_model: EdgeDelayModel,
+    quantity: str,
+) -> float:
+    mean_field = MeanFieldMap(_with_capacity(population, capacity),
+                              delay_model)
+    equilibrium = solve_mfne(mean_field)
+    if quantity == "utilization":
+        return equilibrium.utilization
+    return mean_field.average_cost(equilibrium.utilization)
+
+
+def _plan(
+    population: Population,
+    target: float,
+    delay_model: EdgeDelayModel,
+    quantity: str,
+    max_capacity: float,
+    tolerance: float,
+) -> CapacityPlan:
+    # Feasibility bracket: the model needs c > a_max; start just above it.
+    low = float(population.arrival_rates.max()) * (1.0 + 1e-9)
+    high = max_capacity
+    value_at_high = _equilibrium_value(population, high, delay_model,
+                                       quantity)
+    if value_at_high > target:
+        raise ValueError(
+            f"target {quantity} {target:g} is infeasible even at "
+            f"c = {max_capacity:g} (achieves {value_at_high:.4g}); the "
+            "target is limited by latency/energy terms capacity cannot buy "
+            "down"
+        )
+    value_at_low = _equilibrium_value(population, low, delay_model, quantity)
+    if value_at_low <= target:
+        return CapacityPlan(capacity=low, achieved=value_at_low,
+                            target=target, quantity=quantity, iterations=0)
+    iterations = 0
+    while high - low > tolerance and iterations < 200:
+        mid = 0.5 * (low + high)
+        if _equilibrium_value(population, mid, delay_model, quantity) > target:
+            low = mid
+        else:
+            high = mid
+        iterations += 1
+    achieved = _equilibrium_value(population, high, delay_model, quantity)
+    return CapacityPlan(capacity=high, achieved=achieved, target=target,
+                        quantity=quantity, iterations=iterations)
+
+
+def capacity_for_cost(
+    population: Population,
+    target_cost: float,
+    delay_model: EdgeDelayModel = None,
+    max_capacity: float = 1000.0,
+    tolerance: float = 1e-3,
+) -> CapacityPlan:
+    """Minimal per-user capacity keeping the equilibrium cost ≤ target."""
+    check_positive("target_cost", target_cost)
+    check_positive("tolerance", tolerance)
+    model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+    return _plan(population, target_cost, model, "average_cost",
+                 max_capacity, tolerance)
+
+
+def capacity_for_utilization(
+    population: Population,
+    target_utilization: float,
+    delay_model: EdgeDelayModel = None,
+    max_capacity: float = 1000.0,
+    tolerance: float = 1e-3,
+) -> CapacityPlan:
+    """Minimal per-user capacity keeping γ* ≤ the safety ceiling."""
+    if not 0.0 < target_utilization < 1.0:
+        raise ValueError("target_utilization must be in (0, 1)")
+    check_positive("tolerance", tolerance)
+    model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+    return _plan(population, target_utilization, model, "utilization",
+                 max_capacity, tolerance)

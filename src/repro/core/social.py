@@ -1,0 +1,128 @@
+"""Social optimum and price of anarchy.
+
+At the MFNE each user best-responds to the *actual* edge delay ``g(γ*)``,
+ignoring the congestion externality its offloading imposes on everyone
+else. A social planner internalises it: this module computes the best
+population outcome achievable within the same threshold-policy class by
+letting everyone best-respond to a **virtual price** ``d`` (a Pigouvian
+edge delay that may exceed the physical one), evaluating the true cost at
+the utilisation that choice induces, and minimising over ``d``:
+
+    SC(d) = population average of Eq. (1) with thresholds BR(d),
+            evaluated at the physical delay g(J1(BR(d))).
+
+``d = g(γ*)`` recovers the equilibrium, so the minimum over ``d`` can only
+improve on it; the ratio is the (threshold-class) price of anarchy. Because
+self-interested users over-offload (offloading congests the edge for
+everyone), the social optimum sits at ``d ≥ g(γ*)`` — the planner wants a
+congestion *tax*, not a subsidy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.best_response import best_response_thresholds
+from repro.core.cost import population_average_cost
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.core.tro import queue_and_offload
+from repro.population.sampler import Population
+from repro.utils.validation import check_int_positive, check_positive
+
+
+@dataclass(frozen=True)
+class SocialOptimum:
+    """The planner's solution within the threshold class."""
+
+    virtual_price: float          # the Pigouvian delay d* users respond to
+    utilization: float            # induced physical utilisation
+    average_cost: float           # social cost at the optimum
+    equilibrium_cost: float       # cost at the MFNE (for comparison)
+    equilibrium_utilization: float
+    toll: float                   # d* − g(γ_soc): the implied congestion tax
+
+    @property
+    def price_of_anarchy(self) -> float:
+        """Equilibrium cost / socially optimal cost (≥ 1)."""
+        if self.average_cost <= 0:
+            return float("nan")
+        return self.equilibrium_cost / self.average_cost
+
+    @property
+    def efficiency_gap_pct(self) -> float:
+        """How much cheaper the social optimum is, in percent."""
+        return 100.0 * (1.0 - self.average_cost / self.equilibrium_cost)
+
+
+def _social_cost(population: Population, model: EdgeDelayModel,
+                 virtual_price: float) -> float:
+    """Population cost when everyone best-responds to ``virtual_price``."""
+    thresholds = best_response_thresholds(population, virtual_price)
+    _, alpha = queue_and_offload(thresholds.astype(float),
+                                 population.intensities)
+    gamma = min(1.0, float((population.arrival_rates * alpha).mean()
+                           / population.capacity))
+    return population_average_cost(population, thresholds.astype(float),
+                                   model(gamma))
+
+
+def _induced_utilization(population: Population,
+                         virtual_price: float) -> float:
+    thresholds = best_response_thresholds(population, virtual_price)
+    _, alpha = queue_and_offload(thresholds.astype(float),
+                                 population.intensities)
+    return min(1.0, float((population.arrival_rates * alpha).mean()
+                          / population.capacity))
+
+
+def solve_social_optimum(
+    population: Population,
+    delay_model: Optional[EdgeDelayModel] = None,
+    price_grid_points: int = 200,
+    refine_rounds: int = 4,
+) -> SocialOptimum:
+    """Minimise the social cost over the virtual price ``d``.
+
+    The cost is piecewise constant in ``d`` between the (finitely many)
+    points where some user's threshold steps, so a grid scan with local
+    refinement is both simple and exact enough; ``refine_rounds`` halves
+    the grid spacing around the incumbent each round.
+    """
+    model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+    check_int_positive("price_grid_points", price_grid_points)
+    check_positive("refine_rounds", float(refine_rounds))
+
+    mean_field = MeanFieldMap(population, model)
+    equilibrium = solve_mfne(mean_field)
+    eq_cost = mean_field.average_cost(equilibrium.utilization)
+    eq_price = model(equilibrium.utilization)
+
+    # The planner never prices below the idle edge delay, and taxing beyond
+    # ~4× the saturated delay changes no further thresholds in practice.
+    low, high = model(0.0), 4.0 * model.max_delay
+    best_price, best_cost = eq_price, _social_cost(population, model, eq_price)
+    for _ in range(refine_rounds):
+        grid = np.linspace(low, high, price_grid_points)
+        costs = [_social_cost(population, model, float(d)) for d in grid]
+        index = int(np.argmin(costs))
+        if costs[index] < best_cost:
+            best_cost = costs[index]
+            best_price = float(grid[index])
+        spacing = grid[1] - grid[0]
+        low = max(model(0.0), best_price - 2 * spacing)
+        high = best_price + 2 * spacing
+
+    gamma_soc = _induced_utilization(population, best_price)
+    return SocialOptimum(
+        virtual_price=best_price,
+        utilization=gamma_soc,
+        average_cost=best_cost,
+        equilibrium_cost=eq_cost,
+        equilibrium_utilization=equilibrium.utilization,
+        toll=best_price - model(gamma_soc),
+    )

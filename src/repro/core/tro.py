@@ -1,0 +1,207 @@
+"""Exact stationary analysis of the TRO policy (paper Eq. 7 and Eq. 8).
+
+Under exponential local processing, the number of tasks on a device running
+the Threshold-based Randomized Offloading policy with real threshold
+``x = k + δ`` (``k = ⌊x⌋``, ``δ ∈ [0,1)``) is a finite birth–death chain:
+
+* states ``0..k-1`` admit arrivals at the full rate ``a``;
+* state ``k`` admits with probability ``δ`` (rate ``a δ``);
+* states ``≥ k+1`` admit nothing.
+
+Its stationary weights are ``π_i ∝ θ^i`` for ``i ≤ k`` and
+``π_{k+1} ∝ δ θ^{k+1}`` with ``θ = a/s``, which yields the paper's closed
+forms for the average queue length ``Q(x)`` and, via PASTA, the offloading
+probability ``α(x)``.
+
+All functions broadcast over NumPy arrays (the DTU algorithm evaluates them
+for 10⁴ heterogeneous users at once) and are numerically safe for large
+``θ`` and large thresholds: the ``θ > 1`` branch rescales the geometric
+sums by ``θ^{-k}`` so nothing overflows, and intensities within
+``INTENSITY_TOL`` of 1 use the exact ``θ = 1`` limit formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+#: The geometric closed forms divide by ``(1 − θ)²`` and lose precision
+#: catastrophically when ``|θ − 1|·(k+1)`` is tiny (their numerators are
+#: second-order differences). Elements with ``|θ − 1|·(k+1) < INTENSITY_TOL``
+#: therefore use the exact θ = 1 formulas plus a first-order Taylor
+#: correction in ``(θ − 1)``; at the switch boundary both branches agree to
+#: ~1e-6 relative, and each improves rapidly away from it.
+INTENSITY_TOL = 1e-3
+
+
+def _prepare(threshold: ArrayLike, intensity: ArrayLike):
+    """Broadcast-validate inputs; return (x, θ, k, δ, scalar_flag)."""
+    x = np.asarray(threshold, dtype=float)
+    theta = np.asarray(intensity, dtype=float)
+    if np.any(x < 0):
+        raise ValueError("threshold must be >= 0")
+    if np.any(theta <= 0):
+        raise ValueError("intensity must be > 0")
+    x, theta = np.broadcast_arrays(x, theta)
+    k = np.floor(x)
+    delta = x - k
+    scalar = (x.ndim == 0)
+    return x, theta, k, delta, scalar
+
+
+def _geometric_sums(phi: np.ndarray, k: np.ndarray):
+    """``Σ_{j=0}^k φ^j`` and ``Σ_{j=0}^k j φ^j`` for ``0 < φ < 1``.
+
+    Closed forms; safe because ``φ^k`` only underflows (to 0) here.
+    """
+    phi_k = np.power(phi, k)
+    phi_k1 = phi_k * phi
+    one_minus = 1.0 - phi
+    g0 = (1.0 - phi_k1) / one_minus
+    g1 = phi * (1.0 - (k + 1.0) * phi_k + k * phi_k1) / (one_minus * one_minus)
+    return g0, g1
+
+
+def _stationary_pieces(theta: np.ndarray, k: np.ndarray, delta: np.ndarray):
+    """Compute (Q, α, π0) elementwise, branching on θ <, ≈, > 1."""
+    q = np.empty_like(theta)
+    alpha = np.empty_like(theta)
+    pi0 = np.empty_like(theta)
+
+    near_one = np.abs(theta - 1.0) * (k + 1.0) < INTENSITY_TOL
+    below = (theta < 1.0) & ~near_one
+    above = (theta > 1.0) & ~near_one
+
+    if np.any(below):
+        th = theta[below]
+        kk = k[below]
+        dd = delta[below]
+        g0, g1 = _geometric_sums(th, kk)
+        th_k = np.power(th, kk)
+        th_k1 = th_k * th
+        denom = g0 + dd * th_k1
+        q[below] = (g1 + (kk + 1.0) * dd * th_k1) / denom
+        alpha[below] = th_k * (1.0 - dd * (1.0 - th)) / denom
+        pi0[below] = 1.0 / denom
+
+    if np.any(above):
+        th = theta[above]
+        kk = k[above]
+        dd = delta[above]
+        phi = 1.0 / th
+        g0, g1 = _geometric_sums(phi, kk)
+        # Everything below is the θ>1 closed form scaled by θ^{-k}:
+        #   Σ_{i=0}^k θ^{i-k} = g0(1/θ, k),
+        #   Σ_{i=0}^k i θ^{i-k} = k g0 − g1.
+        s2 = kk * g0 - g1
+        denom = g0 + dd * th
+        q[above] = (s2 + (kk + 1.0) * dd * th) / denom
+        alpha[above] = (1.0 - dd * (1.0 - th)) / denom
+        pi0[above] = np.power(phi, kk) / denom
+
+    if np.any(near_one):
+        kk = k[near_one]
+        dd = delta[near_one]
+        eps = theta[near_one] - 1.0
+        # Exact θ = 1 values (paper Eq. 7/8, second branch) plus the
+        # first-order Taylor term in ε = θ − 1, computed from the
+        # stationary weights w_i(θ) = θ^i (i ≤ k), w_{k+1}(θ) = δθ^{k+1}:
+        #   B  = Σ w_i(1)      = k + 1 + δ,
+        #   A  = Σ i w_i(1)    = k(k+1)/2 + δ(k+1)   (also B'(1)),
+        #   A2 = Σ i² w_i(1)   = k(k+1)(2k+1)/6 + δ(k+1)²  (also A'(1)).
+        b = kk + 1.0 + dd
+        a = kk * (kk + 1.0) / 2.0 + dd * (kk + 1.0)
+        a2 = kk * (kk + 1.0) * (2.0 * kk + 1.0) / 6.0 + dd * (kk + 1.0) ** 2
+        q[near_one] = a / b + eps * (a2 * b - a * a) / (b * b)
+        # α numerator N(θ) = θ^k(1−δ) + δθ^{k+1}: N(1) = 1, N'(1) = k + δ.
+        alpha[near_one] = 1.0 / b + eps * ((kk + dd) * b - a) / (b * b)
+        pi0[near_one] = 1.0 / b - eps * a / (b * b)
+
+    return q, alpha, pi0
+
+
+def average_queue_length(threshold: ArrayLike, intensity: ArrayLike) -> ArrayLike:
+    """Average number of tasks in the device, ``Q(x)`` (paper Eq. 7).
+
+    >>> average_queue_length(0.0, 2.0)          # offload everything
+    0.0
+    >>> round(average_queue_length(4.0, 1.0), 4)   # θ = 1 branch
+    2.0
+    """
+    _, theta, k, delta, scalar = _prepare(threshold, intensity)
+    q, _, _ = _stationary_pieces(theta, k, delta)
+    return float(q) if scalar else q
+
+
+def offload_probability(threshold: ArrayLike, intensity: ArrayLike) -> ArrayLike:
+    """Fraction of arriving tasks offloaded to the edge, ``α(x)`` (Eq. 8).
+
+    By PASTA this equals the stationary probability that an arrival finds
+    the queue at ``⌊x⌋`` and loses the admission coin flip, or above ``⌊x⌋``.
+
+    >>> offload_probability(0.0, 3.0)           # threshold 0: all offloaded
+    1.0
+    >>> round(offload_probability(4.0, 1.0), 4)    # θ = 1: 1/(x+1)
+    0.2
+    """
+    _, theta, k, delta, scalar = _prepare(threshold, intensity)
+    _, alpha, _ = _stationary_pieces(theta, k, delta)
+    return float(alpha) if scalar else alpha
+
+
+def empty_probability(threshold: ArrayLike, intensity: ArrayLike) -> ArrayLike:
+    """Stationary probability of an empty device, ``π_0``."""
+    _, theta, k, delta, scalar = _prepare(threshold, intensity)
+    _, _, pi0 = _stationary_pieces(theta, k, delta)
+    return float(pi0) if scalar else pi0
+
+
+def queue_and_offload(threshold: ArrayLike, intensity: ArrayLike):
+    """Return ``(Q(x), α(x))`` in one pass (what the DTU loop needs)."""
+    _, theta, k, delta, scalar = _prepare(threshold, intensity)
+    q, alpha, _ = _stationary_pieces(theta, k, delta)
+    if scalar:
+        return float(q), float(alpha)
+    return q, alpha
+
+
+def queue_length_variance(threshold: float, intensity: float) -> float:
+    """Stationary variance of the queue length under TRO.
+
+    Computed from the full occupancy distribution; complements the mean
+    ``Q(x)`` for dimensioning (e.g. memory head-room on a device is driven
+    by spread, not the mean).
+
+    >>> queue_length_variance(0.0, 2.0)     # always-empty queue
+    0.0
+    """
+    pi = occupancy_distribution(threshold, intensity)
+    states = np.arange(pi.size, dtype=float)
+    mean = float(np.dot(states, pi))
+    second = float(np.dot(states * states, pi))
+    return max(0.0, second - mean * mean)
+
+
+def occupancy_distribution(threshold: float, intensity: float) -> np.ndarray:
+    """Full stationary distribution ``π_0..π_{k+1}`` for one device.
+
+    The top state ``k+1`` is included even when ``δ = 0`` (its probability
+    is then exactly 0), so the vector always has ``⌊x⌋ + 2`` entries.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    if intensity <= 0:
+        raise ValueError("intensity must be > 0")
+    k = int(np.floor(threshold))
+    delta = threshold - k
+    exponents = np.arange(k + 2, dtype=float)
+    if intensity > 1.0:
+        # Scale by θ^{-(k+1)} so weights stay bounded for large θ, k.
+        weights = np.power(intensity, exponents - (k + 1.0))
+    else:
+        weights = np.power(intensity, exponents)
+    weights[k + 1] *= delta
+    return weights / weights.sum()

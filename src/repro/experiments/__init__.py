@@ -1,0 +1,59 @@
+"""The experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a result object
+whose ``__str__`` prints the same rows/series the paper reports (plus the
+paper's value next to ours where the paper gives one). ``python -m
+repro.experiments`` runs everything at reduced scale; the ``benchmarks/``
+directory regenerates each artifact at full scale under pytest-benchmark.
+
+Index (see DESIGN.md §2 for the full mapping):
+
+======== ====================================================== ==========
+Artifact Content                                                Module
+======== ====================================================== ==========
+Table I  MFNE under theoretical settings                        table1
+Table II MFNE under practical settings                          table2
+Table III DTU vs DPO average cost                               table3
+Fig. 2   Q(x), α(x) vs threshold (θ=4)                          fig2
+Fig. 3   offload probability vs γ (staircase)                   fig3
+Fig. 4   γ̂ dynamics from below/above γ*                         fig4
+Fig. 5   DTU convergence, theoretical settings                  fig5
+Fig. 6   real-world data histograms                             fig6
+Fig. 7   DTU convergence, practical settings (async, DES)       fig7
+Fig. 8   cost T(x|γ) vs x (θ=2, 4)                              fig8
+—        design-choice ablations                                 ablations
+======== ====================================================== ==========
+"""
+
+from repro.experiments import (
+    ablations,
+    edge_model,
+    extensions,
+    fairness,
+    learning,
+    model_mismatch,
+    multiedge_experiment,
+    online_experiment,
+    robustness,
+    tails,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.report import ComparisonResult, PaperComparison, SeriesResult
+
+__all__ = [
+    "table1", "table2", "table3",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "ablations", "extensions", "robustness", "tails", "model_mismatch",
+    "multiedge_experiment", "edge_model", "learning", "fairness",
+    "online_experiment",
+    "PaperComparison", "ComparisonResult", "SeriesResult",
+]

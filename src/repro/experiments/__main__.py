@@ -1,0 +1,170 @@
+"""Run the full experiment suite at reduced scale and print every artifact.
+
+Usage::
+
+    python -m repro.experiments            # quick pass (~1 minute)
+    python -m repro.experiments --full     # paper-scale populations
+
+The ``benchmarks/`` directory runs the same experiments under
+pytest-benchmark with per-artifact timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    edge_model,
+    extensions,
+    fairness,
+    learning,
+    model_mismatch,
+    multiedge_experiment,
+    online_experiment,
+    robustness,
+    tails,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="use paper-scale populations (slower)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", type=str, default=None,
+                        help="comma-separated artifact list, e.g. 'table1,fig5'")
+    parser.add_argument("--export", type=str, default=None, metavar="DIR",
+                        help="also write each exportable artifact to "
+                             "DIR/<name>.csv and DIR/<name>.json")
+    parser.add_argument("--list", action="store_true",
+                        help="list the available artifact names and exit")
+    args = parser.parse_args(argv)
+
+    quick_n = 10_000 if args.full else 2_000
+    practical_n = 1_000 if args.full else 500
+    table3_reps = 2_000 if args.full else 200
+
+    jobs = {
+        "table1": lambda: table1.run(n_users=quick_n, rng=args.seed),
+        "table2": lambda: table2.run(n_users=practical_n, rng=args.seed),
+        "table3": lambda: table3.run(n_users=practical_n,
+                                     repetitions=table3_reps, seed=args.seed),
+        "fig2": lambda: fig2.run(),
+        "fig3": lambda: fig3.run(),
+        "fig4": lambda: fig4.run(n_users=quick_n, rng=args.seed),
+        "fig5": lambda: fig5.run(n_users=quick_n, rng=args.seed),
+        "fig6": lambda: fig6.run(),
+        "fig7": lambda: fig7.run(n_users=practical_n, seed=args.seed),
+        "fig8": lambda: fig8.run(),
+        "ablations": lambda: ablations.run(n_users=quick_n // 2, seed=args.seed),
+        "extensions": lambda: extensions.run(seed=args.seed,
+                                             quick=not args.full),
+        "robustness": lambda: robustness.run(n_users=quick_n // 2,
+                                             seed=args.seed),
+        "tails": lambda: tails.run(
+            n_users=60 if args.full else 25,
+            horizon=3000.0 if args.full else 1200.0,
+            seed=args.seed,
+        ),
+        "model_mismatch": lambda: model_mismatch.run(
+            n_users=120 if args.full else 50, seed=args.seed,
+        ),
+        "multiedge": lambda: multiedge_experiment.run(
+            n_users=4000 if args.full else 1500, seed=args.seed,
+        ),
+        "edge_model": lambda: edge_model.run(
+            des_horizon=4000.0 if args.full else 1500.0, seed=args.seed,
+        ),
+        "learning": lambda: learning.run(
+            n_users=150 if args.full else 80,
+            iterations=25 if args.full else 15,
+            seed=args.seed,
+        ),
+        "fairness": lambda: fairness.run(
+            n_users=5000 if args.full else 2000, seed=args.seed,
+        ),
+        "online": lambda: online_experiment.run(
+            n_users=200 if args.full else 100,
+            duration=600.0 if args.full else 300.0,
+            seed=args.seed,
+        ),
+    }
+    if args.list:
+        for name in jobs:
+            print(name)
+        return 0
+
+    selected = list(jobs) if args.only is None else [
+        name.strip() for name in args.only.split(",")
+    ]
+    unknown = [name for name in selected if name not in jobs]
+    if unknown:
+        parser.error(f"unknown artifacts: {', '.join(unknown)}")
+
+    export_dir = None
+    if args.export is not None:
+        from pathlib import Path
+        export_dir = Path(args.export)
+        export_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        started = time.perf_counter()
+        result = jobs[name]()
+        elapsed = time.perf_counter() - started
+        print(f"\n{'=' * 72}\n[{name}] ({elapsed:.1f}s)\n{'=' * 72}")
+        print(result)
+        if export_dir is not None:
+            _export(result, name, export_dir)
+    return 0
+
+
+def _export(result, name: str, directory) -> None:
+    """Write every exportable piece of ``result`` to CSV + JSON files."""
+    from repro.experiments.report import ComparisonResult, SeriesResult
+    from repro.utils.export import write_result
+
+    pieces = []
+    if isinstance(result, (SeriesResult, ComparisonResult)):
+        pieces.append((name, result))
+    else:
+        # Composite results: export each SeriesResult/ComparisonResult
+        # attribute or list entry under a suffixed name.
+        attributes = getattr(result, "__dict__", {})
+        for key, value in attributes.items():
+            if isinstance(value, (SeriesResult, ComparisonResult)):
+                pieces.append((f"{name}_{key}", value))
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, (SeriesResult, ComparisonResult)):
+                        pieces.append((f"{name}_{key}{index}", item))
+            elif isinstance(value, dict):
+                for sub, item in value.items():
+                    inner = getattr(item, "series", None)
+                    if isinstance(inner, (SeriesResult, ComparisonResult)):
+                        safe = str(sub).replace("[", "").replace("]", "") \
+                            .replace("<", "lt").replace(">", "gt") \
+                            .replace("=", "eq")
+                        pieces.append((f"{name}_{safe}", inner))
+    for piece_name, piece in pieces:
+        write_result(piece, directory / f"{piece_name}.csv")
+        write_result(piece, directory / f"{piece_name}.json")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

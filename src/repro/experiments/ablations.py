@@ -1,0 +1,281 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+Not figures from the paper — these probe *why* the paper's design is the
+way it is:
+
+1. ``estimated_vs_naive`` — DTU's estimated utilisation γ̂ versus naively
+   best-responding to the raw utilisation (γ_{t+1} = V(γ_t)), which the
+   paper warns has no convergence guarantee: the naive iteration of a
+   non-increasing map can lock into a 2-cycle.
+2. ``step_size_sweep`` — convergence speed/accuracy versus η₀.
+3. ``oracle_comparison`` — analytic J1 versus a DES-measured utilisation
+   (noise + non-exponential service).
+4. ``delay_model_sweep`` — the MFNE under alternative g(γ) curves.
+5. ``capacity_sensitivity`` — γ* as a function of the uncalibrated c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.core.edge_delay import LinearDelay, PowerDelay, ReciprocalDelay
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.experiments.report import SeriesResult
+from repro.experiments.settings import (
+    PAPER_G,
+    theoretical_config,
+    theoretical_population,
+)
+from repro.population.realworld import load_realworld_data
+from repro.population.sampler import sample_population
+from repro.simulation.measurement import EmpiricalService, MeasurementConfig
+from repro.simulation.system import SimulatedUtilizationOracle
+from repro.utils.rng import RngFactory
+
+
+def estimated_vs_naive(
+    n_users: int = 5000, seed: int = 0, iterations: int = 40
+) -> SeriesResult:
+    """DTU's γ̂ mechanism against naive best-response iteration."""
+    population = theoretical_population("E[A]=E[S]", n_users=n_users, rng=seed)
+    mean_field = MeanFieldMap(population, PAPER_G)
+    gamma_star = solve_mfne(mean_field).utilization
+
+    naive_trace: List[float] = [0.0]
+    gamma = 0.0
+    for _ in range(iterations):
+        gamma = mean_field.value(gamma)
+        naive_trace.append(gamma)
+
+    dtu = run_dtu(mean_field, DtuConfig(max_iterations=iterations, tolerance=1e-4))
+    dtu_trace = dtu.trace.actual_utilization
+
+    rows = []
+    for t in range(iterations + 1):
+        naive = naive_trace[t] if t < len(naive_trace) else naive_trace[-1]
+        paper = dtu_trace[t] if t < len(dtu_trace) else dtu_trace[-1]
+        rows.append((t, float(paper), float(naive), gamma_star))
+
+    tail = naive_trace[-6:]
+    naive_oscillation = max(tail) - min(tail)
+    dtu_gap = abs(dtu_trace[-1] - gamma_star)
+    return SeriesResult(
+        name="Ablation 1 — estimated γ̂ (DTU) vs naive best-response iteration",
+        columns=("t", "gamma_dtu", "gamma_naive", "gamma_star"),
+        rows=rows,
+        notes=(f"naive tail oscillation amplitude = {naive_oscillation:.4f}; "
+               f"DTU final gap to γ* = {dtu_gap:.4f}"),
+    )
+
+
+def step_size_sweep(
+    n_users: int = 5000, seed: int = 0,
+    step_sizes: tuple = (0.02, 0.05, 0.1, 0.2, 0.5),
+) -> SeriesResult:
+    """Iterations-to-converge and final accuracy versus η₀."""
+    population = theoretical_population("E[A]<E[S]", n_users=n_users, rng=seed)
+    mean_field = MeanFieldMap(population, PAPER_G)
+    gamma_star = solve_mfne(mean_field).utilization
+    rows = []
+    for eta in step_sizes:
+        result = run_dtu(mean_field, DtuConfig(initial_step=eta))
+        rows.append((
+            float(eta),
+            result.iterations,
+            abs(result.actual_utilization - gamma_star),
+            result.converged,
+        ))
+    return SeriesResult(
+        name="Ablation 2 — DTU step size η₀ sweep",
+        columns=("eta0", "iterations", "final_gap", "converged"),
+        rows=rows,
+        notes=f"γ* = {gamma_star:.4f}; tolerance ε = {DtuConfig().tolerance}",
+    )
+
+
+def oracle_comparison(
+    n_users: int = 200, seed: int = 0,
+    des_config: Optional[MeasurementConfig] = None,
+) -> SeriesResult:
+    """DTU driven by the analytic J1 versus a DES-measured utilisation."""
+    factory = RngFactory(seed)
+    population = theoretical_population(
+        "E[A]<E[S]", n_users=n_users, rng=factory.stream("population")
+    )
+    mean_field = MeanFieldMap(population, PAPER_G)
+    gamma_star = solve_mfne(mean_field).utilization
+
+    analytic = run_dtu(mean_field, DtuConfig())
+    data = load_realworld_data()
+    oracle = SimulatedUtilizationOracle(
+        population,
+        config=des_config or MeasurementConfig(horizon=60.0, warmup=15.0,
+                                               seed=factory.stream("des")),
+        service_model=EmpiricalService(data.processing_times),
+        delay_model=PAPER_G,
+    )
+    simulated = run_dtu(mean_field, DtuConfig(), oracle=oracle)
+    rows = [
+        ("analytic J1", analytic.iterations,
+         float(analytic.actual_utilization),
+         abs(analytic.actual_utilization - gamma_star)),
+        ("DES (empirical service)", simulated.iterations,
+         float(simulated.actual_utilization),
+         abs(simulated.actual_utilization - gamma_star)),
+    ]
+    return SeriesResult(
+        name="Ablation 3 — utilisation oracle: analytic vs DES",
+        columns=("oracle", "iterations", "final_gamma", "gap_to_gamma_star"),
+        rows=rows,
+        notes=f"γ* (exponential-service theory) = {gamma_star:.4f}",
+    )
+
+
+def delay_model_sweep(n_users: int = 5000, seed: int = 0) -> SeriesResult:
+    """The MFNE under alternative edge-delay curves g(γ)."""
+    population = theoretical_population("E[A]=E[S]", n_users=n_users, rng=seed)
+    models = [
+        ("reciprocal 1/(1.1−γ) [paper]", ReciprocalDelay(1.1, 1.0)),
+        ("reciprocal 1/(1.5−γ)", ReciprocalDelay(1.5, 1.0)),
+        ("linear 0.9 + 2γ", LinearDelay(base=0.9, slope=2.0)),
+        ("power 0.9 + 5γ²", PowerDelay(base=0.9, gain=5.0, exponent=2.0)),
+    ]
+    rows = []
+    for label, model in models:
+        mean_field = MeanFieldMap(population, model)
+        result = solve_mfne(mean_field)
+        dtu = run_dtu(mean_field)
+        rows.append((
+            label,
+            float(result.utilization),
+            dtu.iterations,
+            abs(dtu.actual_utilization - result.utilization),
+        ))
+    return SeriesResult(
+        name="Ablation 4 — edge delay model g(γ)",
+        columns=("model", "gamma_star", "dtu_iterations", "dtu_gap"),
+        rows=rows,
+        notes="MFNE existence/uniqueness and DTU convergence are g-agnostic",
+    )
+
+
+def capacity_sensitivity(
+    n_users: int = 5000, seed: int = 0,
+    capacities: tuple = (9.0, 10.0, 12.0, 15.0, 20.0),
+) -> SeriesResult:
+    """γ* versus the (paper-unspecified) per-user capacity c."""
+    rows = []
+    for c in capacities:
+        config = theoretical_config("E[A]<E[S]", capacity=c)
+        population = sample_population(config, n_users, rng=seed)
+        result = solve_mfne(MeanFieldMap(population, PAPER_G))
+        rows.append((float(c), float(result.utilization)))
+    return SeriesResult(
+        name="Ablation 5 — MFNE sensitivity to edge capacity c",
+        columns=("capacity", "gamma_star"),
+        rows=rows,
+        notes="c = 10 reproduces Table I (E[A]<E[S] setup shown)",
+    )
+
+
+def weight_sweep(
+    n_users: int = 5000, seed: int = 0,
+    weight_scales: tuple = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> SeriesResult:
+    """The latency/energy trade-off weight ``w`` (the paper fixes w = 1).
+
+    Larger ``w`` emphasises energy: since the population's offload energy
+    is cheaper than its local energy (P_E ~ U(0,1) vs P_L ~ U(0,3)),
+    weighting energy harder should push work to the edge.
+    """
+    from repro.population.distributions import Deterministic, Uniform
+    from repro.population.sampler import PopulationConfig
+
+    rows = []
+    for scale in weight_scales:
+        config = PopulationConfig(
+            arrival=Uniform(0.0, 4.0),
+            service=Uniform(1.0, 5.0),
+            latency=Uniform(0.0, 1.0),
+            energy_local=Uniform(0.0, 3.0),
+            energy_offload=Uniform(0.0, 1.0),
+            capacity=10.0,
+            weight=Deterministic(scale),
+        )
+        population = sample_population(config, n_users, rng=seed)
+        mean_field = MeanFieldMap(population, PAPER_G)
+        result = solve_mfne(mean_field)
+        rows.append((
+            float(scale),
+            float(result.utilization),
+            float(mean_field.average_cost(result.utilization)),
+        ))
+    return SeriesResult(
+        name="Ablation 6 — energy weight w",
+        columns=("weight", "gamma_star", "equilibrium_cost"),
+        rows=rows,
+        notes="w > 1 emphasises energy; offloading is energy-cheap here, "
+              "so γ* grows with w",
+    )
+
+
+def step_rule_comparison(
+    n_users: int = 5000, seed: int = 0,
+    iterations: int = 120,
+) -> SeriesResult:
+    """The paper's step rule vs constant-step and Robbins–Monro decay.
+
+    Both near (γ̂₀ = 0) and far (γ̂₀ = 0.9) starts: the constant step never
+    settles (±η₀ oscillation band) and Robbins–Monro's decaying step cannot
+    cover a far start's distance (total travel ~η₀·ln T); the paper's rule
+    is the only variant that both arrives and stays.
+    """
+    from repro.core.dtu_variants import compare_step_rules
+
+    population = theoretical_population("E[A]<E[S]", n_users=n_users,
+                                        rng=seed)
+    mean_field = MeanFieldMap(population, PAPER_G)
+    gamma_star = solve_mfne(mean_field).utilization
+    rows = []
+    for label, start in (("near (γ̂₀=0)", 0.0), ("far (γ̂₀=0.9)", 0.9)):
+        for run_result in compare_step_rules(
+            mean_field, gamma_star, iterations=iterations,
+            initial_estimate=start,
+        ):
+            rows.append((
+                label,
+                run_result.name,
+                run_result.iterations_to_band
+                if run_result.iterations_to_band is not None else "never",
+                run_result.tail_error,
+            ))
+    return SeriesResult(
+        name="Ablation 7 — DTU step rule vs alternatives",
+        columns=("start", "rule", "iters to ±0.01", "tail error"),
+        rows=rows,
+        notes=f"γ* = {gamma_star:.4f}, horizon {iterations} iterations",
+    )
+
+
+@dataclass
+class AblationSuite:
+    results: List[SeriesResult]
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(result) for result in self.results)
+
+
+def run(n_users: int = 2000, seed: int = 0) -> AblationSuite:
+    """Run every ablation at reduced scale."""
+    return AblationSuite(results=[
+        estimated_vs_naive(n_users=n_users, seed=seed),
+        step_size_sweep(n_users=n_users, seed=seed),
+        oracle_comparison(n_users=min(n_users, 150), seed=seed),
+        delay_model_sweep(n_users=n_users, seed=seed),
+        capacity_sensitivity(n_users=n_users, seed=seed),
+        weight_sweep(n_users=n_users, seed=seed),
+        step_rule_comparison(n_users=n_users, seed=seed),
+    ])

@@ -1,0 +1,172 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Three analyses that probe the paper's *assumptions* rather than its
+reported artifacts:
+
+* :func:`mdp_validation` — the paper motivates the TRO class by the
+  classical threshold-optimality of admission control; we solve the
+  per-user average-cost MDP by value iteration (no policy class assumed)
+  and check the optimal policy is a threshold equal to Lemma 1's.
+* :func:`finite_system_convergence` — the theory lives at N → ∞; we run
+  exact best-response dynamics in finite games and measure both the gap
+  |γ_N − γ*| and the ε-Nash regret of playing the mean-field thresholds.
+* :func:`price_of_anarchy` — how inefficient is the MFNE? A Pigouvian
+  planner within the same threshold class quantifies the congestion
+  externality across load levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.equilibrium import solve_mfne
+from repro.core.finite import best_response_dynamics, mean_field_regret
+from repro.core.meanfield import MeanFieldMap
+from repro.core.social import solve_social_optimum
+from repro.experiments.report import SeriesResult
+from repro.experiments.settings import (
+    PAPER_G,
+    theoretical_config,
+    theoretical_population,
+)
+from repro.population.distributions import Uniform
+from repro.population.sampler import PopulationConfig, sample_population
+from repro.queueing.mdp import solve_user_mdp
+from repro.utils.rng import RngFactory
+
+
+def mdp_validation(n_users: int = 100, seed: int = 0,
+                   edge_utilization: float = 0.13) -> SeriesResult:
+    """Value-iteration MDP optimum vs Lemma 1, user by user."""
+    population = theoretical_population("E[A]<E[S]", n_users=n_users, rng=seed)
+    mean_field = MeanFieldMap(population, PAPER_G)
+    edge_delay = mean_field.edge_delay(edge_utilization)
+    lemma = mean_field.best_response(edge_utilization)
+
+    matches = 0
+    threshold_structure = 0
+    worst_gain_error = 0.0
+    for i in range(population.size):
+        solution = solve_user_mdp(population.profile(i), edge_delay)
+        matches += int(solution.threshold == lemma[i])
+        threshold_structure += int(solution.is_threshold_policy)
+        from repro.core.cost import user_cost
+        predicted = population.arrival_rates[i] * user_cost(
+            population.profile(i), float(solution.threshold), edge_delay
+        )
+        if predicted > 0:
+            worst_gain_error = max(
+                worst_gain_error, abs(solution.gain - predicted) / predicted
+            )
+    rows = [
+        ("optimal policy is threshold-type", f"{threshold_structure}/{n_users}"),
+        ("MDP threshold == Lemma 1 threshold", f"{matches}/{n_users}"),
+        ("worst relative gain error vs a·T(x*|γ)", f"{worst_gain_error:.2e}"),
+    ]
+    return SeriesResult(
+        name="Extension — MDP validation of threshold optimality",
+        columns=("check", "result"),
+        rows=rows,
+        notes=f"value iteration, no policy class assumed; g(γ)={edge_delay:.3f}",
+    )
+
+
+def finite_system_convergence(
+    sizes: tuple = (10, 30, 100, 300, 1000),
+    draws: int = 5,
+    seed: int = 0,
+) -> SeriesResult:
+    """|γ_N − γ*| and mean-field regret as the system grows."""
+    factory = RngFactory(seed)
+    config = theoretical_config("E[A]<E[S]")
+    reference = solve_mfne(MeanFieldMap(
+        sample_population(config, 20_000, rng=factory.stream("reference")),
+        PAPER_G,
+    )).utilization
+
+    rows: List[tuple] = []
+    for n in sizes:
+        gaps, regrets = [], []
+        for d in range(draws):
+            population = sample_population(
+                config, n, rng=factory.stream(f"n{n}/draw{d}")
+            )
+            finite_eq = best_response_dynamics(population, PAPER_G)
+            gaps.append(abs(finite_eq.utilization - reference))
+            mean_field = MeanFieldMap(population, PAPER_G)
+            thresholds = mean_field.best_response(
+                solve_mfne(mean_field).utilization
+            ).astype(float)
+            regrets.append(
+                mean_field_regret(population, thresholds, PAPER_G).max_regret
+            )
+        rows.append((n, float(np.mean(gaps)), float(np.max(regrets))))
+    return SeriesResult(
+        name="Extension — finite-N convergence to the mean field",
+        columns=("N", "mean |gamma_N - gamma*|", "max MF regret"),
+        rows=rows,
+        notes=(f"γ* (N=20000 reference) = {reference:.4f}; {draws} draws "
+               "per size; regret accounts for each deviator's own γ shift"),
+    )
+
+
+def price_of_anarchy(
+    a_maxes: tuple = (2.0, 4.0, 6.0, 8.0, 9.5),
+    n_users: int = 3000,
+    seed: int = 0,
+) -> SeriesResult:
+    """Equilibrium inefficiency across offered load."""
+    rows = []
+    for a_max in a_maxes:
+        config = PopulationConfig(
+            arrival=Uniform(0.0, a_max),
+            service=Uniform(1.0, 5.0),
+            latency=Uniform(0.0, 1.0),
+            energy_local=Uniform(0.0, 3.0),
+            energy_offload=Uniform(0.0, 1.0),
+            capacity=10.0,
+        )
+        population = sample_population(config, n_users, rng=seed)
+        social = solve_social_optimum(population, PAPER_G)
+        rows.append((
+            f"U(0,{a_max:g})",
+            float(social.equilibrium_utilization),
+            float(social.utilization),
+            float(social.price_of_anarchy),
+            float(social.toll),
+        ))
+    return SeriesResult(
+        name="Extension — price of anarchy across load",
+        columns=("arrival dist", "gamma* (NE)", "gamma (social)",
+                 "PoA", "toll d*-g"),
+        rows=rows,
+        notes="planner restricted to the same threshold class via a "
+              "Pigouvian virtual price",
+    )
+
+
+@dataclass
+class ExtensionSuite:
+    results: List[SeriesResult]
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(result) for result in self.results)
+
+
+def run(seed: int = 0, quick: bool = True) -> ExtensionSuite:
+    """Run all extension analyses (reduced scale when ``quick``)."""
+    if quick:
+        return ExtensionSuite(results=[
+            mdp_validation(n_users=40, seed=seed),
+            finite_system_convergence(sizes=(10, 100, 500), draws=3,
+                                      seed=seed),
+            price_of_anarchy(a_maxes=(4.0, 8.0), n_users=1500, seed=seed),
+        ])
+    return ExtensionSuite(results=[
+        mdp_validation(n_users=150, seed=seed),
+        finite_system_convergence(seed=seed),
+        price_of_anarchy(seed=seed),
+    ])

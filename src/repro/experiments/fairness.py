@@ -1,0 +1,107 @@
+"""Fairness: who wins and who loses under each policy?
+
+Table III compares population *averages*; this experiment looks at the
+distribution of per-user equilibrium costs. Beyond the mean, we report
+
+* cost percentiles (p10/p50/p90/p99) under DTU and DPO at their own
+  equilibria;
+* the Gini coefficient of the cost distribution (dispersion);
+* the fraction of users strictly better off under the threshold policy.
+
+Threshold offloading helps the heavily loaded users most (their queues are
+capped), so it both lowers the mean and compresses the upper tail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dpo import dpo_population_costs, solve_dpo_equilibrium
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.experiments.report import SeriesResult
+from repro.experiments.settings import PAPER_G, theoretical_config
+from repro.population.sampler import sample_population
+
+PERCENTILES = (10, 50, 90, 99)
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 unequal)."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0 or np.any(data < 0):
+        raise ValueError("gini needs a non-empty, non-negative sample")
+    total = data.sum()
+    if total == 0:
+        return 0.0
+    n = data.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.dot(ranks, data) / (n * total)) - (n + 1.0) / n)
+
+
+def run(
+    n_users: int = 5000,
+    a_max: float = 6.0,
+    latency_high: float = 5.0,
+    seed: int = 0,
+    population=None,
+) -> SeriesResult:
+    """Per-user cost distributions at each policy's own equilibrium."""
+    if population is None:
+        config = theoretical_config("E[A]<E[S]", latency_high=latency_high)
+        # Override the arrival range to the requested load.
+        from repro.population.distributions import Uniform
+        from repro.population.sampler import PopulationConfig
+        config = PopulationConfig(
+            arrival=Uniform(0.0, a_max),
+            service=config.service,
+            latency=config.latency,
+            energy_local=config.energy_local,
+            energy_offload=config.energy_offload,
+            capacity=config.capacity,
+        )
+        population = sample_population(config, n_users, rng=seed)
+
+    mean_field = MeanFieldMap(population, PAPER_G)
+    gamma_dtu = solve_mfne(mean_field).utilization
+    thresholds = mean_field.best_response(gamma_dtu)
+    dtu_costs = mean_field.user_costs(gamma_dtu, thresholds)
+
+    dpo_eq = solve_dpo_equilibrium(population, PAPER_G)
+    dpo_costs = dpo_population_costs(
+        population, dpo_eq.probabilities, PAPER_G(dpo_eq.utilization)
+    )
+
+    rows = []
+    for p in PERCENTILES:
+        rows.append((f"p{p}",
+                     float(np.percentile(dtu_costs, p)),
+                     float(np.percentile(dpo_costs, p))))
+    rows.append(("mean", float(dtu_costs.mean()), float(dpo_costs.mean())))
+    rows.append(("gini", gini(dtu_costs), gini(dpo_costs)))
+
+    better_off = float((dtu_costs < dpo_costs - 1e-12).mean())
+    return SeriesResult(
+        name="Fairness — per-user equilibrium cost distribution",
+        columns=("statistic", "DTU", "DPO"),
+        rows=rows,
+        notes=(f"n_users={population.size}; {100 * better_off:.1f}% of "
+               "users strictly better off under DTU (remainder ties, e.g. "
+               "users who fully offload under both policies)"),
+    )
+
+
+def tail_compression(
+    n_users: int = 5000, a_max: float = 8.0, seed: int = 0,
+    percentile: float = 99.0,
+) -> float:
+    """How much DTU compresses the cost tail vs DPO: p99 ratio (DPO/DTU)."""
+    result = run(n_users=n_users, a_max=a_max, seed=seed)
+    table = {row[0]: (row[1], row[2]) for row in result.rows}
+    dtu_p99, dpo_p99 = table[f"p{int(percentile)}"]
+    return dpo_p99 / dtu_p99
+
+
+__all__: Optional[list] = ["run", "gini", "tail_compression"]

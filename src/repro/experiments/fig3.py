@@ -1,0 +1,53 @@
+"""Fig. 3 — a single user's offloading probability versus utilisation γ.
+
+The Lemma-1 optimal threshold ``x*(γ)`` is integer-valued, so as γ sweeps
+[0, 1] the induced offloading probability ``α(x*(γ))`` is a *staircase*:
+piecewise constant with downward jumps wherever the comparison value
+``a·(g(γ) + τ + w(p_E − p_L))`` crosses a step ``f(m|θ)``. This
+discontinuity of the individual best response is exactly the difficulty
+Theorem 1 overcomes (the population average ``V(γ)`` is continuous even
+though each user's curve is not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.best_response import optimal_threshold
+from repro.core.edge_delay import EdgeDelayModel
+from repro.core.tro import offload_probability
+from repro.experiments.report import SeriesResult
+from repro.experiments.settings import PAPER_G
+from repro.population.user import UserProfile
+
+#: A representative user (moderate intensity so several steps are visible).
+DEFAULT_USER = UserProfile(
+    arrival_rate=3.0,
+    service_rate=1.5,
+    offload_latency=0.5,
+    energy_local=2.0,
+    energy_offload=0.5,
+)
+
+
+def run(
+    user: UserProfile = DEFAULT_USER,
+    delay_model: EdgeDelayModel = PAPER_G,
+    points: int = 401,
+) -> SeriesResult:
+    """Tabulate x*(γ) and α(x*(γ)) over a fine γ grid."""
+    grid = np.linspace(0.0, 1.0, points)
+    rows = []
+    for gamma in grid:
+        threshold = optimal_threshold(user, delay_model(float(gamma)))
+        alpha = offload_probability(float(threshold), user.intensity)
+        rows.append((float(gamma), int(threshold), float(alpha)))
+    jumps = sum(1 for a, b in zip(rows, rows[1:]) if a[1] != b[1])
+    return SeriesResult(
+        name="Fig. 3 — user's offloading probability vs server utilisation",
+        columns=("gamma", "x*", "alpha(x*)"),
+        rows=rows,
+        notes=(f"user: a={user.arrival_rate:g}, θ={user.intensity:g}, "
+               f"τ={user.offload_latency:g}; staircase with {jumps} jumps "
+               "(discontinuous best response, cf. Theorem 1 remarks)"),
+    )

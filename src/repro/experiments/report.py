@@ -1,0 +1,107 @@
+"""Result containers and paper-vs-measured reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One reported number next to the paper's value."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.paper is None or self.paper == 0:
+            return None
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+    def as_row(self) -> Tuple[str, str, str, str]:
+        paper = f"{self.paper:.4g}" if self.paper is not None else "—"
+        rel = (f"{100 * self.relative_error:.1f}%"
+               if self.relative_error is not None else "—")
+        return (self.label, f"{self.measured:.4g}", paper, rel)
+
+
+@dataclass
+class ComparisonResult:
+    """A table-style experiment result (Tables I–III)."""
+
+    name: str
+    rows: List[PaperComparison]
+    notes: str = ""
+
+    def __str__(self) -> str:
+        table = format_table(
+            headers=("setup", "measured", "paper", "rel. err."),
+            rows=[r.as_row() for r in self.rows],
+            title=self.name,
+        )
+        if self.notes:
+            table += f"\n\n{self.notes}"
+        return table
+
+    def max_relative_error(self) -> float:
+        errors = [r.relative_error for r in self.rows if r.relative_error is not None]
+        return max(errors) if errors else math.nan
+
+
+@dataclass
+class SeriesResult:
+    """A figure-style experiment result: named columns of equal length."""
+
+    name: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row width {len(row)} != column count {len(self.columns)}"
+                )
+
+    def column(self, name: str) -> List:
+        """Extract one column by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        shown = self.rows if len(self.rows) <= 40 else self._thinned(40)
+        table = format_table(headers=self.columns, rows=shown, title=self.name)
+        if len(self.rows) > 40:
+            table += f"\n... ({len(self.rows)} rows total, thinned for display)"
+        if self.notes:
+            table += f"\n\n{self.notes}"
+        return table
+
+    def _thinned(self, target: int) -> List[Tuple]:
+        step = max(1, len(self.rows) // target)
+        thinned = self.rows[::step]
+        if thinned[-1] != self.rows[-1]:
+            thinned.append(self.rows[-1])
+        return thinned
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode rendering of a series (for convergence traces)."""
+    data = list(values)
+    if not data:
+        return ""
+    if len(data) > width:
+        step = len(data) / width
+        data = [data[int(i * step)] for i in range(width)]
+    low, high = min(data), max(data)
+    if math.isclose(low, high):
+        return "─" * len(data)
+    blocks = "▁▂▃▄▅▆▇█"
+    scale = (len(blocks) - 1) / (high - low)
+    return "".join(blocks[int((v - low) * scale)] for v in data)

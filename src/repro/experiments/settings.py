@@ -1,0 +1,139 @@
+"""Canonical Section-IV experiment settings.
+
+Two families of setups drive the whole evaluation:
+
+* **theoretical settings** (Section IV-A): every parameter uniform,
+  exponential local processing — the regime where Theorems 1–2 are exact;
+* **practical settings** (Section IV-B): mean service rates and offload
+  latencies drawn from the (synthetic stand-ins for the) collected
+  real-world datasets, asynchronous threshold updates, and — in the DES
+  variants — YOLO-shaped service times.
+
+Both families come in three arrival-rate flavours: ``E[A] < E[S]``,
+``E[A] = E[S]``, ``E[A] > E[S]``.
+
+The edge capacity ``c`` is not stated in the paper; the constants here are
+the calibrated choices documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.edge_delay import ReciprocalDelay
+from repro.population.distributions import Uniform
+from repro.population.realworld import load_realworld_data
+from repro.population.sampler import Population, PopulationConfig, sample_population
+from repro.utils.rng import SeedLike
+
+#: Per-user edge capacity for the theoretical settings (calibrated; with
+#: c = 10 our MFNE reproduces Table I to two decimals).
+THEORETICAL_CAPACITY = 10.0
+
+#: Per-user edge capacity for the practical settings (calibrated jointly
+#: with the synthetic WiFi latency mean, DESIGN.md §2).
+PRACTICAL_CAPACITY = 12.2
+
+#: The paper's edge-delay curve, g(γ) = 1/(1.1 − γ).
+PAPER_G = ReciprocalDelay(headroom=1.1, scale=1.0)
+
+#: Population sizes used in the paper.
+THEORETICAL_N_USERS = 10_000     # Section IV-A
+PRACTICAL_N_USERS = 1_000        # Section IV-B
+
+#: Asynchronous update probability of Section IV-B.
+ASYNC_UPDATE_PROBABILITY = 0.8
+
+#: Section IV-A arrival distributions: A ~ U(0, A_max) with S ~ U(1, 5),
+#: so E[S] = 3 and the three setups bracket it.
+THEORETICAL_ARRIVALS: Dict[str, float] = {
+    "E[A]<E[S]": 4.0,
+    "E[A]=E[S]": 6.0,
+    "E[A]>E[S]": 8.0,
+}
+
+#: Section IV-B arrival distributions (E[S] = 8.9437 from the data).
+PRACTICAL_ARRIVALS: Dict[str, tuple] = {
+    "E[A]<E[S]": (4.0, 12.0),          # E[A] = 8
+    "E[A]=E[S]": (7.3474, 10.54),      # E[A] = 8.9437
+    "E[A]>E[S]": (8.0, 12.0),          # E[A] = 10
+}
+
+#: Paper-reported equilibria (Tables I and II) for the comparison reports.
+PAPER_TABLE1_MFNE: Dict[str, float] = {
+    "E[A]<E[S]": 0.13, "E[A]=E[S]": 0.21, "E[A]>E[S]": 0.28,
+}
+PAPER_TABLE2_MFNE: Dict[str, float] = {
+    "E[A]<E[S]": 0.43, "E[A]=E[S]": 0.44, "E[A]>E[S]": 0.46,
+}
+
+#: Paper-reported Table III costs: (DTU cost, DPO mean cost, reduction %).
+PAPER_TABLE3: Dict[str, Dict[str, tuple]] = {
+    "theoretical": {
+        "E[A]<E[S]": (2.33, 3.04, 30.76),
+        "E[A]=E[S]": (2.58, 3.18, 23.26),
+        "E[A]>E[S]": (2.84, 3.27, 15.14),
+    },
+    "practical": {
+        "E[A]<E[S]": (11.56, 13.88, 20.07),
+        "E[A]=E[S]": (11.46, 13.59, 18.50),
+        "E[A]>E[S]": (11.42, 13.42, 17.51),
+    },
+}
+
+
+def theoretical_config(
+    setup: str,
+    latency_high: float = 1.0,
+    capacity: float = THEORETICAL_CAPACITY,
+) -> PopulationConfig:
+    """Section IV-A population: all parameters uniform.
+
+    ``latency_high`` is 1.0 for Table I / Fig. 5 and 5.0 for the Table III
+    comparison (the paper switches to T ~ U(0, 5) there).
+    """
+    amax = THEORETICAL_ARRIVALS[setup]
+    return PopulationConfig(
+        arrival=Uniform(0.0, amax),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, latency_high),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=capacity,
+    )
+
+
+def practical_config(
+    setup: str,
+    capacity: float = PRACTICAL_CAPACITY,
+) -> PopulationConfig:
+    """Section IV-B population: S and T from the real-world datasets."""
+    low, high = PRACTICAL_ARRIVALS[setup]
+    data = load_realworld_data()
+    return PopulationConfig(
+        arrival=Uniform(low, high),
+        service=data.service_rate_distribution(),
+        latency=data.latency_distribution(),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=capacity,
+    )
+
+
+def theoretical_population(
+    setup: str,
+    n_users: int = THEORETICAL_N_USERS,
+    rng: SeedLike = 0,
+    latency_high: float = 1.0,
+) -> Population:
+    """A sampled Section IV-A population."""
+    return sample_population(theoretical_config(setup, latency_high), n_users, rng=rng)
+
+
+def practical_population(
+    setup: str,
+    n_users: int = PRACTICAL_N_USERS,
+    rng: SeedLike = 0,
+) -> Population:
+    """A sampled Section IV-B population."""
+    return sample_population(practical_config(setup), n_users, rng=rng)

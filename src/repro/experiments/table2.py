@@ -1,0 +1,85 @@
+"""Table II — the MFNE under practical settings.
+
+N = 10³ users; each user's mean service rate and mean offloading latency
+are drawn from the (synthetic stand-ins for the) collected YOLOv3 / WiFi
+datasets, so E[S] = 8.9437; A ~ U(4,12) / U(7.3474,10.54) / U(8,12).
+The paper reports γ* = 0.43, 0.44, 0.46.
+
+The equilibrium itself is still the fixed point of the Lemma-1
+best-response map (users make *model-based* threshold decisions from their
+mean rates); the practical twist — YOLO-shaped service-time distributions
+— enters through the optional DES validation, which measures the actual
+utilisation at the solved equilibrium thresholds with empirical service
+times and reports the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.experiments.report import ComparisonResult, PaperComparison
+from repro.experiments.settings import (
+    PAPER_G,
+    PAPER_TABLE2_MFNE,
+    PRACTICAL_ARRIVALS,
+    PRACTICAL_N_USERS,
+    practical_population,
+)
+from repro.population.realworld import load_realworld_data
+from repro.simulation.measurement import EmpiricalService, MeasurementConfig
+from repro.simulation.system import simulate_system, tro_policies
+from repro.utils.rng import SeedLike
+
+
+def run(
+    n_users: int = PRACTICAL_N_USERS,
+    rng: SeedLike = 0,
+    validate_with_des: bool = False,
+    des_config: Optional[MeasurementConfig] = None,
+) -> ComparisonResult:
+    """Solve the practical-settings MFNE for the three setups.
+
+    With ``validate_with_des=True`` each equilibrium is re-measured by
+    simulating every device with YOLO-shaped service times; the DES
+    utilisation is appended as an extra row per setup.
+    """
+    rows = []
+    data = load_realworld_data()
+    for setup in PRACTICAL_ARRIVALS:
+        population = practical_population(setup, n_users=n_users, rng=rng)
+        mean_field = MeanFieldMap(population, PAPER_G)
+        result = solve_mfne(mean_field)
+        if not result.converged:
+            raise RuntimeError(f"MFNE solve did not converge for setup {setup}")
+        rows.append(
+            PaperComparison(
+                label=setup,
+                measured=result.utilization,
+                paper=PAPER_TABLE2_MFNE[setup],
+            )
+        )
+        if validate_with_des:
+            thresholds = mean_field.best_response(result.utilization)
+            measurement = simulate_system(
+                population,
+                policies=tro_policies(thresholds, population.size),
+                config=des_config or MeasurementConfig(horizon=60.0, warmup=15.0,
+                                                       seed=1234),
+                service_model=EmpiricalService(data.processing_times),
+                delay_model=PAPER_G,
+            )
+            rows.append(
+                PaperComparison(
+                    label=f"{setup} (DES, empirical service)",
+                    measured=measurement.utilization,
+                    paper=PAPER_TABLE2_MFNE[setup],
+                )
+            )
+    return ComparisonResult(
+        name="Table II — MFNE under practical settings",
+        rows=rows,
+        notes=(f"n_users={n_users}, c=12.2 and synthetic-data latency mean "
+               "calibrated (DESIGN.md §2/§3); E[S]=8.9437 from the dataset"),
+    )

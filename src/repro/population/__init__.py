@@ -1,0 +1,65 @@
+"""Heterogeneous user-population modelling.
+
+The paper draws each user's mean arrival rate ``A``, mean service rate
+``S``, mean offloading latency ``T``, and mean energy consumptions ``P_L``,
+``P_E`` from bounded continuous distributions. This subpackage provides:
+
+* :mod:`repro.population.distributions` — the distribution toolbox;
+* :mod:`repro.population.user` — per-user parameter bundles;
+* :mod:`repro.population.sampler` — population configuration & sampling;
+* :mod:`repro.population.realworld` — synthetic stand-ins for the paper's
+  collected YOLOv3 / WiFi measurement datasets (Fig. 6).
+"""
+
+from repro.population.distributions import (
+    Beta,
+    Pareto,
+    Deterministic,
+    Distribution,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Scaled,
+    Shifted,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+from repro.population.io import load_population, save_population
+from repro.population.realworld import (
+    RealWorldData,
+    load_realworld_data,
+    wifi_offload_latencies,
+    yolo_processing_times,
+)
+from repro.population.sampler import Population, PopulationConfig, sample_population
+from repro.population.user import UserProfile
+
+__all__ = [
+    "Distribution",
+    "Uniform",
+    "TruncatedNormal",
+    "Exponential",
+    "LogNormal",
+    "Gamma",
+    "Deterministic",
+    "Empirical",
+    "Mixture",
+    "Scaled",
+    "Shifted",
+    "Weibull",
+    "Beta",
+    "Pareto",
+    "UserProfile",
+    "Population",
+    "PopulationConfig",
+    "sample_population",
+    "save_population",
+    "load_population",
+    "RealWorldData",
+    "load_realworld_data",
+    "yolo_processing_times",
+    "wifi_offload_latencies",
+]

@@ -1,0 +1,500 @@
+"""Probability distributions for heterogeneous parameter sampling.
+
+The system model (Section II of the paper) requires *bounded continuous*
+distributions for the per-user parameters. This module provides those
+(:class:`Uniform`, :class:`TruncatedNormal`, :class:`Empirical`, ...) plus
+the unbounded service-time distributions the simulator needs
+(:class:`Exponential`, :class:`LogNormal`, :class:`Gamma`).
+
+Every distribution exposes:
+
+* ``mean()`` — exact analytic mean (used by closed-form analysis);
+* ``sample(rng, size)`` — vectorised draws from a NumPy generator;
+* ``support()`` — ``(low, high)`` bounds (``inf`` allowed for unbounded);
+* ``bounded`` — whether the support is finite, so the population sampler can
+  enforce the paper's boundedness assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_non_negative, check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class Distribution(ABC):
+    """A univariate distribution with an exact mean and vectorised sampling."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Exact analytic mean of the distribution."""
+
+    @abstractmethod
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        """Draw samples. ``size=None`` returns a scalar float."""
+
+    @abstractmethod
+    def support(self) -> Tuple[float, float]:
+        """Return the ``(low, high)`` support bounds."""
+
+    @property
+    def bounded(self) -> bool:
+        low, high = self.support()
+        return math.isfinite(low) and math.isfinite(high)
+
+    def sample_array(self, rng: SeedLike, size: int) -> np.ndarray:
+        """Always return a NumPy array of ``size`` samples."""
+        out = self.sample(rng, size=size)
+        return np.asarray(out, dtype=float)
+
+
+class Uniform(Distribution):
+    """Continuous uniform distribution U(low, high)."""
+
+    def __init__(self, low: float, high: float):
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = gen.uniform(self.low, self.high, size=size)
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low:g}, {self.high:g})"
+
+
+class Deterministic(Distribution):
+    """A point mass at ``value`` (useful for homogeneous ablations)."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        if size is None:
+            return self.value
+        return np.full(size, self.value, dtype=float)
+
+    def support(self) -> Tuple[float, float]:
+        return (self.value, self.value)
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.value:g})"
+
+
+class Exponential(Distribution):
+    """Exponential distribution with given ``rate`` (mean ``1/rate``).
+
+    This is the service-time distribution under which the paper's theory
+    (Theorems 1 and 2) is exact.
+    """
+
+    def __init__(self, rate: float):
+        self.rate = check_positive("rate", rate)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = gen.exponential(1.0 / self.rate, size=size)
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate:g})"
+
+
+class TruncatedNormal(Distribution):
+    """Normal(mu, sigma²) truncated to [low, high], sampled by rejection.
+
+    The mean is computed with the standard truncated-normal formula; the
+    rejection sampler is exact (no renormalisation bias) and adequate for
+    the mild truncations used in experiments.
+    """
+
+    _MAX_REJECTION_ROUNDS = 1000
+
+    def __init__(self, mu: float, sigma: float, low: float, high: float):
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.mu = float(mu)
+        self.sigma = check_positive("sigma", sigma)
+        self.low = float(low)
+        self.high = float(high)
+        self._acceptance = self._phi(self._beta) - self._phi(self._alpha)
+        if self._acceptance < 1e-12:
+            raise ValueError(
+                "truncation interval has negligible probability mass; "
+                "rejection sampling would not terminate"
+            )
+
+    @property
+    def _alpha(self) -> float:
+        return (self.low - self.mu) / self.sigma
+
+    @property
+    def _beta(self) -> float:
+        return (self.high - self.mu) / self.sigma
+
+    @staticmethod
+    def _phi(z: float) -> float:
+        """Standard normal CDF."""
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    @staticmethod
+    def _pdf(z: float) -> float:
+        return math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+
+    def mean(self) -> float:
+        a, b = self._alpha, self._beta
+        return self.mu + self.sigma * (self._pdf(a) - self._pdf(b)) / self._acceptance
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        n = 1 if size is None else int(size)
+        accepted = np.empty(0, dtype=float)
+        # Draw in batches sized by the acceptance probability.
+        for _ in range(self._MAX_REJECTION_ROUNDS):
+            need = n - accepted.size
+            if need <= 0:
+                break
+            batch = max(16, int(need / max(self._acceptance, 1e-6) * 1.2))
+            draws = gen.normal(self.mu, self.sigma, size=batch)
+            keep = draws[(draws >= self.low) & (draws <= self.high)]
+            accepted = np.concatenate([accepted, keep])
+        if accepted.size < n:  # pragma: no cover - guarded by ctor check
+            raise RuntimeError("rejection sampling failed to terminate")
+        accepted = accepted[:n]
+        return float(accepted[0]) if size is None else accepted
+
+    def support(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return (f"TruncatedNormal(mu={self.mu:g}, sigma={self.sigma:g}, "
+                f"low={self.low:g}, high={self.high:g})")
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterised by the underlying normal.
+
+    ``mean = exp(mu + sigma²/2)``. Used to synthesise the right-skewed
+    YOLOv3 processing-time data (Fig. 6a).
+    """
+
+    def __init__(self, mu: float, sigma: float):
+        self.mu = float(mu)
+        self.sigma = check_positive("sigma", sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def variance(self) -> float:
+        m = self.mean()
+        return (math.exp(self.sigma**2) - 1.0) * m * m
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = gen.lognormal(self.mu, self.sigma, size=size)
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "LogNormal":
+        """Construct from a target mean and coefficient of variation."""
+        mean = check_positive("mean", mean)
+        cv = check_positive("cv", cv)
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu=mu, sigma=math.sqrt(sigma2))
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu:g}, sigma={self.sigma:g})"
+
+
+class Gamma(Distribution):
+    """Gamma distribution with ``shape`` k and ``scale`` θ (mean kθ).
+
+    Used to synthesise WiFi offloading latencies (Fig. 6b).
+    """
+
+    def __init__(self, shape: float, scale: float):
+        self.shape = check_positive("shape", shape)
+        self.scale = check_positive("scale", scale)
+
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    def variance(self) -> float:
+        return self.shape * self.scale**2
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = gen.gamma(self.shape, self.scale, size=size)
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def __repr__(self) -> str:
+        return f"Gamma(shape={self.shape:g}, scale={self.scale:g})"
+
+
+class Weibull(Distribution):
+    """Weibull distribution with ``shape`` k and ``scale`` λ.
+
+    ``mean = λ·Γ(1 + 1/k)``. Shape < 1 gives heavy-ish tails (a common fit
+    for wireless latencies), shape > 1 concentrates around the scale.
+    """
+
+    def __init__(self, shape: float, scale: float):
+        self.shape = check_positive("shape", shape)
+        self.scale = check_positive("scale", scale)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1 * g1)
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = self.scale * gen.weibull(self.shape, size=size)
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def __repr__(self) -> str:
+        return f"Weibull(shape={self.shape:g}, scale={self.scale:g})"
+
+
+class Beta(Distribution):
+    """Beta(a, b) scaled to the interval [low, high].
+
+    A bounded continuous distribution — exactly the class the paper's
+    system model assumes — with flexible skew: mean
+    ``low + (high − low)·a/(a+b)``.
+    """
+
+    def __init__(self, a: float, b: float, low: float = 0.0, high: float = 1.0):
+        self.a = check_positive("a", a)
+        self.b = check_positive("b", b)
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def mean(self) -> float:
+        return self.low + (self.high - self.low) * self.a / (self.a + self.b)
+
+    def variance(self) -> float:
+        ab = self.a + self.b
+        unit = self.a * self.b / (ab * ab * (ab + 1.0))
+        return (self.high - self.low) ** 2 * unit
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = self.low + (self.high - self.low) * gen.beta(self.a, self.b,
+                                                           size=size)
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return (f"Beta(a={self.a:g}, b={self.b:g}, "
+                f"low={self.low:g}, high={self.high:g})")
+
+
+class Pareto(Distribution):
+    """Pareto (Lomax-style, shifted) distribution on ``[minimum, ∞)``.
+
+    ``P(X > x) = (minimum/x)^α`` for ``x ≥ minimum``; the mean
+    ``α·minimum/(α−1)`` exists only for ``α > 1`` (enforced, since every
+    consumer of a :class:`Distribution` needs a mean). Heavy tails model
+    worst-case wireless latencies far better than gamma mixtures.
+    """
+
+    def __init__(self, alpha: float, minimum: float = 1.0):
+        self.alpha = check_positive("alpha", alpha)
+        if alpha <= 1.0:
+            raise ValueError(
+                f"alpha must be > 1 for a finite mean, got {alpha}"
+            )
+        self.minimum = check_positive("minimum", minimum)
+
+    def mean(self) -> float:
+        return self.alpha * self.minimum / (self.alpha - 1.0)
+
+    def variance(self) -> float:
+        if self.alpha <= 2.0:
+            return math.inf
+        a, m = self.alpha, self.minimum
+        return m * m * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        # numpy's pareto is the Lomax form; shift+scale to classic Pareto.
+        out = self.minimum * (1.0 + gen.pareto(self.alpha, size=size))
+        return float(out) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        return (self.minimum, math.inf)
+
+    def __repr__(self) -> str:
+        return f"Pareto(alpha={self.alpha:g}, minimum={self.minimum:g})"
+
+
+class Empirical(Distribution):
+    """The empirical distribution of a fixed dataset (sampling = bootstrap).
+
+    This is how the paper's "practical settings" consume collected data: a
+    user's mean service rate / offload latency is drawn uniformly from the
+    measured values.
+    """
+
+    def __init__(self, data: Sequence[float]):
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("data must be a non-empty 1-D sequence")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("data must be finite")
+        self.data = arr.copy()
+        self.data.flags.writeable = False
+
+    def mean(self) -> float:
+        return float(self.data.mean())
+
+    def variance(self) -> float:
+        if self.data.size < 2:
+            return 0.0
+        return float(self.data.var(ddof=1))
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        out = gen.choice(self.data, size=size, replace=True)
+        return float(out) if size is None else np.asarray(out, dtype=float)
+
+    def support(self) -> Tuple[float, float]:
+        return (float(self.data.min()), float(self.data.max()))
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={self.data.size}, mean={self.mean():.4g})"
+
+
+class Mixture(Distribution):
+    """A finite mixture of component distributions with given weights."""
+
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
+        if len(components) == 0 or len(components) != len(weights):
+            raise ValueError("components and weights must be non-empty, same length")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = w / total
+
+    def mean(self) -> float:
+        return float(sum(w * comp.mean()
+                         for w, comp in zip(self.weights, self.components)))
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        gen = as_generator(rng)
+        n = 1 if size is None else int(size)
+        counts = gen.multinomial(n, self.weights)
+        parts = [comp.sample_array(gen, int(k))
+                 for comp, k in zip(self.components, counts) if k > 0]
+        out = np.concatenate(parts) if parts else np.empty(0)
+        gen.shuffle(out)
+        return float(out[0]) if size is None else out
+
+    def support(self) -> Tuple[float, float]:
+        lows, highs = zip(*(c.support() for c in self.components))
+        return (min(lows), max(highs))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.components)
+        return f"Mixture([{inner}], weights={np.round(self.weights, 4).tolist()})"
+
+
+class Shifted(Distribution):
+    """``base + offset`` — shift a distribution's support."""
+
+    def __init__(self, base: Distribution, offset: float):
+        self.base = base
+        self.offset = check_non_negative("offset", offset)
+
+    def mean(self) -> float:
+        return self.base.mean() + self.offset
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        out = self.base.sample(rng, size=size)
+        if size is None:
+            return float(out) + self.offset
+        return np.asarray(out) + self.offset
+
+    def support(self) -> Tuple[float, float]:
+        low, high = self.base.support()
+        return (low + self.offset, high + self.offset)
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.base!r}, offset={self.offset:g})"
+
+
+class Scaled(Distribution):
+    """``factor * base`` — rescale a distribution (factor > 0)."""
+
+    def __init__(self, base: Distribution, factor: float):
+        self.base = base
+        self.factor = check_positive("factor", factor)
+
+    def mean(self) -> float:
+        return self.factor * self.base.mean()
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        out = self.base.sample(rng, size=size)
+        if size is None:
+            return self.factor * float(out)
+        return self.factor * np.asarray(out)
+
+    def support(self) -> Tuple[float, float]:
+        low, high = self.base.support()
+        return (self.factor * low, self.factor * high)
+
+    def __repr__(self) -> str:
+        return f"Scaled({self.base!r}, factor={self.factor:g})"

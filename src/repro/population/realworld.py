@@ -1,0 +1,150 @@
+"""Synthetic stand-ins for the paper's collected real-world datasets.
+
+Section IV-B of the paper drives the "practical settings" experiments with
+two measured datasets (their Fig. 6):
+
+* **local processing times** — YOLOv3 object detection on a Raspberry Pi 4
+  over the 1000 images of VOC2012;
+* **offloading latencies** — uploads of the same 1000 images from the
+  Raspberry Pi to Google Drive over WiFi.
+
+We do not have that hardware, so we *simulate* the datasets (see DESIGN.md
+§3): deterministic synthetic samples whose statistics match what the paper
+reports and whose shapes match the paper's histograms —
+
+* processing times: a right-skewed lognormal mixture (a main mode plus a
+  slow-frame tail), **calibrated so the induced mean service rate equals
+  E[S] = 8.9437**, the value the paper states for its collected data;
+* offloading latencies: a gamma mixture with a long tail (WiFi retransmits).
+
+Only the distributions of these quantities enter the algorithms (per-user
+mean rates feed Lemma 1; the empirical samples feed the discrete-event
+simulator), so any dataset with the same statistics exercises the identical
+code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.population.distributions import Empirical, Gamma, LogNormal, Mixture
+from repro.utils.rng import as_generator
+
+#: Mean service *rate* (tasks/second) the paper reports for its collected
+#: YOLOv3 dataset; our synthetic processing times are calibrated to this.
+PAPER_MEAN_SERVICE_RATE = 8.9437
+
+#: Number of measurements in each of the paper's datasets (1000 VOC images).
+DATASET_SIZE = 1000
+
+#: Seed fixing the synthetic datasets — they are part of the repository's
+#: reproducible inputs, not per-run randomness.
+_DATASET_SEED = 20230424  # ICDCS 2023 notification-era date; arbitrary fixed value
+
+
+@dataclass(frozen=True)
+class RealWorldData:
+    """The two synthetic measurement datasets plus derived distributions."""
+
+    processing_times: np.ndarray  # seconds per task on the local device
+    offload_latencies: np.ndarray  # seconds per offloaded task
+
+    def __post_init__(self) -> None:
+        for name in ("processing_times", "offload_latencies"):
+            arr = getattr(self, name)
+            if arr.ndim != 1 or arr.size == 0 or np.any(arr <= 0):
+                raise ValueError(f"{name} must be a 1-D array of positive values")
+
+    @property
+    def service_rates(self) -> np.ndarray:
+        """Per-measurement service rates ``1 / processing_time``."""
+        return 1.0 / self.processing_times
+
+    @property
+    def mean_service_rate(self) -> float:
+        """Mean of the induced service rates (calibrated to 8.9437)."""
+        return float(self.service_rates.mean())
+
+    @property
+    def mean_offload_latency(self) -> float:
+        return float(self.offload_latencies.mean())
+
+    def service_rate_distribution(self) -> Empirical:
+        """Empirical distribution of service rates (practical ``S``)."""
+        return Empirical(self.service_rates)
+
+    def latency_distribution(self) -> Empirical:
+        """Empirical distribution of offload latencies (practical ``T``)."""
+        return Empirical(self.offload_latencies)
+
+    def processing_time_distribution(self) -> Empirical:
+        """Empirical distribution of raw processing times (DES service)."""
+        return Empirical(self.processing_times)
+
+
+def yolo_processing_times(
+    n: int = DATASET_SIZE,
+    mean_service_rate: float = PAPER_MEAN_SERVICE_RATE,
+    seed: int = _DATASET_SEED,
+) -> np.ndarray:
+    """Synthetic YOLOv3-on-RaspberryPi per-image processing times (seconds).
+
+    A two-component lognormal mixture: ~90% of frames cluster around a main
+    detection time and ~10% form a slow tail (large images / thermal
+    throttling), matching the right-skewed unimodal histogram in Fig. 6a.
+    The sample is then rescaled so that ``mean(1/time) == mean_service_rate``
+    exactly.
+    """
+    gen = as_generator(seed)
+    mixture = Mixture(
+        components=[
+            LogNormal.from_mean_cv(mean=1.0, cv=0.25),   # main mode
+            LogNormal.from_mean_cv(mean=1.8, cv=0.35),   # slow tail
+        ],
+        weights=[0.9, 0.1],
+    )
+    times = mixture.sample_array(gen, n)
+    # Rescale so the induced mean service rate hits the paper's value.
+    current_rate = float((1.0 / times).mean())
+    times *= current_rate / mean_service_rate
+    return times
+
+
+def wifi_offload_latencies(
+    n: int = DATASET_SIZE,
+    mean_latency: float = 0.1,
+    seed: int = _DATASET_SEED + 1,
+) -> np.ndarray:
+    """Synthetic RaspberryPi→GoogleDrive WiFi upload latencies (seconds).
+
+    A gamma mixture: the bulk of uploads complete quickly; a minority hit
+    retransmissions/rate-limiting and take several times longer, giving the
+    long right tail of Fig. 6b. Rescaled so the sample mean equals
+    ``mean_latency`` — the paper does not report its measured mean, so the
+    default is calibrated jointly with the edge capacity ``c`` (DESIGN.md
+    §2) to land the practical-settings MFNE in Table II's band.
+    """
+    gen = as_generator(seed)
+    mixture = Mixture(
+        components=[
+            Gamma(shape=4.0, scale=0.06),   # typical uploads
+            Gamma(shape=3.0, scale=0.35),   # retransmission tail
+        ],
+        weights=[0.85, 0.15],
+    )
+    latencies = mixture.sample_array(gen, n)
+    latencies *= mean_latency / float(latencies.mean())
+    return latencies
+
+
+@lru_cache(maxsize=None)
+def load_realworld_data() -> RealWorldData:
+    """The canonical (cached, deterministic) synthetic datasets."""
+    times = yolo_processing_times()
+    times.flags.writeable = False
+    latencies = wifi_offload_latencies()
+    latencies.flags.writeable = False
+    return RealWorldData(processing_times=times, offload_latencies=latencies)

@@ -1,0 +1,61 @@
+"""Per-user parameter bundles.
+
+A :class:`UserProfile` carries exactly the quantities the paper's cost
+function (Eq. 1) and best response (Lemma 1) consume:
+
+* ``arrival_rate``  — ``a_n``, mean Poisson task arrival rate;
+* ``service_rate``  — ``s_n``, mean local processing rate (1/mean time);
+* ``offload_latency`` — ``τ_n``, mean offloading latency;
+* ``energy_local``  — ``p_{n,L}``, mean energy per locally processed task;
+* ``energy_offload`` — ``p_{n,E}``, mean energy per offloaded task;
+* ``weight``        — ``w_n``, latency/energy trade-off weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Immutable parameters of one mobile device (user ``n``)."""
+
+    arrival_rate: float
+    service_rate: float
+    offload_latency: float
+    energy_local: float
+    energy_offload: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        check_positive("service_rate", self.service_rate)
+        check_non_negative("offload_latency", self.offload_latency)
+        check_non_negative("energy_local", self.energy_local)
+        check_non_negative("energy_offload", self.energy_offload)
+        check_positive("weight", self.weight)
+
+    @property
+    def intensity(self) -> float:
+        """Arrival intensity ``θ = a / s`` (the paper's Θ = A/S)."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_service_time(self) -> float:
+        """Mean local processing time ``1 / s``."""
+        return 1.0 / self.service_rate
+
+    def offload_surcharge(self, edge_delay: float) -> float:
+        """Per-task cost difference of offloading vs local energy.
+
+        ``g(γ) + τ + w (p_E − p_L)`` — the quantity Lemma 1 compares against
+        the staircase ``f(m|θ)/a``. ``edge_delay`` is ``g(γ)``.
+        """
+        return (edge_delay + self.offload_latency
+                + self.weight * (self.energy_offload - self.energy_local))
+
+    def with_threshold_inputs(self, **changes: float) -> "UserProfile":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,44 @@
+"""Queueing-theory substrate.
+
+Classical results the reproduction builds on and validates against:
+
+* :mod:`repro.queueing.mm1` — M/M/1 and M/M/1/K closed forms;
+* :mod:`repro.queueing.birth_death` — generic finite birth–death CTMC
+  stationary solver (numeric cross-check of the paper's Eq. 7/8);
+* :mod:`repro.queueing.mg1` — Pollaczek–Khinchine formulas and an
+  embedded-Markov-chain solver for M/G/1 queues with threshold admission
+  (the regime of the paper's "practical settings" where service times are
+  measured, not exponential).
+"""
+
+from repro.queueing.birth_death import BirthDeathChain, tro_birth_death_chain
+from repro.queueing.erlang import erlang_b, erlang_c, mmk_delay_curve, mmk_metrics
+from repro.queueing.mg1 import (
+    MG1Metrics,
+    mg1_mean_queue_length,
+    mg1_mean_waiting_time,
+    mg1k_threshold_metrics,
+)
+from repro.queueing.mm1 import (
+    MM1Metrics,
+    mm1_metrics,
+    mm1k_blocking_probability,
+    mm1k_mean_queue_length,
+)
+
+__all__ = [
+    "BirthDeathChain",
+    "tro_birth_death_chain",
+    "erlang_b",
+    "erlang_c",
+    "mmk_metrics",
+    "mmk_delay_curve",
+    "MM1Metrics",
+    "mm1_metrics",
+    "mm1k_blocking_probability",
+    "mm1k_mean_queue_length",
+    "MG1Metrics",
+    "mg1_mean_queue_length",
+    "mg1_mean_waiting_time",
+    "mg1k_threshold_metrics",
+]

@@ -1,0 +1,112 @@
+"""Generic finite birth–death CTMC stationary solver.
+
+Under the TRO policy with exponential service, the number of tasks on a
+device is a finite birth–death chain; the paper derives its stationary
+distribution in closed form (Eq. 7/8). This module solves *any* finite
+birth–death chain numerically via detailed balance, providing an
+independent cross-check of those closed forms (and of variants the paper
+does not derive, e.g. state-dependent service ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BirthDeathChain:
+    """A finite birth–death CTMC on states ``0..K``.
+
+    ``birth_rates[i]`` is the transition rate ``i -> i+1`` (length K) and
+    ``death_rates[i]`` is the rate ``i+1 -> i`` (length K).
+    """
+
+    birth_rates: np.ndarray
+    death_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        births = np.asarray(self.birth_rates, dtype=float)
+        deaths = np.asarray(self.death_rates, dtype=float)
+        if births.ndim != 1 or deaths.ndim != 1 or births.size != deaths.size:
+            raise ValueError("birth and death rate vectors must be 1-D, same length")
+        if np.any(births < 0) or np.any(deaths <= 0):
+            raise ValueError("birth rates must be >= 0 and death rates > 0")
+        object.__setattr__(self, "birth_rates", births)
+        object.__setattr__(self, "death_rates", deaths)
+
+    @property
+    def n_states(self) -> int:
+        return int(self.birth_rates.size) + 1
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Solve detailed balance: ``π_{i+1} = π_i · λ_i / μ_i``.
+
+        Computed in a numerically careful way (cumulative products of
+        ratios, normalised at the end). States unreachable past a zero
+        birth rate get probability exactly 0.
+        """
+        ratios = self.birth_rates / self.death_rates
+        weights = np.concatenate([[1.0], np.cumprod(ratios)])
+        total = weights.sum()
+        return weights / total
+
+    def mean_state(self) -> float:
+        """Stationary mean of the state (mean number in system)."""
+        pi = self.stationary_distribution()
+        return float(np.dot(np.arange(self.n_states), pi))
+
+    def rate_matrix(self) -> np.ndarray:
+        """Dense generator matrix Q (for validation against a direct solve)."""
+        n = self.n_states
+        q = np.zeros((n, n))
+        for i in range(n - 1):
+            q[i, i + 1] = self.birth_rates[i]
+            q[i + 1, i] = self.death_rates[i]
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return q
+
+    def stationary_distribution_direct(self) -> np.ndarray:
+        """Solve ``πQ = 0, Σπ = 1`` by linear algebra (cross-check path)."""
+        q = self.rate_matrix()
+        n = self.n_states
+        # Replace one balance equation with the normalisation constraint.
+        a = np.vstack([q.T[:-1, :], np.ones(n)])
+        b = np.zeros(n)
+        b[-1] = 1.0
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        return solution / solution.sum()
+
+
+def tro_birth_death_chain(
+    arrival_rate: float,
+    service_rate: float,
+    threshold: float,
+) -> BirthDeathChain:
+    """The CTMC induced by the TRO policy with real-valued ``threshold``.
+
+    With ``k = floor(threshold)`` and ``δ = threshold − k``:
+
+    * states ``0..k-1`` admit arrivals at the full rate ``a``;
+    * state ``k`` admits at rate ``a·δ`` (randomized admission);
+    * state ``k+1`` (reachable only if δ > 0 — or k itself if δ = 0) admits
+      nothing, so the chain is finite.
+
+    A zero-admission top state is kept even when ``δ = 0`` so the state
+    space is always ``0..k+1``; its stationary probability is then exactly 0,
+    which keeps downstream indexing uniform.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("arrival_rate and service_rate must be positive")
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    k = int(np.floor(threshold))
+    delta = threshold - k
+    births = [arrival_rate] * k + [arrival_rate * delta]
+    deaths: Sequence[float] = [service_rate] * (k + 1)
+    return BirthDeathChain(
+        birth_rates=np.asarray(births), death_rates=np.asarray(deaths)
+    )

@@ -1,0 +1,102 @@
+"""Erlang formulas: the M/M/k queue behind the edge-delay abstraction.
+
+The paper abstracts the edge as a delay curve ``g(γ)``; a physical edge is
+a multi-server queue. This module provides the classical Erlang results —
+blocking (Erlang B), queueing probability (Erlang C), and the full M/M/k
+stationary metrics — so the repository can *derive* an edge-delay curve
+from first principles and check that the paper's assumptions on ``g``
+(increasing, continuous) hold for a real edge
+(:mod:`repro.experiments.edge_model`).
+
+All formulas use numerically stable recurrences (no factorials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_int_positive, check_positive
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang B: blocking probability of M/M/k/k with ``offered_load`` = λ/μ.
+
+    Stable recurrence: ``B(0) = 1``, ``B(k) = aB(k−1)/(k + aB(k−1))``.
+
+    >>> round(erlang_b(1, 1.0), 4)      # one server, unit load: a/(1+a)
+    0.5
+    """
+    k = check_int_positive("servers", servers)
+    a = check_positive("offered_load", offered_load)
+    blocking = 1.0
+    for i in range(1, k + 1):
+        blocking = a * blocking / (i + a * blocking)
+    return blocking
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang C: probability an M/M/k arrival must queue (requires a < k)."""
+    k = check_int_positive("servers", servers)
+    a = check_positive("offered_load", offered_load)
+    if a >= k:
+        raise ValueError(f"M/M/k requires offered load < servers; "
+                         f"got a={a} >= k={k}")
+    blocking = erlang_b(k, a)
+    rho = a / k
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+@dataclass(frozen=True)
+class MMKMetrics:
+    """Stationary metrics of a stable M/M/k queue."""
+
+    servers: int
+    offered_load: float            # a = λ/μ
+    utilization: float             # ρ = a/k
+    queueing_probability: float    # Erlang C
+    mean_waiting_time: float       # E[W], time in queue
+    mean_sojourn_time: float       # E[T] = E[W] + 1/μ
+    mean_queue_length: float       # E[N], tasks in system
+
+
+def mmk_metrics(arrival_rate: float, service_rate: float,
+                servers: int) -> MMKMetrics:
+    """Exact stationary metrics of M/M/k (λ = arrival, μ = per-server)."""
+    lam = check_positive("arrival_rate", arrival_rate)
+    mu = check_positive("service_rate", service_rate)
+    k = check_int_positive("servers", servers)
+    a = lam / mu
+    if a >= k:
+        raise ValueError(f"M/M/k unstable: offered load {a:.4g} >= k={k}")
+    c = erlang_c(k, a)
+    wait = c / (k * mu - lam)
+    sojourn = wait + 1.0 / mu
+    return MMKMetrics(
+        servers=k,
+        offered_load=a,
+        utilization=a / k,
+        queueing_probability=c,
+        mean_waiting_time=wait,
+        mean_sojourn_time=sojourn,
+        mean_queue_length=lam * sojourn,
+    )
+
+
+def mmk_delay_curve(servers: int, service_rate: float,
+                    utilizations) -> list:
+    """Mean sojourn time of an M/M/k edge at each utilisation ρ = a/k.
+
+    The physically derived analogue of the paper's ``g(γ)``: evaluates
+    ``E[T]`` at arrival rate ``ρ·k·μ`` for each requested ρ < 1.
+    """
+    curve = []
+    for rho in utilizations:
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"utilisation must be in [0, 1), got {rho}")
+        if rho == 0.0:
+            curve.append(1.0 / service_rate)
+            continue
+        metrics = mmk_metrics(rho * servers * service_rate, service_rate,
+                              servers)
+        curve.append(metrics.mean_sojourn_time)
+    return curve

@@ -1,0 +1,79 @@
+"""Classical M/M/1 and M/M/1/K results.
+
+These closed forms serve two roles in the reproduction:
+
+1. the DPO baseline (Section IV-C) models each device's local queue as an
+   M/M/1 queue with Bernoulli-thinned arrivals — its mean queue length is
+   :func:`mm1_mean_queue_length`;
+2. the TRO chain with an integer threshold k and fraction 0 reduces to an
+   M/M/1/K system, giving an independent validation target for the paper's
+   Eq. (7)/(8) (see ``tests/test_tro_against_mm1k.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_int_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Stationary metrics of an M/M/1 queue."""
+
+    utilization: float
+    mean_queue_length: float          # E[N], tasks in system
+    mean_sojourn_time: float          # E[T], time in system
+    mean_waiting_time: float          # E[W], time in queue (excl. service)
+    prob_empty: float
+
+
+def mm1_metrics(arrival_rate: float, service_rate: float) -> MM1Metrics:
+    """Exact stationary metrics of a stable M/M/1 queue.
+
+    Raises ``ValueError`` when ``arrival_rate >= service_rate`` (unstable).
+    """
+    a = check_positive("arrival_rate", arrival_rate)
+    s = check_positive("service_rate", service_rate)
+    rho = a / s
+    if rho >= 1.0:
+        raise ValueError(f"M/M/1 queue is unstable: rho = {rho:.4g} >= 1")
+    mean_n = rho / (1.0 - rho)
+    mean_t = 1.0 / (s - a)
+    return MM1Metrics(
+        utilization=rho,
+        mean_queue_length=mean_n,
+        mean_sojourn_time=mean_t,
+        mean_waiting_time=mean_t - 1.0 / s,
+        prob_empty=1.0 - rho,
+    )
+
+
+def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """``E[N] = ρ / (1 − ρ)`` for a stable M/M/1 queue."""
+    return mm1_metrics(arrival_rate, service_rate).mean_queue_length
+
+
+def mm1k_stationary_distribution(rho: float, capacity: int) -> list:
+    """Stationary distribution ``π_0..π_K`` of an M/M/1/K queue.
+
+    ``capacity`` is K, the maximum number of tasks in the system.
+    """
+    check_positive("rho", rho)
+    k = check_int_non_negative("capacity", capacity)
+    if math.isclose(rho, 1.0):
+        return [1.0 / (k + 1)] * (k + 1)
+    pi0 = (1.0 - rho) / (1.0 - rho ** (k + 1))
+    return [pi0 * rho**i for i in range(k + 1)]
+
+
+def mm1k_blocking_probability(rho: float, capacity: int) -> float:
+    """Probability an arrival finds the M/M/1/K system full (π_K, by PASTA)."""
+    return mm1k_stationary_distribution(rho, capacity)[-1]
+
+
+def mm1k_mean_queue_length(rho: float, capacity: int) -> float:
+    """Mean number in system for an M/M/1/K queue."""
+    pi = mm1k_stationary_distribution(rho, capacity)
+    return sum(i * p for i, p in enumerate(pi))

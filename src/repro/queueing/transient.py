@@ -1,0 +1,165 @@
+"""Transient analysis of finite CTMCs via uniformization.
+
+The stationary formulas (Eq. 7/8) describe the long-run behaviour; the
+discrete-event experiments need to know *how long* "long-run" is so their
+warmup windows are justified rather than guessed. This module computes
+
+* the exact time-``t`` state distribution of any finite birth–death chain
+  (:func:`transient_distribution`), by uniformization — a numerically safe
+  Poisson-weighted power series, no matrix exponential library needed;
+* the mixing time to a total-variation tolerance
+  (:func:`time_to_stationarity`), used by the tests to check that the
+  default :class:`~repro.simulation.measurement.MeasurementConfig` warmup
+  comfortably covers the slowest devices in the paper's settings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.queueing.birth_death import BirthDeathChain
+from repro.utils.validation import check_non_negative, check_positive
+
+InitialState = Union[int, np.ndarray]
+
+
+def _uniformized_step_matrix(chain: BirthDeathChain) -> tuple:
+    """Return (P, Λ): the DTMC step matrix at uniformization rate Λ.
+
+    Λ must dominate every state's *total* exit rate (birth + death), not
+    just the largest single rate, or the step matrix has negative
+    diagonals and the series diverges.
+    """
+    n = chain.n_states
+    exit_rates = np.zeros(n)
+    exit_rates[:-1] += chain.birth_rates
+    exit_rates[1:] += chain.death_rates
+    uniform_rate = float(exit_rates.max()) * 1.0000001   # strictly dominate
+    step = np.zeros((n, n))
+    for i in range(n - 1):
+        step[i, i + 1] = chain.birth_rates[i] / uniform_rate
+        step[i + 1, i] = chain.death_rates[i] / uniform_rate
+    for i in range(n):
+        step[i, i] = 1.0 - step[i].sum()
+    return step, uniform_rate
+
+
+def _initial_vector(chain: BirthDeathChain, initial: InitialState) -> np.ndarray:
+    n = chain.n_states
+    if isinstance(initial, (int, np.integer)):
+        if not 0 <= int(initial) < n:
+            raise ValueError(f"initial state {initial} outside 0..{n - 1}")
+        vector = np.zeros(n)
+        vector[int(initial)] = 1.0
+        return vector
+    vector = np.asarray(initial, dtype=float)
+    if vector.shape != (n,) or np.any(vector < 0) or \
+            not math.isclose(float(vector.sum()), 1.0, rel_tol=1e-9):
+        raise ValueError("initial must be a state index or a distribution "
+                         f"over {n} states")
+    return vector.copy()
+
+
+def transient_distribution(
+    chain: BirthDeathChain,
+    time: float,
+    initial: InitialState = 0,
+    tail_epsilon: float = 1e-12,
+) -> np.ndarray:
+    """Exact state distribution of ``chain`` at ``time``.
+
+    Uniformization: with ``P`` the uniformized step matrix at rate ``Λ``,
+    ``π(t) = Σ_m pois(m; Λt) · π(0) P^m``, truncated once the Poisson tail
+    falls below ``tail_epsilon`` (the remainder is assigned to the last
+    term, keeping the output an exact distribution).
+    """
+    check_non_negative("time", time)
+    vector = _initial_vector(chain, initial)
+    if time == 0.0:
+        return vector
+    step, uniform_rate = _uniformized_step_matrix(chain)
+    lam_t = uniform_rate * time
+
+    weight = math.exp(-lam_t)
+    remaining = 1.0 - weight
+    result = weight * vector
+    current = vector
+    m = 0
+    max_terms = int(lam_t + 20.0 * math.sqrt(lam_t + 1.0) + 50)
+    while remaining > tail_epsilon and m < max_terms:
+        m += 1
+        current = current @ step
+        weight = weight * lam_t / m
+        remaining -= weight
+        result = result + weight * current
+    if remaining > 0:
+        result = result + remaining * current
+    return result
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def time_to_stationarity(
+    chain: BirthDeathChain,
+    tolerance: float = 0.01,
+    initial: InitialState = 0,
+    max_time: float = 1e6,
+) -> float:
+    """Smallest (up to bisection) ``t`` with ``TV(π(t), π) ≤ tolerance``.
+
+    Doubles ``t`` until the tolerance is met, then bisects; raises if
+    ``max_time`` is insufficient (a nearly absorbing chain).
+    """
+    check_positive("tolerance", tolerance)
+    stationary = chain.stationary_distribution()
+
+    def distance(t: float) -> float:
+        return total_variation(
+            transient_distribution(chain, t, initial), stationary
+        )
+
+    if distance(0.0) <= tolerance:
+        return 0.0
+    upper = 1.0
+    while distance(upper) > tolerance:
+        upper *= 2.0
+        if upper > max_time:
+            raise ArithmeticError(
+                f"chain has not mixed to TV {tolerance} by t = {max_time}"
+            )
+    lower = upper / 2.0
+    for _ in range(40):
+        mid = 0.5 * (lower + upper)
+        if distance(mid) > tolerance:
+            lower = mid
+        else:
+            upper = mid
+        if upper - lower < 1e-3 * upper:
+            break
+    return upper
+
+
+def warmup_recommendation(
+    arrival_rate: float,
+    service_rate: float,
+    threshold: float,
+    tolerance: float = 0.01,
+) -> float:
+    """Mixing time of one device's TRO chain from an empty queue.
+
+    A DES warmup at least this long guarantees the observation window
+    starts within ``tolerance`` total variation of stationarity.
+    """
+    from repro.queueing.birth_death import tro_birth_death_chain
+    chain = tro_birth_death_chain(arrival_rate, service_rate, threshold)
+    return time_to_stationarity(chain, tolerance=tolerance, initial=0)

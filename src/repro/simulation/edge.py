@@ -1,0 +1,88 @@
+"""The edge-server model.
+
+In the paper the edge is an abstraction with two knobs: total service
+capacity ``N·c`` (so every user's full load could be absorbed, ``A_max <
+c``) and a delay curve ``g(γ)`` increasing in the utilisation
+``γ = Σ_n (offloaded rate of n) / (N c)``. :class:`EdgeServer` does that
+bookkeeping for measured offload streams; the ``g`` models themselves live
+in :mod:`repro.core.edge_delay` and are re-exported here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.edge_delay import (  # noqa: F401  (re-exported)
+    PAPER_DELAY_MODEL,
+    EdgeDelayModel,
+    LinearDelay,
+    PowerDelay,
+    ReciprocalDelay,
+)
+from repro.utils.validation import check_int_positive, check_positive
+
+
+class EdgeServer:
+    """Utilisation accounting plus the delay curve ``g``.
+
+    Parameters
+    ----------
+    capacity_per_user:
+        ``c`` — the per-user share of the edge's service capacity.
+    n_users:
+        ``N`` — the population size sharing the edge.
+    delay_model:
+        The ``g(γ)`` curve; defaults to the paper's ``1/(1.1 − γ)``.
+    """
+
+    def __init__(
+        self,
+        capacity_per_user: float,
+        n_users: int,
+        delay_model: Optional[EdgeDelayModel] = None,
+    ):
+        self.capacity_per_user = check_positive("capacity_per_user", capacity_per_user)
+        self.n_users = check_int_positive("n_users", n_users)
+        self.delay_model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+        self._utilization = 0.0
+
+    @property
+    def total_capacity(self) -> float:
+        """``N·c`` — the edge's aggregate service rate."""
+        return self.capacity_per_user * self.n_users
+
+    @property
+    def utilization(self) -> float:
+        """The current utilisation ``γ`` (last update)."""
+        return self._utilization
+
+    def update_from_rates(self, offload_rates: Sequence[float]) -> float:
+        """Set γ from measured per-user offload rates (tasks/time)."""
+        rates = np.asarray(offload_rates, dtype=float)
+        if rates.ndim != 1 or rates.size != self.n_users:
+            raise ValueError(
+                f"expected {self.n_users} per-user rates, got shape {rates.shape}"
+            )
+        if np.any(rates < 0):
+            raise ValueError("offload rates must be non-negative")
+        self._utilization = float(np.clip(rates.sum() / self.total_capacity, 0.0, 1.0))
+        return self._utilization
+
+    def update_from_counts(
+        self, offload_counts: Sequence[int], observation_time: float
+    ) -> float:
+        """Set γ from offloaded-task counts over ``observation_time``."""
+        check_positive("observation_time", observation_time)
+        counts = np.asarray(offload_counts, dtype=float)
+        return self.update_from_rates(counts / observation_time)
+
+    def delay(self, utilization: Optional[float] = None) -> float:
+        """``g(γ)`` at the given (or current) utilisation."""
+        gamma = self._utilization if utilization is None else utilization
+        return self.delay_model(gamma)
+
+    def __repr__(self) -> str:
+        return (f"EdgeServer(c={self.capacity_per_user:g}, N={self.n_users}, "
+                f"gamma={self._utilization:.4f}, delay={self.delay_model!r})")

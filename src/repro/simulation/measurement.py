@@ -1,0 +1,159 @@
+"""Measurement configuration and service-time models for the system sim.
+
+:class:`MeasurementConfig` fixes the observation protocol (horizon, warmup,
+seeding); the :class:`ServiceModel` hierarchy decides what each device's
+service-time *distribution* looks like given its mean rate:
+
+* :class:`ExponentialService` — the theoretical setting (Theorems 1–2);
+* :class:`EmpiricalService` — the practical setting: every device draws
+  service times shaped like the collected dataset, rescaled so its mean
+  matches the device's sampled mean service time ``1/s_n``;
+* :class:`LogNormalService` / :class:`DeterministicService` — extra
+  shapes for robustness ablations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.population.distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+)
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Observation protocol for one system-simulation run."""
+
+    horizon: float = 200.0
+    warmup: float = 40.0
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        check_positive("horizon", self.horizon)
+        check_non_negative("warmup", self.warmup)
+        if self.warmup >= self.horizon:
+            raise ValueError(
+                f"warmup ({self.warmup}) must be < horizon ({self.horizon})"
+            )
+
+    @property
+    def observation_time(self) -> float:
+        return self.horizon - self.warmup
+
+
+class ServiceModel(ABC):
+    """Maps a device's mean service rate to its service-time distribution."""
+
+    @abstractmethod
+    def distribution(self, service_rate: float) -> Distribution:
+        """The service-time distribution of a device with rate ``s``."""
+
+
+class ArrivalModel(ABC):
+    """Maps a device's mean arrival rate to an interarrival distribution.
+
+    Returning ``None`` means "Poisson" (the device simulator's fast default
+    and the paper's model assumption).
+    """
+
+    @abstractmethod
+    def interarrival(self, arrival_rate: float):
+        """Interarrival-time distribution, or None for Poisson."""
+
+
+class PoissonArrivals(ArrivalModel):
+    """The paper's assumption: exponential interarrivals."""
+
+    def interarrival(self, arrival_rate: float):
+        return None
+
+    def __repr__(self) -> str:
+        return "PoissonArrivals()"
+
+
+class RenewalArrivals(ArrivalModel):
+    """Gamma-renewal arrivals with a chosen coefficient of variation.
+
+    ``cv = 1`` reproduces Poisson; ``cv > 1`` is burstier (heavier clumps
+    of tasks), ``cv < 1`` more regular. Mean interarrival is ``1/a`` so
+    the offered rate is preserved.
+    """
+
+    def __init__(self, cv: float = 1.0):
+        self.cv = check_positive("cv", cv)
+
+    def interarrival(self, arrival_rate: float):
+        from repro.population.distributions import Gamma
+        check_positive("arrival_rate", arrival_rate)
+        shape = 1.0 / (self.cv * self.cv)
+        return Gamma(shape=shape, scale=1.0 / (arrival_rate * shape))
+
+    def __repr__(self) -> str:
+        return f"RenewalArrivals(cv={self.cv:g})"
+
+
+class ExponentialService(ServiceModel):
+    """Exponential service times — the paper's theoretical assumption."""
+
+    def distribution(self, service_rate: float) -> Distribution:
+        return Exponential(rate=service_rate)
+
+    def __repr__(self) -> str:
+        return "ExponentialService()"
+
+
+class EmpiricalService(ServiceModel):
+    """Service times shaped like a measured dataset, rescaled per device.
+
+    Each device's distribution is the empirical law of ``base_samples``
+    multiplied by a constant so the mean service time equals ``1/s``; the
+    coefficient of variation (the distribution's *shape*) is preserved,
+    which is what distinguishes the practical setting from the theory.
+    """
+
+    def __init__(self, base_samples: Sequence[float]):
+        samples = np.asarray(base_samples, dtype=float)
+        if samples.ndim != 1 or samples.size == 0 or np.any(samples <= 0):
+            raise ValueError("base_samples must be a 1-D array of positive times")
+        self._normalized = samples / samples.mean()   # mean exactly 1
+
+    def distribution(self, service_rate: float) -> Distribution:
+        check_positive("service_rate", service_rate)
+        return Empirical(self._normalized / service_rate)
+
+    def __repr__(self) -> str:
+        return f"EmpiricalService(n={self._normalized.size})"
+
+
+class LogNormalService(ServiceModel):
+    """Lognormal service times with a fixed coefficient of variation."""
+
+    def __init__(self, cv: float = 1.0):
+        self.cv = check_positive("cv", cv)
+
+    def distribution(self, service_rate: float) -> Distribution:
+        return LogNormal.from_mean_cv(mean=1.0 / service_rate, cv=self.cv)
+
+    def __repr__(self) -> str:
+        return f"LogNormalService(cv={self.cv:g})"
+
+
+class DeterministicService(ServiceModel):
+    """Constant service times (an M/D/1 device) — a shape ablation."""
+
+    def distribution(self, service_rate: float) -> Distribution:
+        return Deterministic(1.0 / service_rate)
+
+    def __repr__(self) -> str:
+        return "DeterministicService()"

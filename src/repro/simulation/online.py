@@ -1,0 +1,227 @@
+"""One continuous simulation of the whole system — no iteration restarts.
+
+The paper justifies its analysis with a *quasi-stationary* two-timescale
+argument: the edge utilisation equilibrates fast, devices update their
+thresholds slowly, so each update sees an effectively stationary γ. The
+iteration-based experiments discretise that into rounds; this module
+simulates it literally, in one uninterrupted discrete-event run:
+
+* every device's arrivals, admissions, and services run on one shared
+  engine — queues are never reset;
+* the edge measures its utilisation over a *sliding window* of recent
+  offload arrivals and, every ``broadcast_interval``, applies the
+  Algorithm-1 sign-step update to its estimate γ̂ and broadcasts it;
+* each device carries an independent Poisson *update clock* (mean interval
+  ``update_interval``); on each tick it best-responds to the latest
+  broadcast with Lemma 1 — devices are never synchronised.
+
+The resulting trajectory ``γ̂(t), γ_window(t)`` converging onto the
+mean-field γ* is the closest thing in this repository to watching a real
+deployment run Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.best_response import optimal_threshold_from_surcharge
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.population.sampler import Population
+from repro.simulation.engine import DiscreteEventSimulator
+from repro.simulation.measurement import ExponentialService, ServiceModel
+from repro.utils.rng import SeedLike, spawn_streams
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class OnlineTrace:
+    """Sampled trajectory of the continuous run (one row per broadcast)."""
+
+    times: List[float] = field(default_factory=list)
+    estimated: List[float] = field(default_factory=list)     # γ̂(t)
+    measured: List[float] = field(default_factory=list)      # window γ(t)
+    mean_threshold: List[float] = field(default_factory=list)
+
+    def as_arrays(self) -> dict:
+        return {key: np.asarray(value) for key, value in (
+            ("times", self.times), ("estimated", self.estimated),
+            ("measured", self.measured),
+            ("mean_threshold", self.mean_threshold),
+        )}
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    trace: OnlineTrace
+    final_estimate: float
+    final_measured: float
+    broadcasts: int
+
+    def tail_mean_measured(self, fraction: float = 0.25) -> float:
+        """Mean window-measured γ over the last ``fraction`` of the run."""
+        measured = self.trace.measured
+        start = int(len(measured) * (1.0 - fraction))
+        return float(np.mean(measured[start:]))
+
+
+class OnlineSimulation:
+    """The continuous-time, asynchronous form of Algorithm 1."""
+
+    def __init__(
+        self,
+        population: Population,
+        delay_model: Optional[EdgeDelayModel] = None,
+        service_model: Optional[ServiceModel] = None,
+        broadcast_interval: float = 5.0,
+        update_interval: float = 10.0,
+        window: float = 20.0,
+        initial_step: float = 0.1,
+        seed: SeedLike = None,
+    ):
+        self.population = population
+        self.delay_model = delay_model if delay_model is not None \
+            else PAPER_DELAY_MODEL
+        self.service_model = service_model or ExponentialService()
+        self.broadcast_interval = check_positive("broadcast_interval",
+                                                 broadcast_interval)
+        self.update_interval = check_positive("update_interval",
+                                              update_interval)
+        self.window = check_positive("window", window)
+        if not 0.0 < initial_step <= 1.0:
+            raise ValueError("initial_step must be in (0, 1]")
+        self.initial_step = initial_step
+        self.seed = seed
+
+    def run(self, duration: float) -> OnlineResult:
+        check_positive("duration", duration)
+        population = self.population
+        n = population.size
+        streams = spawn_streams(self.seed, n + 2)
+        device_rngs = streams[:n]
+        update_rng = streams[n]
+
+        sim = DiscreteEventSimulator()
+        trace = OnlineTrace()
+
+        # --- shared state -------------------------------------------------
+        queues = np.zeros(n, dtype=np.int64)
+        thresholds = np.zeros(n)          # devices start offloading all
+        floors = np.zeros(n, dtype=np.int64)
+        fractions = np.zeros(n)
+        offload_times: deque = deque()    # timestamps of recent offloads
+        broadcast = {"estimate": 0.0, "previous": 1.0, "step":
+                     self.initial_step, "counter": 1, "count": 0}
+        total_capacity = n * population.capacity
+        services = [
+            self.service_model.distribution(float(population.service_rates[i]))
+            for i in range(n)
+        ]
+
+        def set_threshold(i: int, value: float) -> None:
+            thresholds[i] = value
+            floors[i] = int(np.floor(value))
+            fractions[i] = value - floors[i]
+
+        def admits(i: int) -> bool:
+            q = queues[i]
+            if q < floors[i]:
+                return True
+            if q == floors[i] and fractions[i] > 0.0:
+                return bool(device_rngs[i].random() < fractions[i])
+            return False
+
+        # --- device processes ----------------------------------------------
+        def on_departure(i: int) -> None:
+            queues[i] -= 1
+            if queues[i] > 0:
+                sim.schedule_after(float(services[i].sample(device_rngs[i])),
+                                   lambda: on_departure(i))
+
+        def on_arrival(i: int) -> None:
+            if admits(i):
+                queues[i] += 1
+                if queues[i] == 1:
+                    sim.schedule_after(
+                        float(services[i].sample(device_rngs[i])),
+                        lambda: on_departure(i),
+                    )
+            else:
+                offload_times.append(sim.now)
+            sim.schedule_after(
+                float(device_rngs[i].exponential(
+                    1.0 / population.arrival_rates[i])),
+                lambda: on_arrival(i),
+            )
+
+        def on_threshold_update(i: int) -> None:
+            surcharge = (self.delay_model(broadcast["estimate"])
+                         + population.offload_latencies[i]
+                         + population.weights[i]
+                         * (population.energy_offload[i]
+                            - population.energy_local[i]))
+            best = float(optimal_threshold_from_surcharge(
+                float(population.arrival_rates[i]),
+                float(population.intensities[i]),
+                float(surcharge),
+            ))
+            set_threshold(i, best)
+            sim.schedule_after(
+                float(update_rng.exponential(self.update_interval)),
+                lambda: on_threshold_update(i),
+            )
+
+        # --- edge process ---------------------------------------------------
+        def measure_window() -> float:
+            cutoff = sim.now - self.window
+            while offload_times and offload_times[0] < cutoff:
+                offload_times.popleft()
+            span = min(self.window, sim.now) or self.window
+            return min(1.0, len(offload_times) / span / total_capacity)
+
+        def on_broadcast() -> None:
+            measured = measure_window()
+            estimate = broadcast["estimate"]
+            diff = measured - estimate
+            if abs(diff) > 1e-12:
+                new_estimate = min(1.0, max(
+                    0.0, estimate + broadcast["step"] * np.sign(diff)))
+            else:
+                new_estimate = estimate
+            # Oscillation rule (Algorithm 1, lines 9–14).
+            if broadcast["count"] >= 2 and \
+                    abs(new_estimate - broadcast["previous"]) <= 1e-12:
+                broadcast["counter"] += 1
+                broadcast["step"] = self.initial_step / broadcast["counter"]
+            broadcast["previous"] = estimate
+            broadcast["estimate"] = new_estimate
+            broadcast["count"] += 1
+            trace.times.append(sim.now)
+            trace.estimated.append(new_estimate)
+            trace.measured.append(measured)
+            trace.mean_threshold.append(float(thresholds.mean()))
+            sim.schedule_after(self.broadcast_interval, on_broadcast)
+
+        # --- bootstrap -------------------------------------------------------
+        for i in range(n):
+            sim.schedule_after(
+                float(device_rngs[i].exponential(
+                    1.0 / population.arrival_rates[i])),
+                lambda i=i: on_arrival(i),
+            )
+            sim.schedule_after(
+                float(update_rng.exponential(self.update_interval)),
+                lambda i=i: on_threshold_update(i),
+            )
+        sim.schedule_after(self.broadcast_interval, on_broadcast)
+        sim.run(until=duration)
+
+        return OnlineResult(
+            trace=trace,
+            final_estimate=broadcast["estimate"],
+            final_measured=trace.measured[-1] if trace.measured else 0.0,
+            broadcasts=broadcast["count"],
+        )

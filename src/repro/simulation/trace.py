@@ -1,0 +1,128 @@
+"""Per-task lifecycle tracing for the device simulator.
+
+:func:`~repro.simulation.device.simulate_device` accepts an optional
+:class:`TaskTraceRecorder`; when present, every task's arrival, admission
+decision, service start, and departure are recorded. Traces unlock
+*distributional* questions the summary statistics can't answer — waiting-
+time tails, the burstiness of offloads — and they make the simulator
+auditable: the test suite recomputes every summary statistic from the raw
+trace and checks agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TaskRecord:
+    """One task's lifecycle. Offloaded tasks only have an arrival."""
+
+    task_id: int
+    arrival_time: float
+    admitted: bool
+    service_start: Optional[float] = None
+    departure_time: Optional[float] = None
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        """Time from arrival to service start (admitted + started only)."""
+        if self.service_start is None:
+            return None
+        return self.service_start - self.arrival_time
+
+    @property
+    def sojourn_time(self) -> Optional[float]:
+        """Time from arrival to departure (completed tasks only)."""
+        if self.departure_time is None:
+            return None
+        return self.departure_time - self.arrival_time
+
+    @property
+    def service_time(self) -> Optional[float]:
+        if self.service_start is None or self.departure_time is None:
+            return None
+        return self.departure_time - self.service_start
+
+
+@dataclass
+class TaskTraceRecorder:
+    """Collects :class:`TaskRecord` objects as the simulation runs."""
+
+    records: Dict[int, TaskRecord] = field(default_factory=dict)
+
+    # --- callbacks invoked by the device simulator -----------------------
+    def on_arrival(self, task_id: int, time: float, admitted: bool) -> None:
+        self.records[task_id] = TaskRecord(
+            task_id=task_id, arrival_time=time, admitted=admitted
+        )
+
+    def on_service_start(self, task_id: int, time: float) -> None:
+        record = self.records.get(task_id)
+        if record is not None:          # seeded initial-backlog tasks are absent
+            record.service_start = time
+
+    def on_departure(self, task_id: int, time: float) -> None:
+        record = self.records.get(task_id)
+        if record is not None:
+            record.departure_time = time
+
+    # --- analysis ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def admitted(self) -> List[TaskRecord]:
+        return [r for r in self.records.values() if r.admitted]
+
+    @property
+    def offloaded(self) -> List[TaskRecord]:
+        return [r for r in self.records.values() if not r.admitted]
+
+    @property
+    def completed(self) -> List[TaskRecord]:
+        return [r for r in self.records.values()
+                if r.departure_time is not None]
+
+    def sojourn_times(self) -> np.ndarray:
+        """Sojourn times of all completed tasks, in completion order."""
+        done = sorted(self.completed, key=lambda r: r.departure_time)
+        return np.array([r.sojourn_time for r in done], dtype=float)
+
+    def waiting_times(self) -> np.ndarray:
+        """Waiting (pre-service) times of all tasks that started service."""
+        started = [r for r in self.records.values()
+                   if r.service_start is not None]
+        started.sort(key=lambda r: r.service_start)
+        return np.array([r.waiting_time for r in started], dtype=float)
+
+    def offload_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return len(self.offloaded) / len(self.records)
+
+    def validate(self) -> None:
+        """Internal-consistency checks; raises ``AssertionError`` on breakage.
+
+        * offloaded tasks never start service or depart;
+        * causality: arrival ≤ service start ≤ departure;
+        * FCFS: admitted tasks start service in arrival order.
+        """
+        for record in self.records.values():
+            if not record.admitted:
+                assert record.service_start is None, record
+                assert record.departure_time is None, record
+            if record.service_start is not None:
+                assert record.service_start >= record.arrival_time, record
+            if record.departure_time is not None:
+                assert record.service_start is not None, record
+                assert record.departure_time >= record.service_start, record
+        started = [r for r in self.records.values()
+                   if r.service_start is not None]
+        started.sort(key=lambda r: r.arrival_time)
+        starts = [r.service_start for r in started]
+        assert all(b >= a for a, b in zip(starts, starts[1:])), \
+            "FCFS violated: service starts out of arrival order"

@@ -1,0 +1,123 @@
+"""Generic one-knob parameter sweeps of the equilibrium.
+
+A practitioner's first question to a model is "what happens if X changes?".
+:func:`run_sweep` turns any supported scalar knob into a table of
+equilibrium outcomes — γ*, the population cost, the mean offloading
+fraction, and DTU's iteration count — resampling the population per point
+where the knob changes the generating distributions. Exposed on the CLI::
+
+    python -m repro sweep --param capacity --values 9,10,12,16
+    python -m repro sweep --param latency-scale --values 0.5,1,2,5
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.dtu import run_dtu
+from repro.core.edge_delay import ReciprocalDelay
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.experiments.report import SeriesResult
+from repro.population.distributions import Deterministic, Scaled, Uniform
+from repro.population.sampler import PopulationConfig, sample_population
+from repro.utils.rng import SeedLike
+
+#: Baseline knob values (the Section IV-A theoretical setting).
+_BASE = dict(
+    a_max=4.0,
+    service_low=1.0,
+    service_high=5.0,
+    latency_scale=1.0,
+    energy_local_max=3.0,
+    energy_offload_max=1.0,
+    capacity=10.0,
+    weight=1.0,
+    headroom=1.1,
+)
+
+
+def _config(**overrides) -> tuple:
+    """Build (PopulationConfig, delay model) from base + overrides."""
+    knobs = dict(_BASE)
+    knobs.update(overrides)
+    config = PopulationConfig(
+        arrival=Uniform(0.0, knobs["a_max"]),
+        service=Uniform(knobs["service_low"], knobs["service_high"]),
+        latency=Scaled(Uniform(1e-9, 1.0), knobs["latency_scale"]),
+        energy_local=Uniform(0.0, knobs["energy_local_max"]),
+        energy_offload=Uniform(0.0, knobs["energy_offload_max"]),
+        capacity=knobs["capacity"],
+        weight=Deterministic(knobs["weight"]),
+    )
+    return config, ReciprocalDelay(knobs["headroom"], 1.0)
+
+
+#: Supported sweep parameters → the override key they set.
+PARAMETERS: Dict[str, str] = {
+    "capacity": "capacity",
+    "a-max": "a_max",
+    "latency-scale": "latency_scale",
+    "energy-local-max": "energy_local_max",
+    "energy-offload-max": "energy_offload_max",
+    "weight": "weight",
+    "headroom": "headroom",
+}
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[float],
+    n_users: int = 3000,
+    seed: SeedLike = 0,
+    include_dtu: bool = True,
+) -> SeriesResult:
+    """Sweep one knob over ``values``; solve the equilibrium at each point."""
+    if parameter not in PARAMETERS:
+        raise KeyError(
+            f"unknown parameter {parameter!r}; "
+            f"available: {', '.join(sorted(PARAMETERS))}"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    key = PARAMETERS[parameter]
+    rows: List[tuple] = []
+    for value in values:
+        config, delay_model = _config(**{key: float(value)})
+        population = sample_population(config, n_users, rng=seed)
+        mean_field = MeanFieldMap(population, delay_model)
+        equilibrium = solve_mfne(mean_field)
+        thresholds = mean_field.best_response(equilibrium.utilization)
+        alpha = mean_field.offload_probabilities(thresholds)
+        cost = mean_field.average_cost(equilibrium.utilization, thresholds)
+        if include_dtu:
+            dtu_iterations = run_dtu(mean_field).iterations
+        else:
+            dtu_iterations = None
+        rows.append((
+            float(value),
+            float(equilibrium.utilization),
+            float(cost),
+            float(np.mean(alpha)),
+            dtu_iterations if dtu_iterations is not None else "-",
+        ))
+    return SeriesResult(
+        name=f"Sweep — {parameter}",
+        columns=(parameter, "gamma*", "avg cost", "mean offload frac",
+                 "DTU iters"),
+        rows=rows,
+        notes=f"n_users={n_users}, other knobs at Section IV-A baselines",
+    )
+
+
+def parse_values(text: str) -> List[float]:
+    """Parse a comma-separated value list (CLI helper)."""
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise ValueError(f"could not parse values {text!r}") from error
+    if not values:
+        raise ValueError("no values given")
+    return values

@@ -1,0 +1,37 @@
+"""Shared utilities: seeded RNG streams, validation, statistics, tables.
+
+These helpers are deliberately dependency-light (NumPy only) and are used
+across the population, core, simulation, and experiments subpackages.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_streams
+from repro.utils.stats import (
+    ConfidenceInterval,
+    RunningStats,
+    confidence_interval,
+    histogram_summary,
+    relative_error,
+)
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_streams",
+    "ConfidenceInterval",
+    "RunningStats",
+    "confidence_interval",
+    "histogram_summary",
+    "relative_error",
+    "format_table",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_unit_interval",
+]

@@ -1,0 +1,163 @@
+"""Terminal line plots — the repository has no plotting dependency.
+
+Renders one or more (x, y) series onto a character grid with axis labels,
+so the experiment harness and examples can show Fig. 2/5/7-style curves
+directly in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: Glyphs assigned to successive series.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render ``series`` (name → y values) against shared ``x`` values.
+
+    >>> print(line_plot([0, 1, 2], {"f": [0.0, 1.0, 4.0]}, width=20,
+    ...                 height=5))  # doctest: +SKIP
+    """
+    xs = [float(v) for v in x]
+    if not xs:
+        raise ValueError("x must be non-empty")
+    if not series:
+        raise ValueError("series must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(xs)}"
+            )
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+
+    all_y = [float(v) for ys in series.values() for v in ys
+             if math.isfinite(v)]
+    if not all_y:
+        raise ValueError("series contain no finite values")
+    y_low, y_high = min(all_y), max(all_y)
+    if math.isclose(y_low, y_high):
+        y_low -= 0.5
+        y_high += 0.5
+    x_low, x_high = min(xs), max(xs)
+    if math.isclose(x_low, x_high):
+        x_low -= 0.5
+        x_high += 0.5
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(value: float) -> int:
+        frac = (value - x_low) / (x_high - x_low)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    def to_row(value: float) -> int:
+        frac = (value - y_low) / (y_high - y_low)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for xv, yv in zip(xs, ys):
+            if math.isfinite(yv):
+                grid[to_row(float(yv))][to_col(xv)] = glyph
+
+    label_width = max(len(f"{y_high:.3g}"), len(f"{y_low:.3g}"))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.3g}"
+        elif row_index == height - 1:
+            label = f"{y_low:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_low:.3g}".ljust(width - len(f"{x_high:.3g}")) + f"{x_high:.3g}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def hist_plot(
+    bin_centers: Sequence[float],
+    densities: Sequence[float],
+    width: int = 60,
+    height: int = 10,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render a histogram (vertical bars) on a character grid.
+
+    Used by the Fig. 6 report to show the dataset shapes in a terminal.
+    """
+    centers = [float(c) for c in bin_centers]
+    values = [float(d) for d in densities]
+    if len(centers) != len(values) or not centers:
+        raise ValueError("bin_centers and densities must be non-empty, "
+                         "same length")
+    if any(v < 0 for v in values):
+        raise ValueError("densities must be non-negative")
+    peak = max(values)
+    if peak == 0:
+        peak = 1.0
+    columns = min(width, len(values))
+    # Downsample bins onto the available columns by averaging.
+    step = len(values) / columns
+    bars = []
+    for col in range(columns):
+        lo = int(col * step)
+        hi = max(lo + 1, int((col + 1) * step))
+        bars.append(sum(values[lo:hi]) / (hi - lo))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height, 0, -1):
+        threshold = peak * (row - 0.5) / height
+        lines.append("|" + "".join(
+            "█" if bar >= threshold else " " for bar in bars
+        ))
+    lines.append("+" + "-" * columns)
+    left = f"{centers[0]:.3g}"
+    right = f"{centers[-1]:.3g}"
+    lines.append(" " + left + " " * max(1, columns - len(left) - len(right))
+                 + right)
+    if x_label:
+        lines.append(" " + x_label.center(columns))
+    return "\n".join(lines)
+
+
+def convergence_plot(
+    estimated: Sequence[float],
+    actual: Sequence[float],
+    gamma_star: float,
+    width: int = 70,
+    height: int = 16,
+    title: str = "DTU convergence",
+) -> str:
+    """A Fig. 5/7-style plot: γ̂_t, γ_t and the horizontal γ* line."""
+    steps = list(range(len(estimated)))
+    reference = [gamma_star] * len(estimated)
+    return line_plot(
+        steps,
+        {"gamma_hat": estimated, "gamma": actual, "gamma*": reference},
+        width=width,
+        height=height,
+        title=title,
+        x_label="iteration t",
+    )

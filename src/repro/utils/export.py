@@ -1,0 +1,118 @@
+"""Export experiment results to CSV and JSON.
+
+The harness prints human-readable tables; downstream plotting (matplotlib,
+gnuplot, spreadsheets) wants machine-readable files. These helpers convert
+:class:`~repro.experiments.report.SeriesResult` /
+:class:`~repro.experiments.report.ComparisonResult` objects losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.report import ComparisonResult, SeriesResult
+
+Result = Union[SeriesResult, ComparisonResult]
+
+
+def series_to_csv(result: SeriesResult) -> str:
+    """Render a :class:`SeriesResult` as CSV text (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.columns)
+    writer.writerows(result.rows)
+    return buffer.getvalue()
+
+
+def comparison_to_csv(result: ComparisonResult) -> str:
+    """Render a :class:`ComparisonResult` as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(("label", "measured", "paper", "relative_error"))
+    for row in result.rows:
+        writer.writerow((row.label, row.measured,
+                         "" if row.paper is None else row.paper,
+                         "" if row.relative_error is None
+                         else row.relative_error))
+    return buffer.getvalue()
+
+
+def to_csv(result: Result) -> str:
+    """Dispatch on the result type."""
+    if isinstance(result, SeriesResult):
+        return series_to_csv(result)
+    if isinstance(result, ComparisonResult):
+        return comparison_to_csv(result)
+    raise TypeError(f"cannot export {type(result).__name__} to CSV")
+
+
+def to_json(result: Result) -> str:
+    """Render either result type as a JSON document (with metadata)."""
+    if isinstance(result, SeriesResult):
+        payload = {
+            "type": "series",
+            "name": result.name,
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "notes": result.notes,
+        }
+    elif isinstance(result, ComparisonResult):
+        payload = {
+            "type": "comparison",
+            "name": result.name,
+            "rows": [
+                {
+                    "label": row.label,
+                    "measured": row.measured,
+                    "paper": row.paper,
+                    "relative_error": row.relative_error,
+                }
+                for row in result.rows
+            ],
+            "notes": result.notes,
+        }
+    else:
+        raise TypeError(f"cannot export {type(result).__name__} to JSON")
+    return json.dumps(payload, indent=2)
+
+
+def from_json(text: str) -> Result:
+    """Rebuild a result object from :func:`to_json` output."""
+    payload = json.loads(text)
+    kind = payload.get("type")
+    if kind == "series":
+        return SeriesResult(
+            name=payload["name"],
+            columns=tuple(payload["columns"]),
+            rows=[tuple(row) for row in payload["rows"]],
+            notes=payload.get("notes", ""),
+        )
+    if kind == "comparison":
+        from repro.experiments.report import PaperComparison
+        return ComparisonResult(
+            name=payload["name"],
+            rows=[
+                PaperComparison(label=row["label"], measured=row["measured"],
+                                paper=row["paper"])
+                for row in payload["rows"]
+            ],
+            notes=payload.get("notes", ""),
+        )
+    raise ValueError(f"unknown result type {kind!r}")
+
+
+def write_result(result: Result, path: Union[str, Path]) -> Path:
+    """Write a result to ``path``; format chosen by suffix (.csv / .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(to_csv(result))
+    elif path.suffix == ".json":
+        path.write_text(to_json(result))
+    else:
+        raise ValueError(f"unsupported suffix {path.suffix!r}; "
+                         "use .csv or .json")
+    return path

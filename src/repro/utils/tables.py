@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmarks print the same rows the paper's tables report; this renderer
+keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are shown with 4 significant digits; everything else via ``str``.
+
+    >>> print(format_table(["setup", "NE"], [["E[A]<E[S]", 0.13]]))
+    setup     | NE
+    ----------+-----
+    E[A]<E[S] | 0.13
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Argument-validation helpers.
+
+Raising early with a precise message beats propagating NaNs out of a
+queueing formula three calls later. All checks return the validated value so
+they can be used inline::
+
+    self.rate = check_positive("rate", rate)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def _check_finite_number(name: str, value: Number) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_positive(name: str, value: Number) -> float:
+    """Validate that ``value`` is a finite number strictly greater than 0."""
+    value = _check_finite_number(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to 0."""
+    value = _check_finite_number(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = _check_finite_number(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_unit_interval(name: str, value: Number, *, open_left: bool = False,
+                        open_right: bool = False) -> float:
+    """Validate that ``value`` lies in [0, 1], optionally with open endpoints."""
+    value = _check_finite_number(name, value)
+    if open_left and value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if open_right and value >= 1.0:
+        raise ValueError(f"{name} must be < 1, got {value}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> float:
+    """Validate that ``value`` lies in the closed interval [``low``, ``high``]."""
+    value = _check_finite_number(name, value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_int_positive(name: str, value: int) -> int:
+    """Validate that ``value`` is an integer strictly greater than 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_int_non_negative(name: str, value: int) -> int:
+    """Validate that ``value`` is an integer greater than or equal to 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value

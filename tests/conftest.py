@@ -1,0 +1,77 @@
+"""Shared fixtures and options for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="also run tests marked slow (multi-minute examples)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: multi-minute test, needs --runslow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+from repro.core.edge_delay import ReciprocalDelay
+from repro.core.meanfield import MeanFieldMap
+from repro.population.distributions import Uniform
+from repro.population.sampler import PopulationConfig, sample_population
+from repro.population.user import UserProfile
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_delay():
+    """The paper's edge-delay model g(γ) = 1/(1.1 − γ)."""
+    return ReciprocalDelay(headroom=1.1, scale=1.0)
+
+
+@pytest.fixture
+def theoretical_config_small():
+    """The Section IV-A E[A]<E[S] configuration."""
+    return PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+
+
+@pytest.fixture
+def small_population(theoretical_config_small):
+    """A 500-user population — big enough for stable aggregates, fast."""
+    return sample_population(theoretical_config_small, 500, rng=7)
+
+
+@pytest.fixture
+def mean_field(small_population, paper_delay):
+    return MeanFieldMap(small_population, paper_delay)
+
+
+@pytest.fixture
+def example_user():
+    """A moderately loaded user (θ = 2) with energy-favoured offloading."""
+    return UserProfile(
+        arrival_rate=2.0,
+        service_rate=1.0,
+        offload_latency=1.0,
+        energy_local=3.0,
+        energy_offload=1.0,
+    )

@@ -1,0 +1,106 @@
+"""Tests for repro.utils.asciiplot."""
+
+import pytest
+
+from repro.utils.asciiplot import convergence_plot, line_plot
+
+
+class TestLinePlot:
+    def test_contains_axes_and_legend(self):
+        out = line_plot([0, 1, 2], {"f": [0.0, 1.0, 4.0]}, width=30, height=8)
+        assert "|" in out
+        assert "+---" in out
+        assert "* f" in out
+
+    def test_title_and_labels(self):
+        out = line_plot([0, 1], {"y": [0, 1]}, width=20, height=5,
+                        title="My Plot", x_label="time")
+        assert out.splitlines()[0] == "My Plot"
+        assert "time" in out
+
+    def test_y_range_labels(self):
+        out = line_plot([0, 1], {"y": [2.0, 8.0]}, width=20, height=5)
+        assert "8" in out and "2" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_plot(
+            [0, 1, 2],
+            {"a": [0, 1, 2], "b": [2, 1, 0]},
+            width=20, height=6,
+        )
+        assert "* a" in out and "o b" in out
+        body = "\n".join(out.splitlines()[:-1])
+        assert "*" in body and "o" in body
+
+    def test_constant_series_handled(self):
+        out = line_plot([0, 1, 2], {"c": [1.0, 1.0, 1.0]}, width=20, height=5)
+        assert "*" in out
+
+    def test_extremes_mapped_to_corners(self):
+        out = line_plot([0, 10], {"y": [0.0, 1.0]}, width=21, height=7)
+        rows = [line for line in out.splitlines() if "|" in line]
+        # Max value on the top plot row, min on the bottom plot row.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([], {"y": []})
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {})
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"y": [1.0]})
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"y": [1.0, 2.0]}, width=5)
+        with pytest.raises(ValueError):
+            line_plot([1, 2], {"y": [float("nan"), float("nan")]})
+
+    def test_nan_points_skipped(self):
+        out = line_plot([0, 1, 2], {"y": [0.0, float("nan"), 2.0]},
+                        width=20, height=5)
+        assert "*" in out
+
+
+class TestConvergencePlot:
+    def test_three_series(self):
+        out = convergence_plot([0.0, 0.1, 0.12], [0.2, 0.13, 0.125], 0.125)
+        assert "gamma_hat" in out
+        assert "gamma*" in out
+        assert "iteration t" in out
+
+
+class TestHistPlot:
+    def test_bars_and_axis(self):
+        from repro.utils.asciiplot import hist_plot
+        out = hist_plot([0.1, 0.2, 0.3], [1.0, 3.0, 0.5], width=30,
+                        height=5, title="H", x_label="x")
+        assert out.splitlines()[0] == "H"
+        assert "█" in out
+        assert "+---" in out
+        assert "x" in out
+
+    def test_peak_reaches_top_row(self):
+        from repro.utils.asciiplot import hist_plot
+        out = hist_plot([1, 2, 3], [0.1, 5.0, 0.1], height=6)
+        top_row = out.splitlines()[0]
+        assert "█" in top_row
+
+    def test_downsampling_wide_input(self):
+        from repro.utils.asciiplot import hist_plot
+        out = hist_plot(list(range(200)), [1.0] * 200, width=40, height=4)
+        bar_rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert all(len(line) <= 41 for line in bar_rows)
+
+    def test_validation(self):
+        from repro.utils.asciiplot import hist_plot
+        with pytest.raises(ValueError):
+            hist_plot([], [])
+        with pytest.raises(ValueError):
+            hist_plot([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hist_plot([1.0], [-1.0])
+
+    def test_all_zero_densities(self):
+        from repro.utils.asciiplot import hist_plot
+        out = hist_plot([1, 2], [0.0, 0.0], height=3)
+        assert "█" not in out

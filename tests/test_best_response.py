@@ -1,0 +1,155 @@
+"""Tests for repro.core.best_response — Lemma 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import (
+    best_response_thresholds,
+    optimal_threshold,
+    optimal_threshold_from_surcharge,
+    threshold_staircase,
+)
+from repro.core.cost import user_cost
+from repro.population.user import UserProfile
+
+
+def _staircase_bruteforce(m: int, theta: float) -> float:
+    """Eq. (10) evaluated literally."""
+    return sum((m - i + 1) * theta**i for i in range(1, m + 1))
+
+
+class TestThresholdStaircase:
+    @pytest.mark.parametrize("theta", [0.3, 1.0, 2.0, 4.5])
+    @pytest.mark.parametrize("m", [0, 1, 2, 5, 10])
+    def test_matches_bruteforce(self, theta, m):
+        assert threshold_staircase(m, theta) == pytest.approx(
+            _staircase_bruteforce(m, theta), rel=1e-10
+        )
+
+    def test_f_zero_is_zero(self):
+        assert threshold_staircase(0, 0.7) == 0.0
+
+    def test_f_one_is_theta(self):
+        assert threshold_staircase(1, 2.5) == pytest.approx(2.5)
+
+    def test_theta_one_triangular(self):
+        assert threshold_staircase(6, 1.0) == pytest.approx(21.0)
+
+    @given(theta=st.floats(0.05, 6.0), m=st.integers(0, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_strictly_increasing_in_m(self, theta, m):
+        assert threshold_staircase(m + 1, theta) > threshold_staircase(m, theta)
+
+    def test_lower_bound_m_theta(self):
+        """f(m|θ) ≥ m·θ (used to bound the search)."""
+        for theta in (0.2, 1.0, 3.0):
+            for m in (1, 4, 9):
+                assert threshold_staircase(m, theta) >= m * theta - 1e-12
+
+    def test_vectorized_over_theta(self):
+        thetas = np.array([0.5, 1.0, 2.0])
+        values = threshold_staircase(3, thetas)
+        assert values.shape == (3,)
+        for value, theta in zip(values, thetas):
+            assert value == pytest.approx(_staircase_bruteforce(3, theta),
+                                          rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            threshold_staircase(2, 0.0)
+        with pytest.raises(ValueError):
+            threshold_staircase(-1, 1.0)
+
+
+class TestOptimalThreshold:
+    def test_lemma1_bracket(self, example_user):
+        """f(x*|θ) ≤ U < f(x*+1|θ) must hold at the returned threshold."""
+        edge_delay = 3.0
+        m = optimal_threshold(example_user, edge_delay)
+        comparison = example_user.arrival_rate * \
+            example_user.offload_surcharge(edge_delay)
+        theta = example_user.intensity
+        if m == 0:
+            assert comparison < threshold_staircase(1, theta)
+        else:
+            assert threshold_staircase(m, theta) <= comparison
+            assert comparison < threshold_staircase(m + 1, theta)
+
+    def test_negative_surcharge_offloads_all(self, example_user):
+        """g + τ + w(p_E − p_L) < 0 → x* = 0 (offloading dominates)."""
+        assert optimal_threshold(example_user, edge_delay=0.0) == 0
+
+    def test_threshold_grows_with_edge_delay(self, example_user):
+        thresholds = [optimal_threshold(example_user, g)
+                      for g in (0.0, 2.0, 5.0, 20.0)]
+        assert thresholds == sorted(thresholds)
+
+    @given(
+        arrival=st.floats(0.1, 10.0),
+        theta=st.floats(0.1, 6.0),
+        surcharge=st.floats(-3.0, 30.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_minimizes_cost_on_grid(self, arrival, theta, surcharge):
+        """Lemma 1's threshold must beat every grid threshold.
+
+        This is the core correctness property: the returned integer m
+        minimises T(x|γ) over x ≥ 0 (up to boundary ties).
+        """
+        m = optimal_threshold_from_surcharge(arrival, theta, surcharge)
+        # Rebuild a user whose surcharge equals the drawn one with g = 0.
+        user = UserProfile(
+            arrival_rate=arrival,
+            service_rate=arrival / theta,
+            offload_latency=max(surcharge, 0.0),
+            energy_local=max(-surcharge, 0.0),
+            energy_offload=0.0,
+        )
+        best = user_cost(user, float(m), 0.0)
+        grid = np.linspace(0.0, m + 3.0, 80)
+        for x in grid:
+            assert best <= user_cost(user, float(x), 0.0) + 1e-9
+
+    def test_known_staircase_inversion(self):
+        """Hand-checked: θ = 1 gives f = m(m+1)/2; U = 9 lands in [f(3), f(4))."""
+        assert optimal_threshold_from_surcharge(1.0, 1.0, 9.0) == 3
+
+    def test_boundary_value_returns_lower_step(self):
+        """U exactly equal to f(m|θ) must return m (ties keep the floor)."""
+        theta = 1.0
+        # f(3|1) = 6; arrival 2, surcharge 3 → U = 6.
+        assert optimal_threshold_from_surcharge(2.0, theta, 3.0) == 3
+
+
+class TestBestResponseThresholds:
+    def test_matches_scalar_loop(self, small_population):
+        edge_delay = 1.4
+        vec = best_response_thresholds(small_population, edge_delay)
+        for i in range(0, small_population.size, 37):
+            expected = optimal_threshold(small_population.profile(i), edge_delay)
+            assert vec[i] == expected
+
+    def test_all_zero_when_offloading_free(self, small_population):
+        """Edge delay 0 and (here) energy-favoured offloading for many users
+        still yields exactly the scalar answers — spot-checked above — and
+        the vector is integer-typed."""
+        vec = best_response_thresholds(small_population, 0.0)
+        assert vec.dtype == np.int64
+        assert np.all(vec >= 0)
+
+    def test_monotone_in_edge_delay(self, small_population):
+        """Every user's threshold is non-decreasing in g(γ) (Lemma 1)."""
+        lo = best_response_thresholds(small_population, 0.5)
+        hi = best_response_thresholds(small_population, 3.0)
+        assert np.all(hi >= lo)
+
+    def test_empty_active_fast_path(self, small_population):
+        """A hugely negative surcharge sends everyone to x* = 0."""
+        population = small_population
+        # Force comparison < θ for all users by zero edge delay + large p_L.
+        population = population.subset(np.arange(population.size))
+        population.energy_local[:] = 50.0
+        vec = best_response_thresholds(population, 0.0)
+        assert np.all(vec == 0)

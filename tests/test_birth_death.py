@@ -1,0 +1,112 @@
+"""Tests for repro.queueing.birth_death."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.birth_death import BirthDeathChain, tro_birth_death_chain
+from repro.queueing.mm1 import mm1k_stationary_distribution
+
+
+class TestBirthDeathChain:
+    def test_two_state_chain(self):
+        chain = BirthDeathChain(birth_rates=np.array([1.0]),
+                                death_rates=np.array([3.0]))
+        pi = chain.stationary_distribution()
+        assert pi == pytest.approx([0.75, 0.25])
+
+    def test_matches_mm1k(self):
+        rho = 0.6
+        k = 5
+        chain = BirthDeathChain(
+            birth_rates=np.full(k, rho), death_rates=np.ones(k)
+        )
+        expected = mm1k_stationary_distribution(rho, k)
+        assert np.allclose(chain.stationary_distribution(), expected)
+
+    def test_detailed_balance_vs_direct_solve(self, rng):
+        births = rng.uniform(0.1, 3.0, size=8)
+        deaths = rng.uniform(0.5, 4.0, size=8)
+        chain = BirthDeathChain(birth_rates=births, death_rates=deaths)
+        fast = chain.stationary_distribution()
+        direct = chain.stationary_distribution_direct()
+        assert np.allclose(fast, direct, atol=1e-8)
+
+    def test_zero_birth_rate_truncates(self):
+        chain = BirthDeathChain(birth_rates=np.array([1.0, 0.0]),
+                                death_rates=np.array([1.0, 1.0]))
+        pi = chain.stationary_distribution()
+        assert pi[2] == 0.0
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_mean_state(self):
+        chain = BirthDeathChain(birth_rates=np.array([1.0]),
+                                death_rates=np.array([1.0]))
+        assert chain.mean_state() == pytest.approx(0.5)
+
+    def test_rate_matrix_rows_sum_to_zero(self, rng):
+        chain = BirthDeathChain(
+            birth_rates=rng.uniform(0.1, 2.0, 5),
+            death_rates=rng.uniform(0.1, 2.0, 5),
+        )
+        q = chain.rate_matrix()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_stationarity_pi_q_zero(self, rng):
+        chain = BirthDeathChain(
+            birth_rates=rng.uniform(0.1, 2.0, 6),
+            death_rates=rng.uniform(0.1, 2.0, 6),
+        )
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.rate_matrix(), 0.0, atol=1e-10)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            BirthDeathChain(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            BirthDeathChain(np.array([1.0, 1.0]), np.array([1.0]))
+
+    @given(
+        n=st.integers(1, 12),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_properties(self, n, seed):
+        gen = np.random.default_rng(seed)
+        chain = BirthDeathChain(
+            birth_rates=gen.uniform(0.05, 5.0, n),
+            death_rates=gen.uniform(0.05, 5.0, n),
+        )
+        pi = chain.stationary_distribution()
+        assert pi.shape == (n + 1,)
+        assert np.all(pi >= 0)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestTroBirthDeathChain:
+    def test_structure_fractional(self):
+        chain = tro_birth_death_chain(2.0, 1.0, threshold=3.5)
+        # States 0..4: full-rate admission below 3, half-rate at 3.
+        assert np.allclose(chain.birth_rates, [2.0, 2.0, 2.0, 1.0])
+        assert np.allclose(chain.death_rates, [1.0, 1.0, 1.0, 1.0])
+
+    def test_structure_integer(self):
+        chain = tro_birth_death_chain(2.0, 1.0, threshold=2.0)
+        # δ = 0: top state has zero inflow (probability exactly 0).
+        assert np.allclose(chain.birth_rates, [2.0, 2.0, 0.0])
+        pi = chain.stationary_distribution()
+        assert pi[-1] == 0.0
+
+    def test_threshold_zero(self):
+        chain = tro_birth_death_chain(2.0, 1.0, threshold=0.0)
+        pi = chain.stationary_distribution()
+        assert pi == pytest.approx([1.0, 0.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            tro_birth_death_chain(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            tro_birth_death_chain(1.0, 1.0, -0.5)

@@ -1,0 +1,112 @@
+"""Cross-module comparative statics of the equilibrium.
+
+These tests pin down how γ* must move when the environment changes —
+economically meaningful monotonicity that no single module enforces on its
+own, so any regression in the best-response / mean-field / solver pipeline
+shows up here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_delay import ReciprocalDelay
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.population.distributions import Uniform
+from repro.population.sampler import PopulationConfig, sample_population
+
+N_USERS = 1500
+
+
+def _gamma_star(capacity=10.0, a_max=4.0, latency_high=1.0,
+                p_local_high=3.0, p_edge_high=1.0, headroom=1.1, seed=0):
+    config = PopulationConfig(
+        arrival=Uniform(0.0, a_max),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, latency_high),
+        energy_local=Uniform(0.0, p_local_high),
+        energy_offload=Uniform(0.0, p_edge_high),
+        capacity=capacity,
+    )
+    population = sample_population(config, N_USERS, rng=seed)
+    mean_field = MeanFieldMap(population, ReciprocalDelay(headroom, 1.0))
+    return solve_mfne(mean_field).utilization
+
+
+class TestComparativeStatics:
+    def test_gamma_decreasing_in_capacity(self):
+        values = [_gamma_star(capacity=c) for c in (9.0, 12.0, 16.0)]
+        assert values[0] > values[1] > values[2]
+
+    def test_gamma_increasing_in_offered_load(self):
+        values = [_gamma_star(a_max=a) for a in (2.0, 5.0, 8.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_gamma_decreasing_in_offload_latency(self):
+        """Costlier offloading → higher thresholds → lower utilisation."""
+        values = [_gamma_star(latency_high=h) for h in (0.5, 2.0, 5.0)]
+        assert values[0] > values[1] > values[2]
+
+    def test_gamma_increasing_in_local_energy(self):
+        """Pricier local processing pushes work to the edge."""
+        values = [_gamma_star(p_local_high=p) for p in (0.5, 2.0, 4.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_gamma_decreasing_in_offload_energy(self):
+        values = [_gamma_star(p_edge_high=p) for p in (0.2, 1.0, 2.5)]
+        assert values[0] > values[1] > values[2]
+
+    def test_gamma_increasing_in_edge_headroom(self):
+        """A faster edge (larger headroom ⇒ smaller g) attracts more load."""
+        values = [_gamma_star(headroom=h) for h in (1.05, 1.3, 2.0)]
+        assert values[0] < values[1] < values[2]
+
+    @given(
+        seed=st.integers(0, 50),
+        capacity_pair=st.tuples(st.floats(8.5, 12.0), st.floats(12.5, 25.0)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_capacity_monotonicity_property(self, seed, capacity_pair):
+        small_c, big_c = capacity_pair
+        assert _gamma_star(capacity=big_c, seed=seed) <= \
+            _gamma_star(capacity=small_c, seed=seed) + 1e-9
+
+
+class TestEquilibriumCostStatics:
+    def test_cost_increasing_in_load(self):
+        costs = []
+        for a_max in (2.0, 5.0, 8.0):
+            config = PopulationConfig(
+                arrival=Uniform(0.0, a_max),
+                service=Uniform(1.0, 5.0),
+                latency=Uniform(0.0, 1.0),
+                energy_local=Uniform(0.0, 3.0),
+                energy_offload=Uniform(0.0, 1.0),
+                capacity=10.0,
+            )
+            population = sample_population(config, N_USERS, rng=0)
+            mean_field = MeanFieldMap(population)
+            costs.append(
+                mean_field.average_cost(solve_mfne(mean_field).utilization)
+            )
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_bigger_edge_lowers_cost(self):
+        """Users can only benefit from a less congested edge."""
+        costs = []
+        for capacity in (9.0, 20.0):
+            config = PopulationConfig(
+                arrival=Uniform(0.0, 8.0),
+                service=Uniform(1.0, 5.0),
+                latency=Uniform(0.0, 1.0),
+                energy_local=Uniform(0.0, 3.0),
+                energy_offload=Uniform(0.0, 1.0),
+                capacity=capacity,
+            )
+            population = sample_population(config, N_USERS, rng=0)
+            mean_field = MeanFieldMap(population)
+            costs.append(
+                mean_field.average_cost(solve_mfne(mean_field).utilization)
+            )
+        assert costs[1] < costs[0]

@@ -1,0 +1,96 @@
+"""Tests for repro.core.cost — the paper's Eq. (1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    population_average_cost,
+    population_costs,
+    user_cost,
+    user_cost_components,
+)
+from repro.core.tro import queue_and_offload
+from repro.population.user import UserProfile
+
+
+class TestUserCost:
+    def test_components_sum_to_total(self, example_user):
+        parts = user_cost_components(example_user, 2.5, edge_delay=0.9)
+        assert parts.total == pytest.approx(
+            parts.local_energy + parts.local_delay + parts.offload
+        )
+        assert user_cost(example_user, 2.5, 0.9) == pytest.approx(parts.total)
+
+    def test_manual_evaluation(self, example_user):
+        """Recompute Eq. (1) by hand from Q(x) and α(x)."""
+        x, g = 3.0, 1.2
+        q, alpha = queue_and_offload(x, example_user.intensity)
+        expected = (
+            example_user.weight * example_user.energy_local * (1 - alpha)
+            + q / example_user.arrival_rate
+            + (example_user.weight * example_user.energy_offload + g
+               + example_user.offload_latency) * alpha
+        )
+        assert user_cost(example_user, x, g) == pytest.approx(expected)
+
+    def test_threshold_zero_pays_only_offload(self, example_user):
+        """x = 0: α = 1, Q = 0 — pure offloading cost."""
+        g = 0.7
+        expected = (example_user.weight * example_user.energy_offload + g
+                    + example_user.offload_latency)
+        assert user_cost(example_user, 0.0, g) == pytest.approx(expected)
+
+    def test_huge_threshold_stable_user_pays_local(self):
+        """θ < 1, x → ∞: α → 0 and the cost tends to the M/M/1 local cost."""
+        user = UserProfile(arrival_rate=0.5, service_rate=1.0,
+                           offload_latency=0.3, energy_local=2.0,
+                           energy_offload=0.5)
+        cost = user_cost(user, 300.0, 1.0)
+        # M/M/1: Q = ρ/(1−ρ) = 1, so Q/a = 2; plus local energy 2.
+        assert cost == pytest.approx(2.0 * 1.0 + 1.0 / 0.5, rel=1e-6)
+
+    def test_increasing_in_edge_delay(self, example_user):
+        """For any x with α(x) > 0, a busier edge costs more."""
+        costs = [user_cost(example_user, 2.0, g) for g in (0.5, 1.0, 2.0)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_negative_edge_delay_rejected(self, example_user):
+        with pytest.raises(ValueError):
+            user_cost(example_user, 1.0, -0.1)
+
+    def test_weight_scales_energy_terms(self):
+        base = dict(arrival_rate=1.0, service_rate=2.0, offload_latency=0.2,
+                    energy_local=2.0, energy_offload=1.0)
+        light = UserProfile(weight=1.0, **base)
+        heavy = UserProfile(weight=3.0, **base)
+        x, g = 1.5, 0.8
+        parts_light = user_cost_components(light, x, g)
+        parts_heavy = user_cost_components(heavy, x, g)
+        assert parts_heavy.local_energy == pytest.approx(
+            3.0 * parts_light.local_energy
+        )
+        assert parts_heavy.local_delay == pytest.approx(parts_light.local_delay)
+
+
+class TestPopulationCosts:
+    def test_matches_profile_loop(self, small_population):
+        thresholds = np.arange(small_population.size) % 5
+        edge_delay = 1.1
+        vec = population_costs(small_population, thresholds.astype(float),
+                               edge_delay)
+        for i in (0, 13, 100, 499):
+            expected = user_cost(small_population.profile(i),
+                                 float(thresholds[i]), edge_delay)
+            assert vec[i] == pytest.approx(expected, rel=1e-12)
+
+    def test_scalar_threshold_broadcasts(self, small_population):
+        vec = population_costs(small_population, 2.0, 0.9)
+        assert vec.shape == (small_population.size,)
+
+    def test_average(self, small_population):
+        vec = population_costs(small_population, 1.0, 0.9)
+        assert population_average_cost(small_population, 1.0, 0.9) == \
+            pytest.approx(float(vec.mean()))
+
+    def test_all_costs_positive(self, small_population):
+        assert np.all(population_costs(small_population, 3.0, 1.0) > 0)

@@ -1,0 +1,122 @@
+"""Structural tests of the cost function against Appendix B's derivative.
+
+The paper's proof of Lemma 1 rests on the identity (Appendix B): for
+``x ∈ (l−1, l)``,
+
+    sign T'(x|γ) = sign( f(l|θ) − a·(g(γ) + τ + w(p_E − p_L)) ).
+
+These tests verify that identity numerically across random instances —
+they test the *derivation*, not just the final threshold — plus the
+resulting piecewise-monotone shape and the integer-point kinks the paper
+illustrates in Fig. 8.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import threshold_staircase
+from repro.core.cost import user_cost
+from repro.population.user import UserProfile
+
+
+def _numeric_derivative(profile, x, edge_delay, h=1e-6):
+    return (user_cost(profile, x + h, edge_delay)
+            - user_cost(profile, x - h, edge_delay)) / (2 * h)
+
+
+def _profile(arrival, theta, tau, p_l, p_e):
+    return UserProfile(arrival_rate=arrival, service_rate=arrival / theta,
+                       offload_latency=tau, energy_local=p_l,
+                       energy_offload=p_e)
+
+
+class TestDerivativeSignIdentity:
+    @given(
+        arrival=st.floats(0.3, 6.0),
+        theta=st.floats(0.2, 5.0),
+        tau=st.floats(0.0, 3.0),
+        p_l=st.floats(0.0, 3.0),
+        p_e=st.floats(0.0, 1.0),
+        edge_delay=st.floats(0.0, 4.0),
+        level=st.integers(1, 8),
+        frac=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_appendix_b_sign(self, arrival, theta, tau, p_l, p_e,
+                             edge_delay, level, frac):
+        profile = _profile(arrival, theta, tau, p_l, p_e)
+        x = level - 1 + frac             # strictly inside (l−1, l)
+        comparison = arrival * profile.offload_surcharge(edge_delay)
+        gap = threshold_staircase(level, theta) - comparison
+        if abs(gap) < 1e-4:
+            return                        # knife-edge: derivative ≈ 0
+        derivative = _numeric_derivative(profile, x, edge_delay)
+        if abs(derivative) < 1e-9:
+            return                        # numerically flat, consistent
+        assert np.sign(derivative) == np.sign(gap)
+
+    def test_flat_exactly_on_boundary(self):
+        """U = f(l|θ): the cost is constant on (l−1, l)."""
+        theta, level = 2.0, 2
+        edge_delay = 1.0 / (1.1 - np.sqrt(3.0) / 10.0)   # Fig. 8's g(γ)
+        target = threshold_staircase(level, theta)
+        # Choose a, τ so that a·(g + τ + w(p_E − p_L)) = f(2|θ).
+        p_l, p_e, tau = 3.0, 1.0, 1.0
+        surcharge = edge_delay + tau + (p_e - p_l)
+        arrival = target / surcharge
+        profile = _profile(arrival, theta, tau, p_l, p_e)
+        values = [user_cost(profile, x, edge_delay)
+                  for x in np.linspace(level - 0.9, level - 0.1, 9)]
+        assert max(values) - min(values) < 1e-10
+
+
+class TestPiecewiseShape:
+    def test_decreasing_then_increasing_around_optimum(self):
+        """T is non-increasing before x* and non-decreasing after."""
+        profile = _profile(arrival=3.0, theta=1.5, tau=2.0, p_l=1.0, p_e=0.2)
+        edge_delay = 1.5
+        from repro.core.best_response import optimal_threshold
+        x_star = optimal_threshold(profile, edge_delay)
+        assert x_star >= 1
+        before = [user_cost(profile, x, edge_delay)
+                  for x in np.linspace(0.0, float(x_star), 30)]
+        after = [user_cost(profile, x, edge_delay)
+                 for x in np.linspace(float(x_star), x_star + 5.0, 30)]
+        assert all(b <= a + 1e-9 for a, b in zip(before, before[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(after, after[1:]))
+
+    def test_kink_at_integers(self):
+        """Left and right slopes differ at integer thresholds (Fig. 8)."""
+        profile = _profile(arrival=4.0, theta=4.0, tau=1.0, p_l=3.0, p_e=1.0)
+        edge_delay = 1.0 / (1.1 - np.sqrt(3.0) / 10.0)
+        h = 1e-6
+        for point in (1.0, 2.0, 3.0):
+            left = (user_cost(profile, point, edge_delay)
+                    - user_cost(profile, point - h, edge_delay)) / h
+            right = (user_cost(profile, point + h, edge_delay)
+                     - user_cost(profile, point, edge_delay)) / h
+            assert abs(left - right) > 1e-4
+
+    def test_continuous_at_integers(self):
+        profile = _profile(arrival=2.0, theta=2.0, tau=1.0, p_l=3.0, p_e=1.0)
+        for point in (1.0, 2.0, 5.0):
+            below = user_cost(profile, point - 1e-9, 1.0)
+            above = user_cost(profile, point + 1e-9, 1.0)
+            assert below == pytest.approx(above, abs=1e-6)
+
+    def test_limit_cost_matches_mm1_for_stable_user(self):
+        """x → ∞ with θ < 1: the cost tends to the never-offload M/M/1
+        cost; for any finite optimal policy it is an upper bound."""
+        profile = _profile(arrival=1.0, theta=0.5, tau=0.5, p_l=1.0, p_e=0.2)
+        edge_delay = 1.0
+        never_offload = profile.weight * profile.energy_local + \
+            (0.5 / (1 - 0.5)) / profile.arrival_rate
+        assert user_cost(profile, 500.0, edge_delay) == pytest.approx(
+            never_offload, rel=1e-9
+        )
+        from repro.core.best_response import optimal_threshold
+        x_star = optimal_threshold(profile, edge_delay)
+        assert user_cost(profile, float(x_star), edge_delay) <= \
+            never_offload + 1e-12

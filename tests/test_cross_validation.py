@@ -1,0 +1,96 @@
+"""Tripartite cross-validation: three solvers, one truth.
+
+For random user instances, the optimal threshold and its value are
+computed three independent ways — the Lemma-1 closed form, average-cost
+value iteration over the admission MDP, and the M/G/1 embedded-chain
+search fed with the *exact* exponential law via a large sample — and all
+three must agree. Any bug in any one pipeline breaks the triangle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import optimal_threshold
+from repro.core.cost import user_cost
+from repro.core.general_service import optimal_threshold_general
+from repro.core.tro import occupancy_distribution, queue_and_offload
+from repro.population.user import UserProfile
+from repro.queueing.mdp import solve_user_mdp
+
+
+def _random_instance(rng):
+    profile = UserProfile(
+        arrival_rate=float(rng.uniform(0.4, 4.0)),
+        service_rate=float(rng.uniform(0.5, 4.0)),
+        offload_latency=float(rng.uniform(0.1, 2.5)),
+        energy_local=float(rng.uniform(0.0, 2.5)),
+        energy_offload=float(rng.uniform(0.0, 1.0)),
+    )
+    edge_delay = float(rng.uniform(0.2, 2.5))
+    return profile, edge_delay
+
+
+class TestThreeWayThresholdAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_triangle(self, seed):
+        rng = np.random.default_rng(seed)
+        profile, edge_delay = _random_instance(rng)
+
+        lemma = optimal_threshold(profile, edge_delay)
+        mdp = solve_user_mdp(profile, edge_delay)
+        samples = rng.exponential(profile.mean_service_time, size=60_000)
+        general = optimal_threshold_general(
+            profile.arrival_rate, samples,
+            local_energy_cost=profile.weight * profile.energy_local,
+            offload_price=(profile.weight * profile.energy_offload
+                           + edge_delay + profile.offload_latency),
+        )
+        assert mdp.threshold == lemma
+        # The sampled service law can move a knife-edge case by one step.
+        assert abs(general - lemma) <= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_values_agree(self, seed):
+        """gain/a (MDP), T(x*) (closed form) coincide."""
+        rng = np.random.default_rng(100 + seed)
+        profile, edge_delay = _random_instance(rng)
+        mdp = solve_user_mdp(profile, edge_delay)
+        closed = user_cost(profile, float(mdp.threshold), edge_delay)
+        assert mdp.gain / profile.arrival_rate == pytest.approx(closed,
+                                                                rel=1e-5)
+
+
+class TestDistributionMomentConsistency:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_q_alpha_derivable_from_occupancy(self, seed):
+        """Q and α must be the first moment / PASTA functional of the same
+        occupancy distribution — one more internal consistency triangle."""
+        rng = np.random.default_rng(200 + seed)
+        threshold = float(rng.uniform(0.0, 9.0))
+        intensity = float(rng.uniform(0.1, 6.0))
+        pi = occupancy_distribution(threshold, intensity)
+        k = int(np.floor(threshold))
+        delta = threshold - k
+        q_from_pi = float(np.dot(np.arange(pi.size), pi))
+        alpha_from_pi = float(pi[k] * (1 - delta)
+                              + (pi[k + 1] if pi.size > k + 1 else 0.0))
+        q, alpha = queue_and_offload(threshold, intensity)
+        assert q == pytest.approx(q_from_pi, abs=1e-9)
+        assert alpha == pytest.approx(alpha_from_pi, abs=1e-9)
+
+
+class TestEquilibriumTriangle:
+    def test_three_routes_to_gamma_star(self, small_population, paper_delay):
+        """Bisection, damped iteration, and the DTU algorithm must all
+        land on the same utilisation."""
+        from repro.core.dtu import DtuConfig, run_dtu
+        from repro.core.equilibrium import solve_mfne
+        from repro.core.meanfield import MeanFieldMap
+
+        mean_field = MeanFieldMap(small_population, paper_delay)
+        bisect = solve_mfne(mean_field, method="bisection").utilization
+        damped = solve_mfne(mean_field, method="damped", tolerance=1e-9,
+                            max_iterations=5000).utilization
+        dtu = run_dtu(mean_field, DtuConfig(tolerance=2e-3))
+        assert damped == pytest.approx(bisect, abs=2e-3)
+        assert dtu.actual_utilization == pytest.approx(bisect, abs=5e-3)

@@ -1,0 +1,178 @@
+"""Tests for repro.simulation.device — single-queue DES vs theory."""
+
+import numpy as np
+import pytest
+
+from repro.core.tro import queue_and_offload
+from repro.population.distributions import Deterministic, Exponential
+from repro.queueing.mg1 import mg1k_threshold_metrics
+from repro.simulation.device import DpoAdmission, TroAdmission, simulate_device
+
+
+class TestTroAdmission:
+    def test_below_floor_always_admits(self, rng):
+        policy = TroAdmission(3.5)
+        assert all(policy.admits(q, rng) for q in (0, 1, 2))
+
+    def test_above_floor_never_admits(self, rng):
+        policy = TroAdmission(3.5)
+        assert not any(policy.admits(q, rng) for q in (4, 5, 100))
+
+    def test_at_floor_admits_with_fraction(self, rng):
+        policy = TroAdmission(3.25)
+        admitted = sum(policy.admits(3, rng) for _ in range(20_000))
+        assert admitted / 20_000 == pytest.approx(0.25, abs=0.02)
+
+    def test_integer_threshold_rejects_at_floor(self, rng):
+        policy = TroAdmission(3.0)
+        assert not any(policy.admits(3, rng) for _ in range(100))
+
+    def test_zero_threshold_rejects_everything(self, rng):
+        policy = TroAdmission(0.0)
+        assert not policy.admits(0, rng)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TroAdmission(-1.0)
+
+
+class TestDpoAdmission:
+    def test_offload_fraction(self, rng):
+        policy = DpoAdmission(0.3)
+        admitted = sum(policy.admits(5, rng) for _ in range(20_000))
+        assert admitted / 20_000 == pytest.approx(0.7, abs=0.02)
+
+    def test_queue_oblivious(self, rng):
+        policy = DpoAdmission(0.0)
+        assert all(policy.admits(q, rng) for q in (0, 10, 1000))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DpoAdmission(1.5)
+
+
+class TestSimulateDeviceAgainstTheory:
+    @pytest.mark.parametrize("threshold,theta", [
+        (2.5, 0.8), (4.0, 1.0), (1.3, 2.0), (3.0, 0.5),
+    ])
+    def test_exponential_service_matches_closed_form(self, threshold, theta):
+        stats = simulate_device(
+            arrival_rate=theta, service=Exponential(1.0),
+            policy=TroAdmission(threshold), horizon=8000.0, rng=99,
+            warmup=400.0,
+        )
+        q_cf, alpha_cf = queue_and_offload(threshold, theta)
+        assert stats.time_avg_queue == pytest.approx(q_cf, abs=0.08)
+        assert stats.offload_fraction == pytest.approx(alpha_cf, abs=0.02)
+
+    def test_deterministic_service_matches_embedded_chain(self):
+        """General service: the DES must agree with the M/G/1/K solver."""
+        arrival, threshold = 0.8, 3.0
+        stats = simulate_device(
+            arrival_rate=arrival, service=Deterministic(1.0),
+            policy=TroAdmission(threshold), horizon=8000.0, rng=5,
+            warmup=400.0,
+        )
+        metrics = mg1k_threshold_metrics(arrival, np.array([1.0]), threshold)
+        assert stats.offload_fraction == pytest.approx(
+            metrics.offload_probability, abs=0.02
+        )
+        assert stats.time_avg_queue == pytest.approx(
+            metrics.mean_queue_length, abs=0.08
+        )
+
+    def test_work_conservation(self):
+        """Busy fraction = admitted rate × mean service time."""
+        stats = simulate_device(
+            arrival_rate=1.5, service=Exponential(2.0),
+            policy=TroAdmission(3.0), horizon=5000.0, rng=11, warmup=200.0,
+        )
+        assert stats.busy_fraction == pytest.approx(
+            stats.admitted_rate * 0.5, abs=0.02
+        )
+
+    def test_littles_law(self):
+        """Q̂ ≈ admitted rate × mean sojourn (Little, measured)."""
+        stats = simulate_device(
+            arrival_rate=1.5, service=Exponential(1.0),
+            policy=TroAdmission(4.0), horizon=8000.0, rng=21, warmup=400.0,
+        )
+        assert stats.time_avg_queue == pytest.approx(
+            stats.admitted_rate * stats.mean_local_sojourn, rel=0.05
+        )
+
+    def test_dpo_policy_thins_arrivals(self):
+        """DPO: local queue is M/M/1 with rate a(1−p)."""
+        a, s, p = 1.0, 2.0, 0.4
+        stats = simulate_device(
+            arrival_rate=a, service=Exponential(s),
+            policy=DpoAdmission(p), horizon=8000.0, rng=31, warmup=400.0,
+        )
+        rho = a * (1 - p) / s
+        assert stats.offload_fraction == pytest.approx(p, abs=0.02)
+        assert stats.time_avg_queue == pytest.approx(rho / (1 - rho), abs=0.05)
+
+
+class TestSimulateDeviceMechanics:
+    def test_threshold_zero_offloads_everything(self):
+        stats = simulate_device(
+            arrival_rate=2.0, service=Exponential(1.0),
+            policy=TroAdmission(0.0), horizon=200.0, rng=1,
+        )
+        assert stats.offload_fraction == 1.0
+        assert stats.time_avg_queue == 0.0
+        assert stats.admitted == 0
+
+    def test_queue_never_exceeds_buffer(self):
+        """Occupancy is capped at ⌊x⌋ + 1 by construction."""
+        threshold = 2.5
+        stats = simulate_device(
+            arrival_rate=10.0, service=Exponential(1.0),
+            policy=TroAdmission(threshold), horizon=500.0, rng=2,
+        )
+        assert stats.time_avg_queue <= 3.0 + 1e-9
+
+    def test_counts_are_consistent(self):
+        stats = simulate_device(
+            arrival_rate=2.0, service=Exponential(1.5),
+            policy=TroAdmission(2.0), horizon=300.0, rng=3,
+        )
+        assert stats.arrivals == stats.admitted + stats.offloaded
+
+    def test_warmup_shrinks_observation(self):
+        stats = simulate_device(
+            arrival_rate=1.0, service=Exponential(1.0),
+            policy=TroAdmission(2.0), horizon=100.0, rng=4, warmup=40.0,
+        )
+        assert stats.observation_time == pytest.approx(60.0)
+
+    def test_initial_queue_seeds_state(self):
+        stats = simulate_device(
+            arrival_rate=0.01, service=Exponential(100.0),
+            policy=TroAdmission(5.0), horizon=10.0, rng=5, initial_queue=3,
+        )
+        # Three seeded tasks complete almost immediately.
+        assert stats.completed >= 3
+
+    def test_deterministic_under_seed(self):
+        kwargs = dict(arrival_rate=1.0, service=Exponential(1.0),
+                      policy=TroAdmission(2.5), horizon=100.0, rng=77)
+        a = simulate_device(**kwargs)
+        b = simulate_device(**kwargs)
+        assert a.arrivals == b.arrivals
+        assert a.time_avg_queue == b.time_avg_queue
+
+    def test_empty_window_yields_zero_offload_fraction(self):
+        stats = simulate_device(
+            arrival_rate=0.001, service=Exponential(1.0),
+            policy=TroAdmission(1.0), horizon=1.0, rng=6,
+        )
+        if stats.arrivals == 0:
+            assert stats.offload_fraction == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_device(0.0, Exponential(1.0), TroAdmission(1.0), 10.0)
+        with pytest.raises(ValueError):
+            simulate_device(1.0, Exponential(1.0), TroAdmission(1.0), 10.0,
+                            warmup=10.0)

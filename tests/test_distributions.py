@@ -1,0 +1,311 @@
+"""Tests for repro.population.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.population.distributions import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Scaled,
+    Shifted,
+    TruncatedNormal,
+    Uniform,
+)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean() == pytest.approx(4.0)
+
+    def test_samples_in_support(self, rng):
+        samples = Uniform(1.0, 3.0).sample_array(rng, 1000)
+        assert np.all((samples >= 1.0) & (samples <= 3.0))
+
+    def test_sample_mean_converges(self, rng):
+        samples = Uniform(0.0, 10.0).sample_array(rng, 50_000)
+        assert samples.mean() == pytest.approx(5.0, abs=0.1)
+
+    def test_scalar_sample(self):
+        value = Uniform(0.0, 1.0).sample(rng=3)
+        assert isinstance(value, float)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 3.0)
+
+    def test_bounded(self):
+        assert Uniform(0.0, 1.0).bounded
+
+    @given(low=st.floats(-100, 100), width=st.floats(0.01, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_inside_support_property(self, low, width):
+        dist = Uniform(low, low + width)
+        assert low <= dist.mean() <= low + width
+
+
+class TestDeterministic:
+    def test_mean_and_samples(self, rng):
+        dist = Deterministic(2.5)
+        assert dist.mean() == 2.5
+        assert np.all(dist.sample_array(rng, 10) == 2.5)
+        assert dist.sample() == 2.5
+        assert dist.bounded
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(rate=4.0).mean() == pytest.approx(0.25)
+
+    def test_sample_mean(self, rng):
+        samples = Exponential(rate=2.0).sample_array(rng, 50_000)
+        assert samples.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_memoryless_shape(self, rng):
+        """P(X > 2m) ≈ P(X > m)² for the exponential."""
+        samples = Exponential(rate=1.0).sample_array(rng, 100_000)
+        p1 = (samples > 1.0).mean()
+        p2 = (samples > 2.0).mean()
+        assert p2 == pytest.approx(p1**2, abs=0.01)
+
+    def test_unbounded(self):
+        assert not Exponential(1.0).bounded
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestTruncatedNormal:
+    def test_samples_in_support(self, rng):
+        dist = TruncatedNormal(mu=0.0, sigma=1.0, low=-1.0, high=2.0)
+        samples = dist.sample_array(rng, 2000)
+        assert np.all((samples >= -1.0) & (samples <= 2.0))
+
+    def test_mean_formula_vs_samples(self, rng):
+        dist = TruncatedNormal(mu=1.0, sigma=2.0, low=0.0, high=3.0)
+        samples = dist.sample_array(rng, 100_000)
+        assert samples.mean() == pytest.approx(dist.mean(), abs=0.02)
+
+    def test_symmetric_truncation_keeps_mean(self):
+        dist = TruncatedNormal(mu=5.0, sigma=1.0, low=3.0, high=7.0)
+        assert dist.mean() == pytest.approx(5.0, abs=1e-12)
+
+    def test_scalar_sample(self):
+        value = TruncatedNormal(0.0, 1.0, -1.0, 1.0).sample(rng=0)
+        assert -1.0 <= value <= 1.0
+
+    def test_negligible_mass_raises(self):
+        with pytest.raises(ValueError, match="negligible"):
+            TruncatedNormal(mu=0.0, sigma=0.1, low=50.0, high=51.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(0.0, 1.0, 2.0, 2.0)
+
+
+class TestLogNormal:
+    def test_mean_formula(self):
+        dist = LogNormal(mu=0.0, sigma=0.5)
+        assert dist.mean() == pytest.approx(math.exp(0.125))
+
+    def test_from_mean_cv(self, rng):
+        dist = LogNormal.from_mean_cv(mean=3.0, cv=0.8)
+        assert dist.mean() == pytest.approx(3.0, rel=1e-12)
+        samples = dist.sample_array(rng, 200_000)
+        assert samples.mean() == pytest.approx(3.0, rel=0.02)
+        assert samples.std() / samples.mean() == pytest.approx(0.8, rel=0.05)
+
+    def test_positive_support(self, rng):
+        samples = LogNormal(0.0, 1.0).sample_array(rng, 1000)
+        assert np.all(samples > 0)
+
+
+class TestGamma:
+    def test_mean_variance(self, rng):
+        dist = Gamma(shape=3.0, scale=0.5)
+        assert dist.mean() == pytest.approx(1.5)
+        assert dist.variance() == pytest.approx(0.75)
+        samples = dist.sample_array(rng, 100_000)
+        assert samples.mean() == pytest.approx(1.5, rel=0.02)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Gamma(shape=0.0, scale=1.0)
+
+
+class TestEmpirical:
+    def test_mean_is_sample_mean(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.mean() == pytest.approx(2.5)
+        assert len(dist) == 4
+
+    def test_samples_come_from_data(self, rng):
+        data = [1.5, 2.5, 9.0]
+        samples = Empirical(data).sample_array(rng, 500)
+        assert set(np.unique(samples)).issubset(set(data))
+
+    def test_bootstrap_frequencies(self, rng):
+        dist = Empirical([0.0, 1.0])
+        samples = dist.sample_array(rng, 20_000)
+        assert samples.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_support(self):
+        assert Empirical([3.0, 1.0, 2.0]).support() == (1.0, 3.0)
+
+    def test_data_is_immutable(self):
+        dist = Empirical([1.0, 2.0])
+        with pytest.raises(ValueError):
+            dist.data[0] = 99.0
+
+    def test_rejects_empty_and_nonfinite(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([1.0, math.nan])
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        mix = Mixture([Deterministic(1.0), Deterministic(3.0)], [0.25, 0.75])
+        assert mix.mean() == pytest.approx(2.5)
+
+    def test_weights_normalised(self):
+        mix = Mixture([Deterministic(0.0), Deterministic(1.0)], [2.0, 6.0])
+        assert mix.mean() == pytest.approx(0.75)
+
+    def test_sample_mean(self, rng):
+        mix = Mixture([Uniform(0, 1), Uniform(10, 11)], [0.5, 0.5])
+        samples = mix.sample_array(rng, 50_000)
+        assert samples.mean() == pytest.approx(mix.mean(), abs=0.1)
+
+    def test_component_proportions(self, rng):
+        mix = Mixture([Uniform(0, 1), Uniform(10, 11)], [0.9, 0.1])
+        samples = mix.sample_array(rng, 20_000)
+        assert (samples > 5).mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_support_is_union_hull(self):
+        mix = Mixture([Uniform(0, 1), Uniform(5, 6)], [0.5, 0.5])
+        assert mix.support() == (0.0, 6.0)
+
+    def test_scalar_sample(self):
+        value = Mixture([Deterministic(2.0)], [1.0]).sample(rng=0)
+        assert value == 2.0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            Mixture([Deterministic(1.0)], [-1.0])
+        with pytest.raises(ValueError):
+            Mixture([Deterministic(1.0)], [0.0])
+        with pytest.raises(ValueError):
+            Mixture([], [])
+
+
+class TestShiftedScaled:
+    def test_shifted_mean_support(self, rng):
+        dist = Shifted(Uniform(0.0, 2.0), offset=5.0)
+        assert dist.mean() == pytest.approx(6.0)
+        assert dist.support() == (5.0, 7.0)
+        samples = dist.sample_array(rng, 1000)
+        assert np.all(samples >= 5.0)
+
+    def test_scaled_mean_support(self, rng):
+        dist = Scaled(Uniform(1.0, 3.0), factor=2.0)
+        assert dist.mean() == pytest.approx(4.0)
+        assert dist.support() == (2.0, 6.0)
+
+    def test_scalar_paths(self):
+        assert isinstance(Shifted(Deterministic(1.0), 1.0).sample(), float)
+        assert isinstance(Scaled(Deterministic(1.0), 2.0).sample(), float)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Scaled(Uniform(0, 1), factor=0.0)
+
+
+class TestWeibull:
+    def test_mean_formula(self, rng):
+        from repro.population.distributions import Weibull
+        import math
+        dist = Weibull(shape=2.0, scale=3.0)
+        assert dist.mean() == pytest.approx(3.0 * math.gamma(1.5))
+        samples = dist.sample_array(rng, 100_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.02)
+
+    def test_variance_formula(self, rng):
+        from repro.population.distributions import Weibull
+        dist = Weibull(shape=1.5, scale=2.0)
+        samples = dist.sample_array(rng, 200_000)
+        assert samples.var() == pytest.approx(dist.variance(), rel=0.05)
+
+    def test_shape_one_is_exponential(self, rng):
+        from repro.population.distributions import Weibull
+        dist = Weibull(shape=1.0, scale=2.0)
+        assert dist.mean() == pytest.approx(2.0)
+        samples = dist.sample_array(rng, 100_000)
+        # Exponential memorylessness check on the sampled law.
+        p1 = (samples > 2.0).mean()
+        p2 = (samples > 4.0).mean()
+        assert p2 == pytest.approx(p1**2, abs=0.01)
+
+    def test_positive_unbounded(self):
+        from repro.population.distributions import Weibull
+        dist = Weibull(shape=0.8, scale=1.0)
+        assert dist.support()[0] == 0.0
+        assert not dist.bounded
+
+    def test_invalid_params(self):
+        from repro.population.distributions import Weibull
+        with pytest.raises(ValueError):
+            Weibull(shape=0.0, scale=1.0)
+
+
+class TestBeta:
+    def test_mean_and_bounds(self, rng):
+        from repro.population.distributions import Beta
+        dist = Beta(a=2.0, b=6.0, low=1.0, high=5.0)
+        assert dist.mean() == pytest.approx(1.0 + 4.0 * 0.25)
+        samples = dist.sample_array(rng, 5000)
+        assert np.all((samples >= 1.0) & (samples <= 5.0))
+        assert dist.bounded
+
+    def test_variance(self, rng):
+        from repro.population.distributions import Beta
+        dist = Beta(a=3.0, b=3.0, low=0.0, high=2.0)
+        samples = dist.sample_array(rng, 200_000)
+        assert samples.var() == pytest.approx(dist.variance(), rel=0.05)
+
+    def test_uniform_special_case(self, rng):
+        from repro.population.distributions import Beta
+        dist = Beta(a=1.0, b=1.0)
+        samples = dist.sample_array(rng, 50_000)
+        assert samples.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_usable_as_population_arrival(self):
+        """Beta is bounded-continuous — valid for the paper's A."""
+        from repro.population.distributions import Beta
+        from repro.population.sampler import PopulationConfig, sample_population
+        config = PopulationConfig(
+            arrival=Beta(a=2.0, b=2.0, low=0.1, high=4.0),
+            service=Uniform(1.0, 5.0),
+            latency=Uniform(0.0, 1.0),
+            energy_local=Uniform(0.0, 3.0),
+            energy_offload=Uniform(0.0, 1.0),
+            capacity=10.0,
+        )
+        pop = sample_population(config, 100, rng=0)
+        assert np.all(pop.arrival_rates < 4.0)
+
+    def test_invalid_params(self):
+        from repro.population.distributions import Beta
+        with pytest.raises(ValueError):
+            Beta(a=0.0, b=1.0)
+        with pytest.raises(ValueError):
+            Beta(a=1.0, b=1.0, low=2.0, high=2.0)

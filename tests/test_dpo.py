@@ -1,0 +1,192 @@
+"""Tests for repro.core.dpo — the probabilistic offloading baseline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dpo import (
+    dpo_population_cost,
+    dpo_population_costs,
+    dpo_user_cost,
+    dpo_value,
+    optimal_offload_probabilities,
+    optimal_offload_probability,
+    solve_dpo_equilibrium,
+)
+from repro.core.edge_delay import ReciprocalDelay
+from repro.population.user import UserProfile
+
+
+def _make_user(arrival, service, latency, p_local, p_edge):
+    return UserProfile(arrival_rate=arrival, service_rate=service,
+                       offload_latency=latency, energy_local=p_local,
+                       energy_offload=p_edge)
+
+
+class TestOptimalProbability:
+    def test_negative_surcharge_offloads_all(self):
+        user = _make_user(1.0, 2.0, 0.1, 3.0, 0.1)   # p_E − p_L = −2.9
+        assert optimal_offload_probability(user, edge_delay=0.0) == 1.0
+
+    def test_cheap_local_processes_all(self):
+        """Fast server + expensive offloading → p* = 0 (needs θ < 1)."""
+        user = _make_user(0.5, 5.0, 10.0, 0.1, 0.5)
+        assert optimal_offload_probability(user, edge_delay=5.0) == 0.0
+
+    def test_interior_is_stationary_point(self):
+        user = _make_user(2.0, 1.5, 1.0, 1.0, 0.5)
+        g = 0.8
+        p = optimal_offload_probability(user, g)
+        assert 0.0 < p < 1.0
+        # First-order condition: (1/s)/(1−θ(1−p))² = B.
+        surcharge = user.offload_surcharge(g)
+        lhs = (1.0 / user.service_rate) / (1.0 - user.intensity * (1 - p)) ** 2
+        assert lhs == pytest.approx(surcharge, rel=1e-9)
+
+    @given(
+        arrival=st.floats(0.2, 8.0),
+        service=st.floats(0.3, 8.0),
+        latency=st.floats(0.0, 5.0),
+        p_local=st.floats(0.0, 3.0),
+        p_edge=st.floats(0.0, 1.0),
+        edge_delay=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_beats_probability_grid(self, arrival, service, latency,
+                                    p_local, p_edge, edge_delay):
+        """p* must (weakly) beat every grid probability — the closed form
+        is the policy's exact best response."""
+        user = _make_user(arrival, service, latency, p_local, p_edge)
+        p_star = optimal_offload_probability(user, edge_delay)
+        best = dpo_user_cost(user, p_star, edge_delay)
+        for p in np.linspace(0.0, 1.0, 60):
+            assert best <= dpo_user_cost(user, float(p), edge_delay) + 1e-8
+
+    @given(edge_delays=st.tuples(st.floats(0.0, 5.0), st.floats(0.0, 5.0)))
+    @settings(max_examples=80, deadline=None)
+    def test_nonincreasing_in_edge_delay(self, edge_delays):
+        """Busier edge ⇒ offload less (the monotonicity behind uniqueness)."""
+        user = _make_user(2.0, 1.5, 0.5, 1.5, 0.5)
+        lo, hi = min(edge_delays), max(edge_delays)
+        assert optimal_offload_probability(user, hi) <= \
+            optimal_offload_probability(user, lo) + 1e-12
+
+    def test_interior_point_respects_stability(self):
+        """An interior optimum always leaves the local queue stable."""
+        user = _make_user(4.0, 1.0, 0.5, 1.0, 0.5)    # θ = 4
+        p = optimal_offload_probability(user, edge_delay=2.0)
+        assert user.intensity * (1.0 - p) < 1.0
+
+
+class TestDpoCost:
+    def test_unstable_probability_costs_infinity(self):
+        user = _make_user(3.0, 1.0, 0.5, 1.0, 0.5)    # θ = 3
+        assert math.isinf(dpo_user_cost(user, 0.0, 1.0))
+
+    def test_full_offload_cost(self):
+        user = _make_user(1.0, 1.0, 0.7, 2.0, 0.3)
+        g = 1.1
+        assert dpo_user_cost(user, 1.0, g) == pytest.approx(0.3 + g + 0.7)
+
+    def test_mm1_queue_term(self):
+        """p = 0 on a stable queue: cost has the M/M/1 Q/a term."""
+        user = _make_user(1.0, 2.0, 0.7, 2.0, 0.3)
+        # ρ = 0.5 → Q = 1 → Q/a = 1; plus local energy 2.
+        assert dpo_user_cost(user, 0.0, 1.0) == pytest.approx(3.0)
+
+    def test_population_matches_loop(self, small_population):
+        p = np.linspace(0.1, 0.9, small_population.size)
+        vec = dpo_population_costs(small_population, p, 0.9)
+        for i in (0, 101, 499):
+            expected = dpo_user_cost(small_population.profile(i), float(p[i]),
+                                     0.9)
+            assert vec[i] == pytest.approx(expected, rel=1e-12)
+
+    def test_population_cost_average(self, small_population):
+        p = optimal_offload_probabilities(small_population, 0.9)
+        mean = dpo_population_cost(small_population, p, 0.9)
+        assert mean == pytest.approx(
+            float(dpo_population_costs(small_population, p, 0.9).mean())
+        )
+
+    def test_invalid_probability_rejected(self, small_population):
+        with pytest.raises(ValueError):
+            dpo_population_costs(small_population, 1.5, 0.9)
+        user = _make_user(1.0, 1.0, 0.1, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            dpo_user_cost(user, -0.1, 0.9)
+
+
+class TestVectorizedProbabilities:
+    def test_matches_scalar(self, small_population):
+        edge_delay = 1.2
+        vec = optimal_offload_probabilities(small_population, edge_delay)
+        for i in range(0, small_population.size, 41):
+            expected = optimal_offload_probability(
+                small_population.profile(i), edge_delay
+            )
+            assert vec[i] == pytest.approx(expected, rel=1e-12)
+
+    def test_bounds(self, small_population):
+        vec = optimal_offload_probabilities(small_population, 0.5)
+        assert np.all((vec >= 0.0) & (vec <= 1.0))
+
+
+class TestDpoEquilibrium:
+    def test_fixed_point(self, small_population, paper_delay):
+        eq = solve_dpo_equilibrium(small_population, paper_delay)
+        assert eq.converged
+        assert eq.residual < 1e-6
+        assert 0.0 < eq.utilization < 1.0
+        w = dpo_value(small_population, paper_delay, eq.utilization)
+        assert w == pytest.approx(eq.utilization, abs=1e-6)
+
+    def test_cost_is_finite(self, small_population, paper_delay):
+        eq = solve_dpo_equilibrium(small_population, paper_delay)
+        assert math.isfinite(eq.average_cost)
+        assert eq.average_cost > 0
+
+    def test_probabilities_shape(self, small_population, paper_delay):
+        eq = solve_dpo_equilibrium(small_population, paper_delay)
+        assert eq.probabilities.shape == (small_population.size,)
+
+    def test_value_nonincreasing(self, small_population, paper_delay):
+        values = [dpo_value(small_population, paper_delay, g)
+                  for g in np.linspace(0, 1, 11)]
+        for lo, hi in zip(values, values[1:]):
+            assert hi <= lo + 1e-12
+
+    def test_default_delay_model(self, small_population):
+        eq = solve_dpo_equilibrium(small_population)
+        reference = solve_dpo_equilibrium(small_population,
+                                          ReciprocalDelay(1.1, 1.0))
+        assert eq.utilization == pytest.approx(reference.utilization)
+
+
+class TestDtuBeatsDpo:
+    def test_threshold_policy_wins(self, mean_field, paper_delay):
+        """The paper's headline comparison on a theoretical population:
+        the equilibrium DTU cost must undercut the equilibrium DPO cost."""
+        from repro.core.equilibrium import solve_mfne
+        population = mean_field.population
+        mfne = solve_mfne(mean_field)
+        dtu_cost = mean_field.average_cost(mfne.utilization)
+        dpo = solve_dpo_equilibrium(population, paper_delay)
+        assert dtu_cost < dpo.average_cost
+
+    def test_per_user_dominance_at_same_edge_state(self, mean_field):
+        """At a FIXED edge delay the threshold best response beats the
+        probabilistic best response for (almost) every user — queue-aware
+        admission dominates queue-blind admission."""
+        population = mean_field.population
+        g = 1.0
+        from repro.core.best_response import best_response_thresholds
+        from repro.core.cost import population_costs
+        x = best_response_thresholds(population, g)
+        tro_costs = population_costs(population, x.astype(float), g)
+        p = optimal_offload_probabilities(population, g)
+        dpo_costs = dpo_population_costs(population, p, g)
+        assert np.all(tro_costs <= dpo_costs + 1e-9)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.dtu_variants — step-rule comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtu_variants import (
+    compare_step_rules,
+    constant_rule,
+    paper_rule,
+    robbins_monro_rule,
+    run_with_step_rule,
+)
+from repro.core.equilibrium import solve_mfne
+
+
+class TestStepRules:
+    def test_paper_rule_shrinks_only_on_oscillation(self):
+        rule = paper_rule(0.1)
+        step, counter = rule(5, 0.1, 1, False)
+        assert step == 0.1 and counter == 1
+        step, counter = rule(6, 0.1, 1, True)
+        assert step == pytest.approx(0.05) and counter == 2
+        step, counter = rule(7, step, counter, True)
+        assert step == pytest.approx(0.1 / 3) and counter == 3
+
+    def test_constant_rule_never_changes(self):
+        rule = constant_rule(0.2)
+        assert rule(50, 0.01, 9, True)[0] == 0.2
+
+    def test_robbins_monro_decays_with_time(self):
+        rule = robbins_monro_rule(0.1)
+        assert rule(1, 0.1, 1, False)[0] == pytest.approx(0.1)
+        assert rule(10, 0.1, 1, False)[0] == pytest.approx(0.01)
+
+
+@pytest.fixture(scope="module")
+def variant_setup():
+    from repro.core.meanfield import MeanFieldMap
+    from repro.experiments.settings import PAPER_G, theoretical_population
+    population = theoretical_population("E[A]<E[S]", n_users=1500, rng=0)
+    mean_field = MeanFieldMap(population, PAPER_G)
+    gamma_star = solve_mfne(mean_field).utilization
+    return mean_field, gamma_star
+
+
+class TestRunWithStepRule:
+    def test_paper_rule_matches_run_dtu_behaviour(self, variant_setup):
+        mean_field, gamma_star = variant_setup
+        estimates = run_with_step_rule(mean_field, paper_rule(0.1),
+                                       iterations=60)
+        assert abs(estimates[-1] - gamma_star) < 0.01
+
+    def test_estimates_bounded(self, variant_setup):
+        mean_field, _ = variant_setup
+        estimates = run_with_step_rule(mean_field, constant_rule(0.3),
+                                       iterations=40, initial_estimate=0.9)
+        assert np.all((estimates >= 0.0) & (estimates <= 1.0))
+
+    def test_series_length(self, variant_setup):
+        mean_field, _ = variant_setup
+        estimates = run_with_step_rule(mean_field, paper_rule(0.1),
+                                       iterations=17)
+        assert estimates.shape == (18,)
+
+
+class TestCompareStepRules:
+    def test_paper_rule_wins_from_far_start(self, variant_setup):
+        """From γ̂₀ = 0.9 only the paper's rule both reaches the ±0.01 band
+        and keeps a small tail error."""
+        mean_field, gamma_star = variant_setup
+        runs = {run.name: run for run in compare_step_rules(
+            mean_field, gamma_star, iterations=120, initial_estimate=0.9,
+        )}
+        paper = runs["paper (η₀/L on oscillation)"]
+        constant = runs["constant η₀"]
+        robbins = runs["Robbins–Monro η₀/t"]
+        assert paper.iterations_to_band is not None
+        assert paper.tail_error < 0.01
+        # Constant step oscillates in a ±η₀ band forever.
+        assert constant.tail_error > 0.02
+        # Robbins–Monro cannot cover the distance within the horizon.
+        assert robbins.tail_error > 0.05
+
+    def test_near_start_all_reasonable_rules_arrive(self, variant_setup):
+        mean_field, gamma_star = variant_setup
+        runs = {run.name: run for run in compare_step_rules(
+            mean_field, gamma_star, iterations=120, initial_estimate=0.0,
+        )}
+        assert runs["paper (η₀/L on oscillation)"].tail_error < 0.01
+        assert runs["Robbins–Monro η₀/t"].tail_error < 0.01
+
+
+class TestAblationIntegration:
+    def test_step_rule_ablation_runs(self):
+        from repro.experiments import ablations
+        result = ablations.step_rule_comparison(n_users=800, seed=0,
+                                                iterations=80)
+        assert len(result.rows) == 6
+        # The paper's rule has a finite to-band count in both regimes.
+        paper_rows = [row for row in result.rows if "paper" in row[1]]
+        assert all(row[2] != "never" for row in paper_rows)

@@ -1,0 +1,70 @@
+"""Tests for repro.core.edge_delay — the g(γ) models."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_delay import (
+    PAPER_DELAY_MODEL,
+    LinearDelay,
+    PowerDelay,
+    ReciprocalDelay,
+)
+
+ALL_MODELS = [
+    ReciprocalDelay(headroom=1.1, scale=1.0),
+    ReciprocalDelay(headroom=2.0, scale=3.0),
+    LinearDelay(base=0.5, slope=2.0),
+    PowerDelay(base=0.1, gain=4.0, exponent=2.0),
+]
+
+
+class TestModelContract:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=repr)
+    def test_increasing(self, model):
+        grid = np.linspace(0.0, 1.0, 50)
+        values = [model(float(g)) for g in grid]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=repr)
+    def test_bounded_by_max_delay(self, model):
+        for gamma in np.linspace(0.0, 1.0, 20):
+            assert 0.0 <= model(float(gamma)) <= model.max_delay + 1e-12
+        assert model(1.0) == pytest.approx(model.max_delay)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=repr)
+    def test_rejects_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model(-0.01)
+        with pytest.raises(ValueError):
+            model(1.01)
+
+
+class TestReciprocal:
+    def test_paper_values(self):
+        """g(γ) = 1/(1.1 − γ): g(0) = 1/1.1, g(1) = 10."""
+        assert PAPER_DELAY_MODEL(0.0) == pytest.approx(1.0 / 1.1)
+        assert PAPER_DELAY_MODEL(1.0) == pytest.approx(10.0)
+        assert PAPER_DELAY_MODEL.max_delay == pytest.approx(10.0)
+
+    def test_requires_headroom_above_one(self):
+        with pytest.raises(ValueError, match="headroom"):
+            ReciprocalDelay(headroom=1.0)
+        with pytest.raises(ValueError):
+            ReciprocalDelay(headroom=0.5)
+
+
+class TestLinearAndPower:
+    def test_linear_values(self):
+        model = LinearDelay(base=1.0, slope=2.0)
+        assert model(0.5) == pytest.approx(2.0)
+        assert model.max_delay == pytest.approx(3.0)
+
+    def test_power_convexity(self):
+        model = PowerDelay(base=0.0, gain=1.0, exponent=2.0)
+        assert model(0.5) == pytest.approx(0.25)
+        # Convex: midpoint below the chord.
+        assert model(0.5) < 0.5 * (model(0.0) + model(1.0))
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            PowerDelay(gain=0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.simulation.engine — the generic DES core."""
+
+import pytest
+
+from repro.simulation.engine import DiscreteEventSimulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append("c"))
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        for name in "abc":
+            sim.schedule_at(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_after_uses_current_time(self):
+        sim = DiscreteEventSimulator()
+        times = []
+
+        def chain():
+            times.append(sim.now)
+            if len(times) < 3:
+                sim.schedule_after(1.5, chain)
+
+        sim.schedule_after(1.5, chain)
+        sim.run()
+        assert times == pytest.approx([1.5, 3.0, 4.5])
+
+    def test_cannot_schedule_in_past(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError, match="cannot schedule"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = DiscreteEventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_nan_time_rejected(self):
+        sim = DiscreteEventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("x"))
+        sim.schedule_at(2.0, lambda: fired.append("y"))
+        event.cancel()
+        sim.run()
+        assert fired == ["y"]
+
+    def test_cancel_during_run(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        later = sim.schedule_at(2.0, lambda: fired.append("late"))
+        sim.schedule_at(1.0, lambda: later.cancel())
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        assert sim.pending_events == 1
+
+    def test_run_until_resumable(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_max_events(self):
+        sim = DiscreteEventSimulator()
+        fired = []
+        for t in range(10):
+            sim.schedule_at(float(t + 1), lambda t=t: fired.append(t))
+        sim.run(max_events=4)
+        assert len(fired) == 4
+
+    def test_clock_advances_to_until_when_heap_empty(self):
+        sim = DiscreteEventSimulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_step_returns_false_when_empty(self):
+        sim = DiscreteEventSimulator()
+        assert sim.step() is False
+
+    def test_processed_events_counter(self):
+        sim = DiscreteEventSimulator()
+        for t in range(3):
+            sim.schedule_at(float(t + 1), lambda: None)
+        cancelled = sim.schedule_at(4.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.processed_events == 3
+
+    def test_monotone_clock(self):
+        sim = DiscreteEventSimulator()
+        observed = []
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+    def test_start_time(self):
+        sim = DiscreteEventSimulator(start_time=10.0)
+        assert sim.now == 10.0
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)

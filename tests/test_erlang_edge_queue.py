@@ -1,0 +1,159 @@
+"""Tests for repro.queueing.erlang and repro.simulation.edge_queue."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.population.distributions import Deterministic, Exponential
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_c,
+    mmk_delay_curve,
+    mmk_metrics,
+)
+from repro.queueing.mm1 import mm1_metrics
+from repro.simulation.edge_queue import simulate_edge_queue
+
+
+class TestErlangB:
+    def test_single_server_formula(self):
+        """B(1, a) = a / (1 + a)."""
+        for a in (0.3, 1.0, 2.5):
+            assert erlang_b(1, a) == pytest.approx(a / (1 + a))
+
+    def test_textbook_value(self):
+        """Classic example: 10 servers, offered load 7 → B ≈ 0.0787."""
+        assert erlang_b(10, 7.0) == pytest.approx(0.0787, abs=0.0005)
+
+    def test_matches_direct_sum(self):
+        """Recurrence vs the literal Erlang-B sum."""
+        k, a = 6, 3.5
+        terms = [a**i / math.factorial(i) for i in range(k + 1)]
+        direct = terms[-1] / sum(terms)
+        assert erlang_b(k, a) == pytest.approx(direct, rel=1e-12)
+
+    def test_decreasing_in_servers(self):
+        values = [erlang_b(k, 4.0) for k in (2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_b(3, 0.0)
+
+
+class TestErlangC:
+    def test_single_server_is_rho(self):
+        """C(1, ρ) = ρ — an M/M/1 arrival queues iff the server is busy."""
+        for rho in (0.2, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_bounded_by_one_above_b(self):
+        c = erlang_c(5, 4.0)
+        b = erlang_b(5, 4.0)
+        assert b < c < 1.0
+
+    def test_requires_stability(self):
+        with pytest.raises(ValueError):
+            erlang_c(3, 3.0)
+
+
+class TestMMKMetrics:
+    def test_k_one_reduces_to_mm1(self):
+        lam, mu = 1.2, 2.0
+        multi = mmk_metrics(lam, mu, servers=1)
+        single = mm1_metrics(lam, mu)
+        assert multi.mean_waiting_time == pytest.approx(
+            single.mean_waiting_time
+        )
+        assert multi.mean_queue_length == pytest.approx(
+            single.mean_queue_length
+        )
+
+    def test_littles_law(self):
+        metrics = mmk_metrics(3.0, 1.0, servers=5)
+        assert metrics.mean_queue_length == pytest.approx(
+            3.0 * metrics.mean_sojourn_time
+        )
+
+    def test_more_servers_less_waiting(self):
+        waits = [mmk_metrics(3.0, 1.0, k).mean_waiting_time
+                 for k in (4, 6, 10)]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mmk_metrics(5.0, 1.0, servers=4)
+
+    def test_delay_curve_increasing(self):
+        curve = mmk_delay_curve(4, 1.0, np.linspace(0.0, 0.9, 15))
+        assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+        assert curve[0] == pytest.approx(1.0)   # idle edge: pure service
+
+    def test_delay_curve_rejects_saturation(self):
+        with pytest.raises(ValueError):
+            mmk_delay_curve(4, 1.0, [1.0])
+
+
+class TestEdgeQueueSimulator:
+    def test_matches_erlang_c_moderate_load(self):
+        lam, mu, k = 1.5, 1.0, 3       # ρ = 0.5: fast-mixing regime
+        stats = simulate_edge_queue(lam, Exponential(mu), k,
+                                    horizon=20_000.0, rng=1, warmup=500.0)
+        theory = mmk_metrics(lam, mu, k)
+        assert stats.mean_waiting_time == pytest.approx(
+            theory.mean_waiting_time, abs=0.02
+        )
+        assert stats.mean_sojourn_time == pytest.approx(
+            theory.mean_sojourn_time, rel=0.05
+        )
+        assert stats.time_avg_queue == pytest.approx(
+            theory.mean_queue_length, rel=0.05
+        )
+        assert stats.utilization == pytest.approx(theory.utilization,
+                                                  abs=0.02)
+
+    def test_littles_law_measured(self):
+        stats = simulate_edge_queue(2.0, Exponential(1.0), 4,
+                                    horizon=5_000.0, rng=2, warmup=200.0)
+        throughput = stats.completed / stats.observation_time
+        assert stats.time_avg_queue == pytest.approx(
+            throughput * stats.mean_sojourn_time, rel=0.05
+        )
+
+    def test_deterministic_service_never_queues_below_capacity(self):
+        """k servers, deterministic service, very light load: no waiting."""
+        stats = simulate_edge_queue(0.1, Deterministic(0.5), 4,
+                                    horizon=2_000.0, rng=3)
+        assert stats.mean_waiting_time == pytest.approx(0.0, abs=1e-6)
+
+    def test_counts_consistent(self):
+        stats = simulate_edge_queue(1.0, Exponential(1.0), 2,
+                                    horizon=500.0, rng=4)
+        # Completions can lag arrivals by at most the number in system.
+        assert 0 <= stats.arrivals - stats.completed < 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_edge_queue(1.0, Exponential(1.0), 0, 100.0)
+        with pytest.raises(ValueError):
+            simulate_edge_queue(1.0, Exponential(1.0), 2, 100.0,
+                                warmup=100.0)
+
+
+class TestEdgeModelExperiment:
+    def test_run_and_fit(self):
+        from repro.experiments import edge_model
+        result = edge_model.run(servers=4, points=6, des_horizon=600.0,
+                                seed=0)
+        assert result.headroom > 1.0
+        assert result.scale > 0.0
+        # k = 1 row: the reciprocal family is the exact M/M/1 law.
+        k1 = [row for row in result.fits.rows if row[0] == 1][0]
+        assert k1[3] < 1.0            # RMSE% ~ grid error only
+
+    def test_admissibility_check(self):
+        from repro.experiments import edge_model
+        assert edge_model.delay_curve_is_admissible(servers=4, points=40)

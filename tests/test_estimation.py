@@ -1,0 +1,125 @@
+"""Tests for repro.core.estimation and the blind-DTU experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    DeviceRateEstimates,
+    EstimatedBestResponder,
+    RateEstimator,
+)
+from repro.population.distributions import Exponential
+from repro.population.sampler import sample_population
+from repro.simulation.device import TroAdmission, simulate_device
+
+
+class TestRateEstimator:
+    def test_basic_rate(self):
+        estimator = RateEstimator()
+        estimator.update(events=20, exposure=10.0)
+        assert estimator.rate == pytest.approx(2.0)
+
+    def test_accumulates_windows(self):
+        estimator = RateEstimator()
+        estimator.update(10, 5.0)
+        estimator.update(30, 5.0)
+        assert estimator.rate == pytest.approx(4.0)
+
+    def test_prior_fades_with_data(self):
+        estimator = RateEstimator(prior_rate=100.0, prior_weight=1e-3)
+        estimator.update(events=50, exposure=50.0)
+        assert estimator.rate == pytest.approx(1.0, rel=0.01)
+
+    def test_no_data_raises(self):
+        with pytest.raises(ValueError):
+            _ = RateEstimator().rate
+
+    def test_forgetting_tracks_drift(self):
+        """With forgetting, a rate change is tracked; without, it is
+        averaged away."""
+        tracking = RateEstimator(forgetting=0.5)
+        averaging = RateEstimator(forgetting=1.0)
+        for _ in range(20):
+            tracking.update(10, 10.0)      # old regime: rate 1
+            averaging.update(10, 10.0)
+        for _ in range(10):
+            tracking.update(50, 10.0)      # new regime: rate 5
+            averaging.update(50, 10.0)
+        assert tracking.rate == pytest.approx(5.0, rel=0.01)
+        assert averaging.rate < 3.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RateEstimator(forgetting=0.0)
+        estimator = RateEstimator()
+        with pytest.raises(ValueError):
+            estimator.update(-1, 1.0)
+        with pytest.raises(ValueError):
+            estimator.update(1, 0.0)
+
+
+class TestDeviceRateEstimates:
+    def test_estimates_converge_to_truth(self):
+        """Feeding real DES windows recovers the device's true rates."""
+        a_true, s_true = 2.0, 3.0
+        estimates = DeviceRateEstimates(
+            arrival=RateEstimator(), service=RateEstimator()
+        )
+        for seed in range(10):
+            stats = simulate_device(
+                arrival_rate=a_true, service=Exponential(s_true),
+                policy=TroAdmission(4.0), horizon=200.0, rng=seed,
+            )
+            estimates.update_from_stats(stats)
+        assert estimates.arrival.rate == pytest.approx(a_true, rel=0.05)
+        assert estimates.service.rate == pytest.approx(s_true, rel=0.05)
+
+
+class TestEstimatedBestResponder:
+    @pytest.fixture
+    def responder(self, theoretical_config_small):
+        population = sample_population(theoretical_config_small, 40, rng=1)
+        return EstimatedBestResponder(population, prior_arrival=1.0,
+                                      prior_service=2.0)
+
+    def test_prior_based_response_before_data(self, responder):
+        thresholds = responder.best_response(0.1, edge_delay=1.0)
+        assert thresholds.shape == (40,)
+        assert np.all(thresholds >= 0)
+
+    def test_observation_improves_thresholds(self, responder):
+        """After enough observation, estimated-rate thresholds match the
+        true-rate Lemma-1 thresholds for most users."""
+        from repro.core.best_response import best_response_thresholds
+        from repro.simulation.measurement import MeasurementConfig
+        from repro.simulation.system import simulate_system, tro_policies
+
+        population = responder.population
+        edge_delay = 1.2
+        for seed in range(6):
+            measurement = simulate_system(
+                population,
+                tro_policies(3.0, population.size),
+                MeasurementConfig(horizon=120.0, warmup=0.0, seed=seed),
+            )
+            responder.observe(measurement.device_stats)
+        estimated = responder.best_response(0.2, edge_delay)
+        truth = best_response_thresholds(population, edge_delay)
+        agreement = float((estimated == truth).mean())
+        assert agreement > 0.7
+        a_err, s_err = responder.estimation_errors()
+        assert float(np.median(a_err)) < 0.1
+
+    def test_observe_length_checked(self, responder):
+        with pytest.raises(ValueError):
+            responder.observe([])
+
+
+class TestLearningExperiment:
+    def test_blind_dtu_converges(self):
+        from repro.experiments import learning
+        result = learning.run(n_users=60, iterations=12, window=20.0, seed=0)
+        assert result.final_gap < 0.05
+        assert result.final_median_arrival_error < 0.1
+        assert len(result.series.rows) == 12
+        assert "never see their true rates" in result.series.notes

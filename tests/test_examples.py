@@ -1,0 +1,66 @@
+"""Smoke tests for the runnable examples.
+
+Examples are documentation that executes; these tests keep them honest.
+The fast ones run in-process on every suite invocation; the three
+multi-minute ones are marked ``slow`` and skipped unless ``--runslow``
+is passed (they are exercised by `make examples` and the benchmarks).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(repro.__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "iot_fleet.py",
+    "multi_edge.py",
+    "explore_policy.py",
+    "deployment_trace.py",
+]
+SLOW_EXAMPLES = [
+    "policy_comparison.py",
+    "realworld_convergence.py",
+    "congestion_pricing.py",
+    "operator_playbook.py",
+]
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=420,
+    )
+
+
+class TestFastExamples:
+    @pytest.mark.parametrize("script", FAST_EXAMPLES)
+    def test_runs_clean(self, script):
+        result = _run(script)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()
+
+    def test_quickstart_reports_dtu_win(self):
+        result = _run("quickstart.py")
+        assert "saves" in result.stdout
+        assert "converged=True" in result.stdout
+
+
+class TestSlowExamples:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("script", SLOW_EXAMPLES)
+    def test_runs_clean(self, script):
+        result = _run(script)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()
+
+
+class TestCatalogue:
+    def test_every_example_is_classified(self):
+        actual = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert actual == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

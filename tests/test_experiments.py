@@ -1,0 +1,305 @@
+"""Tests for the experiment harness — every artifact at reduced scale.
+
+These are reproduction acceptance tests: each experiment must regenerate
+the paper's qualitative shape (and, where the paper's number is directly
+comparable, land near it). Scales are reduced for test speed; the
+benchmarks run the full-scale versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.settings import (
+    PAPER_TABLE1_MFNE,
+    practical_config,
+    theoretical_config,
+)
+
+
+class TestSettings:
+    def test_theoretical_config_parameters(self):
+        config = theoretical_config("E[A]<E[S]")
+        assert config.arrival.support() == (0.0, 4.0)
+        assert config.service.support() == (1.0, 5.0)
+        assert config.latency.support() == (0.0, 1.0)
+        assert config.capacity == 10.0
+
+    def test_theoretical_table3_latency(self):
+        config = theoretical_config("E[A]=E[S]", latency_high=5.0)
+        assert config.latency.support() == (0.0, 5.0)
+
+    def test_practical_config_uses_dataset(self):
+        config = practical_config("E[A]=E[S]")
+        assert config.service.mean() == pytest.approx(8.9437, rel=1e-6)
+        assert config.arrival.mean() == pytest.approx(8.9437, rel=1e-3)
+
+    def test_unknown_setup_raises(self):
+        with pytest.raises(KeyError):
+            theoretical_config("nonsense")
+
+
+class TestTable1:
+    def test_reproduces_paper_within_tolerance(self):
+        result = table1.run(n_users=4000, rng=0)
+        assert len(result.rows) == 3
+        # The paper rounds to 2 decimals; 5% covers both rounding and
+        # Monte-Carlo noise at this population size.
+        assert result.max_relative_error() < 0.05
+
+    def test_ordering_of_setups(self):
+        result = table1.run(n_users=2000, rng=1)
+        values = [row.measured for row in result.rows]
+        assert values[0] < values[1] < values[2]
+
+    def test_paper_values_recorded(self):
+        result = table1.run(n_users=1000, rng=0)
+        assert [row.paper for row in result.rows] == \
+            list(PAPER_TABLE1_MFNE.values())
+
+
+class TestTable2:
+    def test_band_and_ordering(self):
+        result = table2.run(n_users=800, rng=0)
+        values = [row.measured for row in result.rows]
+        assert values == sorted(values)
+        # Calibrated band (DESIGN.md): within 20% of the paper's numbers.
+        assert result.max_relative_error() < 0.20
+
+    def test_des_validation_rows(self):
+        result = table2.run(n_users=120, rng=0, validate_with_des=True)
+        assert len(result.rows) == 6
+        labels = [row.label for row in result.rows]
+        assert any("DES" in label for label in labels)
+        # DES-measured utilisation within a few points of the analytic one.
+        for analytic, des in zip(result.rows[::2], result.rows[1::2]):
+            assert des.measured == pytest.approx(analytic.measured, abs=0.08)
+
+
+class TestTable3:
+    def test_dtu_beats_dpo_everywhere(self):
+        result = table3.run(n_users=500, repetitions=60, seed=0)
+        assert len(result.rows) == 6
+        assert result.all_dtu_wins()
+
+    def test_theoretical_dtu_costs_match_paper(self):
+        """The paper's theoretical DTU costs are directly comparable."""
+        result = table3.run(n_users=800, repetitions=30, seed=0)
+        for row in result.rows:
+            if row.family == "theoretical":
+                assert row.dtu_cost == pytest.approx(row.paper_dtu, rel=0.06)
+
+    def test_reductions_positive_and_plausible(self):
+        """DTU's advantage is strictly positive in every setup. (The paper's
+        15–31% band reflects a weaker DPO implementation than our exact
+        closed-form best response — see EXPERIMENTS.md — so we assert the
+        sign and a sane magnitude, not the paper's exact percentages.)"""
+        result = table3.run(n_users=800, repetitions=30, seed=0)
+        for row in result.rows:
+            assert 0.0 < row.reduction_pct < 40.0
+
+    def test_confidence_interval_tightens_with_repetitions(self):
+        few = table3.run(n_users=300, repetitions=20, seed=0)
+        many = table3.run(n_users=300, repetitions=80, seed=0)
+        assert many.rows[0].dpo_cost.half_width < few.rows[0].dpo_cost.half_width
+
+    def test_paper_rows_catalogue(self):
+        rows = table3.paper_rows()
+        assert len(rows) == 6
+        assert all(red > 0 for *_, red in rows)
+
+
+class TestFig2:
+    def test_alpha_decreasing_q_increasing(self):
+        result = fig2.run(intensity=4.0, x_max=8.0, points=101)
+        alpha = result.column("alpha(x)")
+        q = result.column("Q(x)")
+        assert all(b <= a + 1e-12 for a, b in zip(alpha, alpha[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(q, q[1:]))
+
+    def test_endpoints(self):
+        result = fig2.run(intensity=4.0, x_max=8.0, points=101)
+        assert result.column("alpha(x)")[0] == pytest.approx(1.0)
+        assert result.column("Q(x)")[0] == pytest.approx(0.0)
+
+    def test_continuity_on_grid(self):
+        """No jumps anywhere (Fig. 2's point): neighbour gaps stay small."""
+        result = fig2.run(points=801)
+        q = result.column("Q(x)")
+        gaps = np.abs(np.diff(q))
+        assert gaps.max() < 0.05
+
+
+class TestFig3:
+    def test_staircase_shape(self):
+        result = fig3.run(points=201)
+        thresholds = result.column("x*")
+        alpha = result.column("alpha(x*)")
+        # Thresholds are integers, non-decreasing in γ.
+        assert all(isinstance(t, int) for t in thresholds)
+        assert all(b >= a for a, b in zip(thresholds, thresholds[1:]))
+        # α is piecewise constant with at least one downward jump.
+        distinct = sorted(set(alpha), reverse=True)
+        assert len(distinct) >= 2
+        assert all(b <= a + 1e-12 for a, b in zip(alpha, alpha[1:]))
+
+    def test_jump_count_in_notes(self):
+        result = fig3.run(points=201)
+        assert "jumps" in result.notes
+
+
+class TestFig4:
+    def test_bisection_from_both_sides(self):
+        result = fig4.run(n_users=1500, rng=0)
+        below = result.below.column("gamma_hat")
+        above = result.above.column("gamma_hat")
+        gamma_star = result.gamma_star
+        # Starting below: strictly increasing until the first crossing.
+        first_cross = next(i for i, v in enumerate(below) if v > gamma_star)
+        assert all(b > a for a, b in zip(below[:first_cross],
+                                         below[1:first_cross + 1]))
+        # Starting above: strictly decreasing until the first crossing.
+        first_cross = next(i for i, v in enumerate(above) if v < gamma_star)
+        assert all(b < a for a, b in zip(above[:first_cross],
+                                         above[1:first_cross + 1]))
+
+    def test_both_traces_end_near_gamma_star(self):
+        result = fig4.run(n_users=1500, rng=0)
+        assert result.below.rows[-1][1] == pytest.approx(result.gamma_star,
+                                                         abs=0.02)
+        assert result.above.rows[-1][1] == pytest.approx(result.gamma_star,
+                                                         abs=0.02)
+
+
+class TestFig5:
+    def test_three_panels_converge(self):
+        result = fig5.run(n_users=2000, rng=0)
+        assert set(result.panels) == {"E[A]<E[S]", "E[A]=E[S]", "E[A]>E[S]"}
+        for panel in result.panels.values():
+            assert panel.converged
+            assert panel.final_gap < 0.01
+            # The paper's headline: ≈20 iterations.
+            assert panel.iterations <= 40
+
+    def test_gamma_matches_table1(self):
+        result = fig5.run(n_users=2000, rng=0)
+        for panel in result.panels.values():
+            assert panel.gamma_star == pytest.approx(panel.paper_gamma_star,
+                                                     abs=0.02)
+
+
+class TestFig6:
+    def test_histograms_are_densities(self):
+        result = fig6.run(bins=25)
+        for series in (result.processing, result.latency):
+            centers = np.array(series.column("bin_center"))
+            density = np.array(series.column("density"))
+            width = centers[1] - centers[0]
+            assert float((density * width).sum()) == pytest.approx(1.0,
+                                                                   rel=1e-6)
+
+    def test_calibration_reported(self):
+        result = fig6.run()
+        assert result.mean_service_rate == pytest.approx(8.9437, rel=1e-6)
+        assert result.paper_mean_service_rate == 8.9437
+
+
+class TestFig7:
+    def test_async_panels_converge(self):
+        result = fig7.run(n_users=500, seed=0)
+        assert result.oracle == "analytic"
+        for panel in result.panels.values():
+            assert panel.converged
+            assert panel.final_gap < 0.02
+            assert panel.iterations <= 40
+
+    def test_des_mode_runs(self):
+        from repro.simulation.measurement import MeasurementConfig
+        result = fig7.run(n_users=60, seed=0, use_des=True,
+                          des_config=MeasurementConfig(horizon=25.0,
+                                                       warmup=5.0))
+        assert result.oracle == "DES"
+        for panel in result.panels.values():
+            # DES noise at this tiny scale: just require the trace tracked γ*.
+            assert panel.final_gap < 0.1
+
+
+class TestFig8:
+    def test_flat_bottom_on_boundary_panel(self):
+        """θ = 2, U = f(1|θ): the cost is constant on [1, 2]."""
+        result = fig8.run(points=601)
+        rows = [(x, c) for x, c in result.panel_a.rows if 1.0 <= x <= 2.0]
+        costs = [c for _, c in rows]
+        assert max(costs) - min(costs) < 1e-9
+
+    def test_panel_b_minimum_at_lemma_threshold(self):
+        result = fig8.run(points=601)
+        xs = result.panel_b.column("x")
+        costs = result.panel_b.column("T(x|gamma)")
+        x_best = xs[int(np.argmin(costs))]
+        assert x_best == pytest.approx(1.0, abs=0.02)
+
+    def test_kinks_at_integers(self):
+        """The derivative jumps at integer x (non-differentiability)."""
+        result = fig8.run(points=6001)
+        xs = np.array(result.panel_b.column("x"))
+        costs = np.array(result.panel_b.column("T(x|gamma)"))
+        slopes = np.diff(costs) / np.diff(xs)
+        # Compare slopes just left/right of x = 1.
+        idx = int(np.searchsorted(xs, 1.0))
+        left = slopes[idx - 2]
+        right = slopes[idx + 1]
+        assert abs(left - right) > 1e-3
+
+    def test_cost_continuous(self):
+        result = fig8.run(points=2001)
+        costs = np.array(result.panel_a.column("T(x|gamma)"))
+        assert np.abs(np.diff(costs)).max() < 0.05
+
+
+class TestAblations:
+    def test_step_size_sweep_shapes(self):
+        result = ablations.step_size_sweep(n_users=800, seed=0,
+                                           step_sizes=(0.05, 0.1, 0.3))
+        etas = result.column("eta0")
+        iters = result.column("iterations")
+        assert etas == sorted(etas)
+        # Larger η₀ needs more shrink cycles to reach the same ε.
+        assert iters[-1] > iters[0]
+
+    def test_estimated_vs_naive_runs(self):
+        result = ablations.estimated_vs_naive(n_users=800, seed=0,
+                                              iterations=15)
+        assert len(result.rows) == 16
+        assert "oscillation" in result.notes
+
+    def test_delay_model_sweep(self):
+        result = ablations.delay_model_sweep(n_users=800, seed=0)
+        assert len(result.rows) == 4
+        for _, gamma_star, _, gap in result.rows:
+            assert 0.0 < gamma_star < 1.0
+            assert gap < 0.02
+
+    def test_capacity_sensitivity_monotone(self):
+        result = ablations.capacity_sensitivity(n_users=800, seed=0,
+                                                capacities=(9.0, 12.0, 18.0))
+        gammas = result.column("gamma_star")
+        assert gammas[0] > gammas[1] > gammas[2]
+
+    def test_weight_sweep_monotone(self):
+        result = ablations.weight_sweep(n_users=800, seed=0,
+                                        weight_scales=(0.5, 1.0, 2.0))
+        gammas = result.column("gamma_star")
+        assert gammas[0] < gammas[1] < gammas[2]

@@ -1,0 +1,134 @@
+"""Tests for repro.utils.export."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import ComparisonResult, PaperComparison, SeriesResult
+from repro.utils.export import (
+    comparison_to_csv,
+    from_json,
+    series_to_csv,
+    to_csv,
+    to_json,
+    write_result,
+)
+
+
+@pytest.fixture
+def series():
+    return SeriesResult(
+        name="demo",
+        columns=("x", "y"),
+        rows=[(0.0, 1.0), (1.0, 2.5)],
+        notes="a note",
+    )
+
+
+@pytest.fixture
+def comparison():
+    return ComparisonResult(
+        name="table",
+        rows=[
+            PaperComparison("a", measured=0.13, paper=0.128),
+            PaperComparison("b", measured=0.5),
+        ],
+        notes="n",
+    )
+
+
+class TestCsv:
+    def test_series_csv_round_trips_values(self, series):
+        text = series_to_csv(series)
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "0.0,1.0"
+        assert len(lines) == 3
+
+    def test_comparison_csv(self, comparison):
+        text = comparison_to_csv(comparison)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("label,measured")
+        assert "0.13" in lines[1]
+        # Missing paper value renders as an empty field.
+        assert lines[2].split(",")[2] == ""
+
+    def test_dispatch(self, series, comparison):
+        assert to_csv(series) == series_to_csv(series)
+        assert to_csv(comparison) == comparison_to_csv(comparison)
+        with pytest.raises(TypeError):
+            to_csv("not a result")
+
+
+class TestJson:
+    def test_series_round_trip(self, series):
+        rebuilt = from_json(to_json(series))
+        assert isinstance(rebuilt, SeriesResult)
+        assert rebuilt.name == series.name
+        assert rebuilt.columns == series.columns
+        assert rebuilt.rows == series.rows
+        assert rebuilt.notes == series.notes
+
+    def test_comparison_round_trip(self, comparison):
+        rebuilt = from_json(to_json(comparison))
+        assert isinstance(rebuilt, ComparisonResult)
+        assert rebuilt.rows[0].measured == 0.13
+        assert rebuilt.rows[0].paper == 0.128
+        assert rebuilt.rows[1].paper is None
+
+    def test_json_is_valid(self, series):
+        payload = json.loads(to_json(series))
+        assert payload["type"] == "series"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            from_json('{"type": "mystery"}')
+        with pytest.raises(TypeError):
+            to_json(42)
+
+
+class TestWriteResult:
+    def test_write_csv_and_json(self, series, tmp_path):
+        csv_path = write_result(series, tmp_path / "out.csv")
+        assert csv_path.read_text().startswith("x,y")
+        json_path = write_result(series, tmp_path / "out.json")
+        assert json.loads(json_path.read_text())["name"] == "demo"
+
+    def test_bad_suffix(self, series, tmp_path):
+        with pytest.raises(ValueError):
+            write_result(series, tmp_path / "out.txt")
+
+    def test_real_experiment_exports(self, tmp_path):
+        """An actual harness artifact must export cleanly."""
+        from repro.experiments import fig2
+        result = fig2.run(points=21)
+        path = write_result(result, tmp_path / "fig2.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 22
+
+
+class TestHarnessExportFlag:
+    def test_main_with_export(self, tmp_path):
+        from repro.experiments.__main__ import main
+        assert main(["--only", "table1,fig2", "--export",
+                     str(tmp_path)]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {"table1.csv", "table1.json", "fig2.csv",
+                "fig2.json"} <= names
+
+    def test_composite_result_export(self, tmp_path):
+        from repro.experiments.__main__ import main
+        assert main(["--only", "fig5", "--export", str(tmp_path)]) == 0
+        # Three panels → three CSVs with sanitised setup names.
+        csvs = sorted(p.name for p in tmp_path.glob("fig5_*.csv"))
+        assert len(csvs) == 3
+
+    def test_list_flag(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "table3", "fig2", "fig5", "fig8",
+                     "ablations", "extensions", "robustness", "tails",
+                     "multiedge", "edge_model", "learning", "fairness",
+                     "online", "model_mismatch"):
+            assert name in out

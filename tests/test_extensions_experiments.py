@@ -1,0 +1,74 @@
+"""Tests for repro.experiments.extensions."""
+
+import pytest
+
+from repro.experiments import extensions
+
+
+class TestMdpValidation:
+    def test_perfect_agreement(self):
+        result = extensions.mdp_validation(n_users=25, seed=0)
+        checks = dict(result.rows)
+        assert checks["optimal policy is threshold-type"] == "25/25"
+        assert checks["MDP threshold == Lemma 1 threshold"] == "25/25"
+        assert float(checks["worst relative gain error vs a·T(x*|γ)"]) < 1e-6
+
+
+class TestFiniteSystemConvergence:
+    def test_gap_shrinks(self):
+        result = extensions.finite_system_convergence(
+            sizes=(10, 200), draws=3, seed=0
+        )
+        gaps = result.column("mean |gamma_N - gamma*|")
+        assert gaps[1] < gaps[0]
+
+    def test_regret_small_everywhere(self):
+        result = extensions.finite_system_convergence(
+            sizes=(20, 100), draws=2, seed=1
+        )
+        regrets = result.column("max MF regret")
+        assert all(r < 0.05 for r in regrets)
+
+
+class TestPriceOfAnarchy:
+    def test_poa_at_least_one_and_monotone_in_load(self):
+        result = extensions.price_of_anarchy(
+            a_maxes=(4.0, 9.5), n_users=1200, seed=0
+        )
+        poa = result.column("PoA")
+        assert all(p >= 1.0 - 1e-9 for p in poa)
+        assert poa[1] >= poa[0]
+
+    def test_tolls_nonnegative(self):
+        result = extensions.price_of_anarchy(
+            a_maxes=(6.0,), n_users=1200, seed=0
+        )
+        assert all(t >= -1e-9 for t in result.column("toll d*-g"))
+
+
+class TestSuite:
+    def test_quick_suite_runs(self):
+        suite = extensions.run(seed=0, quick=True)
+        assert len(suite.results) == 3
+        text = str(suite)
+        assert "MDP validation" in text
+        assert "finite-N" in text
+        assert "price of anarchy" in text.lower()
+
+
+class TestMultiEdgeExperiment:
+    def test_run_produces_consistent_report(self):
+        from repro.experiments import multiedge_experiment
+        result = multiedge_experiment.run(n_users=1000, seed=0)
+        shares = result.equilibrium.column("user share")
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9)
+        assert result.dtu_gap < 0.1
+        text = str(result)
+        assert "consolidation" in text
+
+
+class TestModelMismatchInSuite:
+    def test_listed_in_main_jobs(self):
+        from repro.experiments.__main__ import main
+        # --only with the new artifacts must be accepted by the CLI parser.
+        assert main(["--only", "fig2"]) == 0

@@ -1,0 +1,127 @@
+"""Tests for repro.experiments.fairness, population IO, and Pareto."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fairness
+from repro.population.distributions import Pareto
+from repro.population.io import (
+    load_population,
+    population_from_csv,
+    population_to_csv,
+    save_population,
+)
+from repro.population.sampler import sample_population
+
+
+class TestGini:
+    def test_equal_sample_is_zero(self):
+        assert fairness.gini(np.full(100, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximal_inequality_approaches_one(self):
+        values = np.zeros(1000)
+        values[-1] = 100.0
+        assert fairness.gini(values) > 0.99
+
+    def test_known_value(self):
+        """Gini of {1, 3} is (3−1)/(2·(1+3)) · ... = 0.25."""
+        assert fairness.gini(np.array([1.0, 3.0])) == pytest.approx(0.25)
+
+    def test_scale_invariant(self, rng):
+        values = rng.exponential(2.0, size=500)
+        assert fairness.gini(values) == pytest.approx(
+            fairness.gini(10.0 * values), abs=1e-12
+        )
+
+    def test_all_zero_sample(self):
+        assert fairness.gini(np.zeros(10)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fairness.gini(np.array([-1.0, 2.0]))
+
+
+class TestFairnessExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fairness.run(n_users=1500, seed=0)
+
+    def test_dtu_dominates_every_percentile(self, result):
+        for statistic, dtu, dpo in result.rows:
+            if statistic.startswith("p") or statistic == "mean":
+                assert dtu <= dpo + 1e-9, statistic
+
+    def test_most_users_better_off(self, result):
+        fraction = float(result.notes.split("%")[0].split("; ")[-1])
+        assert fraction > 80.0
+
+    def test_tail_compression_above_one(self):
+        assert fairness.tail_compression(n_users=1200, seed=0) > 1.0
+
+
+class TestPareto:
+    def test_mean_formula(self, rng):
+        dist = Pareto(alpha=3.0, minimum=2.0)
+        assert dist.mean() == pytest.approx(3.0)
+        samples = dist.sample_array(rng, 200_000)
+        assert samples.mean() == pytest.approx(3.0, rel=0.02)
+
+    def test_samples_above_minimum(self, rng):
+        samples = Pareto(alpha=2.5, minimum=1.5).sample_array(rng, 5000)
+        assert np.all(samples >= 1.5)
+
+    def test_tail_exponent(self, rng):
+        """P(X > x) = (m/x)^α — check at one tail point."""
+        dist = Pareto(alpha=2.0, minimum=1.0)
+        samples = dist.sample_array(rng, 400_000)
+        assert (samples > 4.0).mean() == pytest.approx((1 / 4) ** 2,
+                                                       rel=0.1)
+
+    def test_infinite_variance_flagged(self):
+        assert Pareto(alpha=1.5).variance() == float("inf")
+        assert Pareto(alpha=3.0).variance() < float("inf")
+
+    def test_alpha_at_most_one_rejected(self):
+        with pytest.raises(ValueError, match="finite mean"):
+            Pareto(alpha=1.0)
+
+
+class TestPopulationIO:
+    @pytest.fixture
+    def population(self, theoretical_config_small):
+        return sample_population(theoretical_config_small, 60, rng=9)
+
+    def test_round_trip_exact(self, population):
+        rebuilt = population_from_csv(population_to_csv(population))
+        assert rebuilt.capacity == population.capacity
+        assert np.array_equal(rebuilt.arrival_rates, population.arrival_rates)
+        assert np.array_equal(rebuilt.service_rates, population.service_rates)
+        assert np.array_equal(rebuilt.weights, population.weights)
+
+    def test_file_round_trip(self, population, tmp_path):
+        path = save_population(population, tmp_path / "pop.csv")
+        rebuilt = load_population(path)
+        assert np.array_equal(rebuilt.offload_latencies,
+                              population.offload_latencies)
+
+    def test_loaded_population_solves_identically(self, population,
+                                                  tmp_path, paper_delay):
+        from repro.core.equilibrium import solve_mfne
+        from repro.core.meanfield import MeanFieldMap
+        path = save_population(population, tmp_path / "pop.csv")
+        rebuilt = load_population(path)
+        original = solve_mfne(MeanFieldMap(population, paper_delay))
+        reloaded = solve_mfne(MeanFieldMap(rebuilt, paper_delay))
+        assert reloaded.utilization == original.utilization
+
+    def test_malformed_inputs(self):
+        with pytest.raises(ValueError, match="capacity"):
+            population_from_csv("arrival_rate\n1.0\n")
+        with pytest.raises(ValueError, match="columns"):
+            population_from_csv("# capacity=10.0\nbad,cols\n1,2\n")
+        with pytest.raises(ValueError, match="no users"):
+            population_from_csv(
+                "# capacity=10.0\n" + ",".join((
+                    "arrival_rate", "service_rate", "offload_latency",
+                    "energy_local", "energy_offload", "weight")) + "\n"
+            )

@@ -1,0 +1,137 @@
+"""Tests for repro.core.finite and repro.core.social (extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import solve_mfne
+from repro.core.finite import best_response_dynamics, mean_field_regret
+from repro.core.meanfield import MeanFieldMap
+from repro.core.social import solve_social_optimum
+from repro.population.sampler import sample_population
+
+
+class TestBestResponseDynamics:
+    def test_terminates_and_reports(self, small_population, paper_delay):
+        eq = best_response_dynamics(small_population, paper_delay)
+        assert eq.converged
+        assert eq.rounds >= 1
+        assert eq.moves >= 1
+        assert 0.0 <= eq.utilization <= 1.0
+        assert eq.thresholds.shape == (small_population.size,)
+
+    def test_finite_equilibrium_near_mean_field(self, small_population,
+                                                paper_delay):
+        eq = best_response_dynamics(small_population, paper_delay)
+        gamma_star = solve_mfne(
+            MeanFieldMap(small_population, paper_delay)
+        ).utilization
+        assert eq.utilization == pytest.approx(gamma_star, abs=0.02)
+
+    def test_fixed_point_stability(self, small_population, paper_delay):
+        """Restarting the dynamics from its own answer moves nobody."""
+        eq = best_response_dynamics(small_population, paper_delay)
+        again = best_response_dynamics(
+            small_population, paper_delay, initial_thresholds=eq.thresholds
+        )
+        assert again.moves == 0
+        assert again.rounds == 1
+        assert np.array_equal(again.thresholds, eq.thresholds)
+
+    def test_convergence_improves_with_n(self, theoretical_config_small,
+                                         paper_delay):
+        """|γ_N − γ*| shrinks (stochastically) as N grows — the mean-field
+        approximation claim, checked over several draws per size."""
+        reference = solve_mfne(MeanFieldMap(
+            sample_population(theoretical_config_small, 20_000, rng=99),
+            paper_delay,
+        )).utilization
+        gaps = {}
+        for n in (20, 2000):
+            draws = []
+            for seed in range(5):
+                population = sample_population(theoretical_config_small, n,
+                                               rng=seed)
+                eq = best_response_dynamics(population, paper_delay)
+                draws.append(abs(eq.utilization - reference))
+            gaps[n] = float(np.mean(draws))
+        assert gaps[2000] < gaps[20]
+
+    def test_invalid_initial_thresholds(self, small_population):
+        with pytest.raises(ValueError):
+            best_response_dynamics(small_population,
+                                   initial_thresholds=np.zeros(3))
+
+
+class TestMeanFieldRegret:
+    def test_mean_field_profile_has_tiny_regret(self, small_population,
+                                                paper_delay):
+        """Playing the MFNE thresholds in the finite game is ε-Nash with
+        small ε even at N = 500."""
+        mean_field = MeanFieldMap(small_population, paper_delay)
+        gamma_star = solve_mfne(mean_field).utilization
+        thresholds = mean_field.best_response(gamma_star).astype(float)
+        report = mean_field_regret(small_population, thresholds, paper_delay)
+        assert report.max_regret < 0.01
+        assert report.mean_regret < 1e-3
+
+    def test_bad_profile_has_positive_regret(self, small_population,
+                                             paper_delay):
+        """A uniformly huge threshold is far from equilibrium: many users
+        would gain by deviating."""
+        thresholds = np.full(small_population.size, 25.0)
+        report = mean_field_regret(small_population, thresholds, paper_delay)
+        assert report.max_regret > 0.05
+        assert report.deviating_fraction > 0.3
+
+    def test_report_fields(self, small_population, paper_delay):
+        thresholds = np.zeros(small_population.size)
+        report = mean_field_regret(small_population, thresholds, paper_delay)
+        assert 0.0 <= report.deviating_fraction <= 1.0
+        assert report.mean_regret <= report.max_regret
+        assert 0.0 <= report.utilization <= 1.0
+
+    def test_threshold_shape_checked(self, small_population):
+        with pytest.raises(ValueError):
+            mean_field_regret(small_population, np.zeros(3))
+
+
+class TestSocialOptimum:
+    def test_social_cost_at_most_equilibrium(self, small_population,
+                                             paper_delay):
+        social = solve_social_optimum(small_population, paper_delay)
+        assert social.average_cost <= social.equilibrium_cost + 1e-12
+        assert social.price_of_anarchy >= 1.0 - 1e-12
+
+    def test_planner_taxes_congestion(self, theoretical_config_small,
+                                      paper_delay):
+        """Offloading congests the edge, so the planner prices it at or
+        above the physical delay and (weakly) reduces utilisation."""
+        population = sample_population(theoretical_config_small, 2000, rng=3)
+        social = solve_social_optimum(population, paper_delay)
+        assert social.toll >= -1e-9
+        assert social.utilization <= social.equilibrium_utilization + 1e-9
+
+    def test_heavier_load_larger_gap(self, paper_delay):
+        """The externality — and thus the planner's edge — grows with load."""
+        from repro.population.distributions import Uniform
+        from repro.population.sampler import PopulationConfig
+
+        gaps = []
+        for a_max in (4.0, 9.5):
+            config = PopulationConfig(
+                arrival=Uniform(0.0, a_max),
+                service=Uniform(1.0, 5.0),
+                latency=Uniform(0.0, 1.0),
+                energy_local=Uniform(0.0, 3.0),
+                energy_offload=Uniform(0.0, 1.0),
+                capacity=10.0,
+            )
+            population = sample_population(config, 2000, rng=0)
+            social = solve_social_optimum(population, paper_delay)
+            gaps.append(social.efficiency_gap_pct)
+        assert gaps[1] > gaps[0]
+
+    def test_efficiency_gap_consistent_with_poa(self, small_population):
+        social = solve_social_optimum(small_population)
+        expected = 100.0 * (1.0 - 1.0 / social.price_of_anarchy)
+        assert social.efficiency_gap_pct == pytest.approx(expected, abs=1e-9)

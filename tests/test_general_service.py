@@ -1,0 +1,140 @@
+"""Tests for repro.core.general_service — distribution-aware best responses."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import optimal_threshold
+from repro.core.general_service import (
+    GeneralServiceMeanFieldMap,
+    general_service_cost,
+    optimal_threshold_general,
+)
+from repro.core.meanfield import MeanFieldMap
+from repro.population.realworld import load_realworld_data
+from repro.population.sampler import sample_population
+from repro.population.user import UserProfile
+from repro.queueing.mg1 import mg1k_threshold_metrics
+
+
+class TestOptimalThresholdGeneral:
+    def test_matches_lemma1_for_exponential_samples(self, rng):
+        """With (near-)exponential samples the general search must agree
+        with the closed-form Lemma 1 threshold."""
+        for _ in range(6):
+            a = float(rng.uniform(0.5, 3.0))
+            s = float(rng.uniform(0.6, 3.0))
+            tau = float(rng.uniform(0.2, 2.0))
+            p_l = float(rng.uniform(0.0, 2.0))
+            p_e = float(rng.uniform(0.0, 1.0))
+            g = float(rng.uniform(0.5, 2.0))
+            samples = rng.exponential(1.0 / s, size=60_000)
+            general = optimal_threshold_general(
+                a, samples, local_energy_cost=p_l,
+                offload_price=p_e + g + tau,
+            )
+            profile = UserProfile(arrival_rate=a, service_rate=s,
+                                  offload_latency=tau, energy_local=p_l,
+                                  energy_offload=p_e)
+            lemma = optimal_threshold(profile, g)
+            # Sampling noise can shift a knife-edge case by one step.
+            assert abs(general - lemma) <= 1
+
+    def test_free_offloading_gives_zero(self):
+        m = optimal_threshold_general(
+            1.0, np.array([0.5]), local_energy_cost=3.0, offload_price=0.0
+        )
+        assert m == 0
+
+    def test_expensive_offloading_raises_threshold(self):
+        samples = np.array([0.8])
+        cheap = optimal_threshold_general(1.0, samples, 0.2, 1.0)
+        dear = optimal_threshold_general(1.0, samples, 0.2, 8.0)
+        assert dear > cheap
+
+    def test_beats_neighbouring_thresholds(self, rng):
+        """The returned m must (weakly) beat m±1 under the exact metrics."""
+        samples = rng.gamma(2.0, 0.4, size=20_000)
+        a, p_l, price = 1.3, 0.5, 3.0
+        m = optimal_threshold_general(a, samples, p_l, price)
+
+        def cost(threshold):
+            metrics = mg1k_threshold_metrics(a, samples, float(threshold))
+            return general_service_cost(metrics, a, p_l, price)
+
+        assert cost(m) <= cost(m + 1) + 1e-9
+        if m > 0:
+            assert cost(m) <= cost(m - 1) + 1e-9
+
+
+@pytest.fixture(scope="module")
+def tiny_practical_population():
+    from repro.experiments.settings import practical_config
+    return sample_population(practical_config("E[A]<E[S]"), 25, rng=0)
+
+
+class TestGeneralServiceMeanFieldMap:
+    def test_best_response_shapes_and_bounds(self, tiny_practical_population):
+        data = load_realworld_data()
+        general = GeneralServiceMeanFieldMap(
+            tiny_practical_population, data.processing_times
+        )
+        thresholds = general.best_response(0.3)
+        assert thresholds.shape == (25,)
+        assert np.all(thresholds >= 0)
+
+    def test_value_nonincreasing(self, tiny_practical_population):
+        data = load_realworld_data()
+        general = GeneralServiceMeanFieldMap(
+            tiny_practical_population, data.processing_times
+        )
+        values = [general.value(g) for g in (0.0, 0.5, 1.0)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_close_to_exponential_map_on_yolo_data(self,
+                                                   tiny_practical_population):
+        """YOLO service times are not exponential, but the induced map is
+        close — the quantitative basis of the paper's robustness claim."""
+        data = load_realworld_data()
+        general = GeneralServiceMeanFieldMap(
+            tiny_practical_population, data.processing_times
+        )
+        exponential = MeanFieldMap(tiny_practical_population)
+        for gamma in (0.2, 0.4):
+            assert general.value(gamma) == pytest.approx(
+                exponential.value(gamma), abs=0.05
+            )
+
+    def test_aware_thresholds_weakly_better_under_true_law(
+            self, tiny_practical_population):
+        """At a fixed γ, the distribution-aware responses cannot cost more
+        than the exponential-assumption responses under the true law."""
+        data = load_realworld_data()
+        general = GeneralServiceMeanFieldMap(
+            tiny_practical_population, data.processing_times
+        )
+        exponential = MeanFieldMap(tiny_practical_population)
+        gamma = 0.35
+        aware_cost = general.average_cost(
+            gamma, general.best_response(gamma).astype(float)
+        )
+        model_cost = general.average_cost(
+            gamma, exponential.best_response(gamma).astype(float)
+        )
+        assert aware_cost <= model_cost + 1e-9
+
+    def test_rejects_bad_samples(self, tiny_practical_population):
+        with pytest.raises(ValueError):
+            GeneralServiceMeanFieldMap(tiny_practical_population,
+                                       np.array([]))
+        with pytest.raises(ValueError):
+            GeneralServiceMeanFieldMap(tiny_practical_population,
+                                       np.array([1.0, -1.0]))
+
+
+class TestModelMismatchExperiment:
+    def test_penalty_nonnegative_and_small(self):
+        from repro.experiments import model_mismatch
+        result = model_mismatch.run(n_users=30, seed=0)
+        assert "penalty" in result.notes
+        penalty = float(result.notes.split("penalty = ")[1].split("%")[0])
+        assert -1e-6 <= penalty < 5.0

@@ -1,0 +1,133 @@
+"""End-to-end integration tests crossing subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DtuConfig,
+    MeanFieldMap,
+    PopulationConfig,
+    ReciprocalDelay,
+    Uniform,
+    run_dtu,
+    sample_population,
+    solve_dpo_equilibrium,
+    solve_mfne,
+)
+from repro.core.best_response import best_response_thresholds
+from repro.population.realworld import load_realworld_data
+from repro.simulation.measurement import EmpiricalService, MeasurementConfig
+from repro.simulation.system import (
+    SimulatedUtilizationOracle,
+    simulate_system,
+    tro_policies,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_population():
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    return sample_population(config, 400, rng=2024)
+
+
+class TestQuickstartPipeline:
+    """The README quickstart, verified end to end."""
+
+    def test_full_pipeline(self, pipeline_population):
+        mean_field = MeanFieldMap(pipeline_population)
+        mfne = solve_mfne(mean_field)
+        result = run_dtu(mean_field)
+        assert result.converged
+        assert result.actual_utilization == pytest.approx(mfne.utilization,
+                                                          abs=0.01)
+        dpo = solve_dpo_equilibrium(pipeline_population)
+        dtu_cost = mean_field.average_cost(mfne.utilization)
+        assert dtu_cost < dpo.average_cost
+
+    def test_public_api_surface(self):
+        """Everything advertised in __all__ must be importable."""
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestTheoryMeetsSimulation:
+    def test_equilibrium_is_self_consistent_in_des(self, pipeline_population):
+        """Simulating the MFNE thresholds must measure back ≈ γ*."""
+        mean_field = MeanFieldMap(pipeline_population)
+        gamma_star = solve_mfne(mean_field).utilization
+        thresholds = mean_field.best_response(gamma_star)
+        measurement = simulate_system(
+            pipeline_population,
+            tro_policies(thresholds, pipeline_population.size),
+            MeasurementConfig(horizon=300.0, warmup=50.0, seed=8),
+        )
+        assert measurement.utilization == pytest.approx(gamma_star, abs=0.02)
+
+    def test_measured_costs_match_analytic(self, pipeline_population):
+        """DES per-user costs agree with Eq. (1) closed forms on average."""
+        mean_field = MeanFieldMap(pipeline_population)
+        gamma = solve_mfne(mean_field).utilization
+        thresholds = mean_field.best_response(gamma)
+        measurement = simulate_system(
+            pipeline_population,
+            tro_policies(thresholds, pipeline_population.size),
+            MeasurementConfig(horizon=300.0, warmup=50.0, seed=9),
+        )
+        analytic = mean_field.average_cost(gamma, thresholds)
+        assert measurement.average_cost == pytest.approx(analytic, rel=0.05)
+
+    def test_practical_stack_end_to_end(self):
+        """Real-world data → population → DES-driven asynchronous DTU."""
+        data = load_realworld_data()
+        config = PopulationConfig(
+            arrival=Uniform(4.0, 12.0),
+            service=data.service_rate_distribution(),
+            latency=data.latency_distribution(),
+            energy_local=Uniform(0.0, 3.0),
+            energy_offload=Uniform(0.0, 1.0),
+            capacity=12.2,
+        )
+        population = sample_population(config, 120, rng=5)
+        mean_field = MeanFieldMap(population)
+        gamma_star = solve_mfne(mean_field).utilization
+        oracle = SimulatedUtilizationOracle(
+            population,
+            MeasurementConfig(horizon=30.0, warmup=6.0, seed=6),
+            service_model=EmpiricalService(data.processing_times),
+        )
+        result = run_dtu(
+            mean_field,
+            DtuConfig(update_probability=0.8, seed=7),
+            oracle=oracle,
+        )
+        assert result.converged
+        assert result.estimated_utilization == pytest.approx(gamma_star,
+                                                             abs=0.08)
+
+
+class TestNashProperty:
+    def test_no_profitable_unilateral_deviation(self, pipeline_population):
+        """At the MFNE, no user can lower its cost by changing threshold —
+        the defining Nash property, checked by brute force for a sample
+        of users over a grid of alternative thresholds."""
+        from repro.core.cost import user_cost
+        mean_field = MeanFieldMap(pipeline_population)
+        gamma_star = solve_mfne(mean_field).utilization
+        edge_delay = mean_field.edge_delay(gamma_star)
+        thresholds = best_response_thresholds(pipeline_population, edge_delay)
+        for i in range(0, pipeline_population.size, 29):
+            profile = pipeline_population.profile(i)
+            equilibrium_cost = user_cost(profile, float(thresholds[i]),
+                                         edge_delay)
+            for alternative in np.linspace(0.0, thresholds[i] + 4.0, 60):
+                assert equilibrium_cost <= user_cost(
+                    profile, float(alternative), edge_delay
+                ) + 1e-9

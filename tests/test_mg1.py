@@ -1,0 +1,145 @@
+"""Tests for repro.queueing.mg1 — general-service threshold queues."""
+
+import numpy as np
+import pytest
+
+from repro.core.tro import queue_and_offload
+from repro.queueing.mg1 import (
+    mg1_mean_queue_length,
+    mg1_mean_waiting_time,
+    mg1k_threshold_metrics,
+)
+from repro.queueing.mm1 import mm1_metrics
+
+
+class TestPollaczekKhinchine:
+    def test_reduces_to_mm1(self):
+        """Exponential service: E[S²] = 2/s² recovers the M/M/1 formulas."""
+        lam, s = 1.5, 2.0
+        wait = mg1_mean_waiting_time(lam, 1.0 / s, 2.0 / s**2)
+        assert wait == pytest.approx(mm1_metrics(lam, s).mean_waiting_time)
+        length = mg1_mean_queue_length(lam, 1.0 / s, 2.0 / s**2)
+        assert length == pytest.approx(mm1_metrics(lam, s).mean_queue_length)
+
+    def test_deterministic_service_halves_waiting(self):
+        """M/D/1 waits exactly half of M/M/1 (E[S²] = E[S]² vs 2E[S]²)."""
+        lam, es = 0.5, 1.0
+        md1 = mg1_mean_waiting_time(lam, es, es**2)
+        mm1 = mg1_mean_waiting_time(lam, es, 2 * es**2)
+        assert md1 == pytest.approx(mm1 / 2)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mg1_mean_waiting_time(2.0, 1.0, 2.0)
+
+    def test_invalid_second_moment(self):
+        with pytest.raises(ValueError):
+            mg1_mean_waiting_time(0.5, 1.0, 0.5)   # E[S²] < E[S]²
+
+
+class TestMG1KThreshold:
+    @pytest.mark.parametrize("threshold", [1.0, 2.0, 3.5, 0.4])
+    @pytest.mark.parametrize("theta", [0.5, 1.0, 2.0])
+    def test_exponential_service_matches_tro_closed_form(self, threshold, theta):
+        """With exponential samples the solver must reproduce Eq. (7)/(8)."""
+        gen = np.random.default_rng(0)
+        arrival, service_rate = theta, 1.0
+        samples = gen.exponential(1.0 / service_rate, size=40_000)
+        metrics = mg1k_threshold_metrics(arrival, samples, threshold)
+        q_cf, alpha_cf = queue_and_offload(threshold, arrival / service_rate)
+        # The discrete service law approximates the exponential: tolerance
+        # reflects the 40k-sample approximation, not solver error.
+        assert metrics.offload_probability == pytest.approx(alpha_cf, abs=0.01)
+        assert metrics.mean_queue_length == pytest.approx(q_cf, abs=0.03)
+
+    def test_occupancy_distribution_is_probability(self):
+        samples = np.full(100, 0.5)
+        metrics = mg1k_threshold_metrics(1.0, samples, 2.5)
+        occ = metrics.occupancy_distribution
+        assert np.all(occ >= -1e-12)
+        assert occ.sum() == pytest.approx(1.0)
+
+    def test_threshold_zero_offloads_everything(self):
+        metrics = mg1k_threshold_metrics(1.0, np.array([0.5]), 0.0)
+        assert metrics.offload_probability == 1.0
+        assert metrics.mean_queue_length == 0.0
+        assert metrics.admitted_rate == 0.0
+
+    def test_deterministic_service_light_load(self):
+        """At very light load the queue is almost always empty and nearly
+        nothing is offloaded at a generous threshold."""
+        metrics = mg1k_threshold_metrics(0.01, np.array([0.1]), 5.0)
+        assert metrics.offload_probability < 1e-4
+        assert metrics.mean_queue_length < 0.01
+
+    def test_heavy_load_forces_offloading(self):
+        """θ >> 1: the device saturates and excess traffic offloads."""
+        metrics = mg1k_threshold_metrics(10.0, np.array([1.0]), 3.0)
+        # Local throughput is capped at 1 task/unit; 9/10 must offload.
+        assert metrics.offload_probability == pytest.approx(0.9, abs=0.02)
+        assert metrics.admitted_rate == pytest.approx(1.0, abs=0.2)
+
+    def test_work_conservation(self):
+        """Admitted rate × mean service = busy fraction = 1 − p₀."""
+        gen = np.random.default_rng(1)
+        samples = gen.gamma(2.0, 0.3, size=20_000)
+        metrics = mg1k_threshold_metrics(1.2, samples, 2.7)
+        busy = 1.0 - metrics.occupancy_distribution[0]
+        assert metrics.admitted_rate * samples.mean() == pytest.approx(busy,
+                                                                       rel=1e-6)
+
+    def test_variability_increases_queue_at_fixed_threshold(self):
+        """Higher service variability → larger mean queue (same mean)."""
+        deterministic = mg1k_threshold_metrics(0.8, np.array([1.0]), 4.0)
+        gen = np.random.default_rng(2)
+        bursty = gen.exponential(1.0, size=40_000)
+        exponential = mg1k_threshold_metrics(0.8, bursty, 4.0)
+        assert exponential.mean_queue_length > deterministic.mean_queue_length
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mg1k_threshold_metrics(0.0, np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            mg1k_threshold_metrics(1.0, np.array([]), 1.0)
+        with pytest.raises(ValueError):
+            mg1k_threshold_metrics(1.0, np.array([0.0]), 1.0)
+        with pytest.raises(ValueError):
+            mg1k_threshold_metrics(1.0, np.array([1.0]), -1.0)
+
+
+class TestKernelProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        threshold=st.floats(0.1, 8.0),
+        arrival=st.floats(0.2, 5.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_admission_kernel_is_stochastic(self, threshold, arrival, seed):
+        """The averaged during-service kernel must be exactly a stochastic
+        matrix for any admission profile and service sample."""
+        from repro.queueing.mg1 import (
+            _admission_probabilities,
+            _uniformized_admission_kernel,
+        )
+        gen = np.random.default_rng(seed)
+        samples = gen.gamma(2.0, 0.4, size=500)
+        h = _admission_probabilities(threshold)
+        kernel = _uniformized_admission_kernel(arrival, h, samples)
+        assert np.all(kernel >= -1e-12)
+        assert np.allclose(kernel.sum(axis=1), 1.0, atol=1e-9)
+        # Birth-only: strictly lower-triangular part is zero.
+        assert np.allclose(np.tril(kernel, k=-1), 0.0)
+
+    @given(
+        threshold=st.floats(0.1, 6.0),
+        arrival=st.floats(0.2, 4.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_metrics_are_physical(self, threshold, arrival):
+        metrics = mg1k_threshold_metrics(arrival, np.array([0.7]), threshold)
+        assert 0.0 <= metrics.offload_probability <= 1.0
+        assert 0.0 <= metrics.mean_queue_length <= threshold + 1.0 + 1e-9
+        assert 0.0 <= metrics.admitted_rate <= arrival + 1e-12

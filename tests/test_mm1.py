@@ -1,0 +1,67 @@
+"""Tests for repro.queueing.mm1."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.mm1 import (
+    mm1_mean_queue_length,
+    mm1_metrics,
+    mm1k_blocking_probability,
+    mm1k_mean_queue_length,
+    mm1k_stationary_distribution,
+)
+
+
+class TestMM1:
+    def test_textbook_values(self):
+        metrics = mm1_metrics(arrival_rate=1.0, service_rate=2.0)
+        assert metrics.utilization == pytest.approx(0.5)
+        assert metrics.mean_queue_length == pytest.approx(1.0)
+        assert metrics.mean_sojourn_time == pytest.approx(1.0)
+        assert metrics.mean_waiting_time == pytest.approx(0.5)
+        assert metrics.prob_empty == pytest.approx(0.5)
+
+    def test_littles_law(self):
+        metrics = mm1_metrics(arrival_rate=3.0, service_rate=5.0)
+        assert metrics.mean_queue_length == pytest.approx(
+            3.0 * metrics.mean_sojourn_time
+        )
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_metrics(2.0, 2.0)
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_mean_queue_length(3.0, 2.0)
+
+    def test_queue_blows_up_near_saturation(self):
+        assert mm1_mean_queue_length(0.99, 1.0) > 50
+
+
+class TestMM1K:
+    def test_distribution_sums_to_one(self):
+        pi = mm1k_stationary_distribution(rho=0.7, capacity=5)
+        assert sum(pi) == pytest.approx(1.0)
+        assert len(pi) == 6
+
+    def test_rho_one_is_uniform(self):
+        pi = mm1k_stationary_distribution(rho=1.0, capacity=4)
+        assert np.allclose(pi, 0.2)
+
+    def test_blocking_probability_is_top_state(self):
+        pi = mm1k_stationary_distribution(0.8, 3)
+        assert mm1k_blocking_probability(0.8, 3) == pytest.approx(pi[-1])
+
+    def test_mean_queue_length(self):
+        pi = mm1k_stationary_distribution(0.5, 2)
+        expected = 0 * pi[0] + 1 * pi[1] + 2 * pi[2]
+        assert mm1k_mean_queue_length(0.5, 2) == pytest.approx(expected)
+
+    def test_capacity_zero(self):
+        """K = 0: the system is always empty, every arrival blocked."""
+        assert mm1k_blocking_probability(0.5, 0) == pytest.approx(1.0)
+        assert mm1k_mean_queue_length(0.5, 0) == pytest.approx(0.0)
+
+    def test_large_capacity_approaches_mm1(self):
+        q_finite = mm1k_mean_queue_length(0.5, 60)
+        q_infinite = mm1_mean_queue_length(0.5, 1.0)
+        assert q_finite == pytest.approx(q_infinite, rel=1e-6)

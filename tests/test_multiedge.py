@@ -1,0 +1,220 @@
+"""Tests for repro.core.multiedge — the multi-site extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import optimal_threshold
+from repro.core.edge_delay import ReciprocalDelay
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.core.multiedge import (
+    EdgeSite,
+    MultiEdgeSystem,
+    run_multiedge_dtu,
+    solve_multiedge_equilibrium,
+)
+from repro.population.distributions import Deterministic, Gamma, Uniform
+from repro.population.sampler import sample_population
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    from repro.population.sampler import PopulationConfig
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 6.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),     # unused by the multi-edge model
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    return sample_population(config, 1200, rng=0)
+
+
+def _three_sites():
+    return [
+        EdgeSite("wifi-mec", 3.0, ReciprocalDelay(1.1, 0.5),
+                 Uniform(0.0, 0.2)),
+        EdgeSite("5g-mec", 4.0, ReciprocalDelay(1.2, 1.0),
+                 Uniform(0.1, 0.5)),
+        EdgeSite("cloud", 8.0, ReciprocalDelay(1.5, 2.0),
+                 Gamma(shape=4.0, scale=0.2)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def system(population):
+    return MultiEdgeSystem(population, _three_sites(), rng=1)
+
+
+class TestMultiEdgeSystem:
+    def test_latency_matrix_shape(self, system, population):
+        assert system.latencies.shape == (population.size, 3)
+        assert np.all(system.latencies >= 0)
+
+    def test_offload_prices(self, system):
+        gammas = np.array([0.2, 0.4, 0.1])
+        prices = system.offload_prices(gammas)
+        for j, site in enumerate(system.sites):
+            expected = system.latencies[:, j] + site.delay_model(gammas[j])
+            assert np.allclose(prices[:, j], expected)
+
+    def test_best_response_picks_cheapest_site(self, system):
+        gammas = np.array([0.9, 0.1, 0.0])
+        prices = system.offload_prices(gammas)
+        site_indices, _ = system.best_response(gammas)
+        chosen = prices[np.arange(prices.shape[0]), site_indices]
+        assert np.allclose(chosen, prices.min(axis=1))
+
+    def test_thresholds_match_scalar_lemma1(self, system, population):
+        """Per user, the multi-edge threshold equals the scalar Lemma-1
+        threshold at the chosen site's price."""
+        gammas = np.array([0.3, 0.2, 0.1])
+        prices = system.offload_prices(gammas)
+        site_indices, thresholds = system.best_response(gammas)
+        for i in range(0, population.size, 151):
+            profile = population.profile(i).with_threshold_inputs(
+                offload_latency=float(prices[i, site_indices[i]])
+            )
+            assert thresholds[i] == optimal_threshold(profile, 0.0)
+
+    def test_utilizations_partition_load(self, system, population):
+        gammas = np.array([0.2, 0.2, 0.2])
+        site_indices, thresholds = system.best_response(gammas)
+        per_site = system.utilizations(site_indices, thresholds)
+        # Recompute the total offered offload load two ways.
+        from repro.core.tro import queue_and_offload
+        _, alpha = queue_and_offload(thresholds.astype(float),
+                                     population.intensities)
+        total = float((population.arrival_rates * alpha).sum())
+        reconstructed = sum(
+            per_site[j] * population.size * system.sites[j].capacity_per_user
+            for j in range(3)
+        )
+        assert reconstructed == pytest.approx(total, rel=1e-9)
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiEdgeSystem(population, [])
+        with pytest.raises(ValueError, match="aggregate capacity"):
+            MultiEdgeSystem(population, [
+                EdgeSite("tiny", 0.001, ReciprocalDelay(1.1), Uniform(0, 0.1))
+            ])
+        system = MultiEdgeSystem(population, _three_sites(), rng=1)
+        with pytest.raises(ValueError):
+            system.offload_prices(np.array([0.5, 0.5]))        # wrong length
+        with pytest.raises(ValueError):
+            system.offload_prices(np.array([0.5, 0.5, 1.5]))   # out of range
+
+
+class TestMultiEdgeEquilibrium:
+    def test_fixed_point_certificate(self, system):
+        eq = solve_multiedge_equilibrium(system)
+        assert eq.converged
+        # Granularity floor: one user switching moves V by ~a_max/(N c_j)
+        # ≈ 6/(1200·3) ≈ 0.0017, so the certified residual sits just above.
+        assert eq.residual < 5e-3
+        assert np.all((eq.utilizations >= 0) & (eq.utilizations <= 1))
+
+    def test_cheap_fast_site_attracts_more(self, system):
+        """The low-latency, low-delay WiFi MEC should run hotter than the
+        distant cloud."""
+        eq = solve_multiedge_equilibrium(system)
+        assert eq.utilizations[0] > eq.utilizations[2]
+        shares = eq.site_shares(3)
+        assert shares[0] > shares[2]
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_single_site_reduces_to_scalar_mfne(self, population):
+        """With one site whose latency matches the scalar model, the vector
+        solver must reproduce solve_mfne."""
+        site = EdgeSite("only", capacity_per_user=population.capacity,
+                        delay_model=ReciprocalDelay(1.1, 1.0),
+                        latency=Deterministic(0.5))
+        system = MultiEdgeSystem(population, [site], rng=3)
+        eq = solve_multiedge_equilibrium(system, residual_tolerance=1e-3)
+        # Scalar reference: same population but all offload latencies 0.5.
+        reference_pop = population.subset(np.arange(population.size))
+        reference_pop.offload_latencies[:] = 0.5
+        reference = solve_mfne(MeanFieldMap(reference_pop,
+                                            ReciprocalDelay(1.1, 1.0)))
+        assert eq.utilizations[0] == pytest.approx(reference.utilization,
+                                                   abs=1e-3)
+
+    def test_symmetric_sites_split_evenly(self, population):
+        sites = [
+            EdgeSite("a", 5.0, ReciprocalDelay(1.1, 1.0), Uniform(0, 0.3)),
+            EdgeSite("b", 5.0, ReciprocalDelay(1.1, 1.0), Uniform(0, 0.3)),
+        ]
+        system = MultiEdgeSystem(population, sites, rng=4)
+        eq = solve_multiedge_equilibrium(system)
+        assert eq.utilizations[0] == pytest.approx(eq.utilizations[1],
+                                                   abs=0.03)
+
+    def test_invalid_damping(self, system):
+        with pytest.raises(ValueError):
+            solve_multiedge_equilibrium(system, damping=0.0)
+
+
+class TestMultiEdgeDtu:
+    def test_converges_near_fixed_point(self, system):
+        eq = solve_multiedge_equilibrium(system)
+        result = run_multiedge_dtu(system)
+        assert result.converged
+        assert result.iterations < 60
+        gap = np.abs(result.actual_utilizations - eq.utilizations).max()
+        assert gap < 0.05
+
+    def test_trace_recorded(self, system):
+        result = run_multiedge_dtu(system, max_iterations=30)
+        assert len(result.trace.estimated) == len(result.trace.actual)
+        assert len(result.trace.estimated) >= 2
+
+    def test_invalid_step(self, system):
+        with pytest.raises(ValueError):
+            run_multiedge_dtu(system, initial_step=0.0)
+
+
+class TestRandomSiteConfigurations:
+    """Property-style sweep over random site topologies."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equilibrium_certified_for_random_sites(self, population, seed):
+        gen = np.random.default_rng(seed)
+        n_sites = int(gen.integers(1, 5))
+        sites = [
+            EdgeSite(
+                name=f"site{j}",
+                capacity_per_user=float(gen.uniform(2.0, 8.0)),
+                delay_model=ReciprocalDelay(float(gen.uniform(1.05, 2.0)),
+                                            float(gen.uniform(0.3, 2.0))),
+                latency=Uniform(0.0, float(gen.uniform(0.1, 1.0))),
+            )
+            for j in range(n_sites)
+        ]
+        system = MultiEdgeSystem(population, sites, rng=seed)
+        eq = solve_multiedge_equilibrium(system, residual_tolerance=5e-3)
+        assert eq.residual < 2e-2
+        assert np.all((eq.utilizations >= 0) & (eq.utilizations <= 1))
+        shares = eq.site_shares(n_sites)
+        assert shares.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dtu_tracks_random_configurations(self, population, seed):
+        gen = np.random.default_rng(100 + seed)
+        sites = [
+            EdgeSite(
+                name=f"site{j}",
+                capacity_per_user=float(gen.uniform(3.0, 8.0)),
+                delay_model=ReciprocalDelay(float(gen.uniform(1.1, 1.6)),
+                                            1.0),
+                latency=Uniform(0.0, float(gen.uniform(0.2, 0.8))),
+            )
+            for j in range(2)
+        ]
+        system = MultiEdgeSystem(population, sites, rng=seed)
+        eq = solve_multiedge_equilibrium(system, residual_tolerance=5e-3)
+        dtu = run_multiedge_dtu(system)
+        assert dtu.converged
+        gap = np.abs(dtu.actual_utilizations - eq.utilizations).max()
+        assert gap < 0.08

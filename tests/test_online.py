@@ -1,0 +1,89 @@
+"""Tests for repro.simulation.online — the continuous-time system."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.population.sampler import sample_population
+from repro.simulation.online import OnlineSimulation
+
+
+@pytest.fixture(scope="module")
+def online_population():
+    from repro.experiments.settings import theoretical_config
+    return sample_population(theoretical_config("E[A]<E[S]"), 120, rng=3)
+
+
+class TestOnlineSimulation:
+    def test_settles_on_mean_field_equilibrium(self, online_population,
+                                               paper_delay):
+        gamma_star = solve_mfne(
+            MeanFieldMap(online_population, paper_delay)
+        ).utilization
+        simulation = OnlineSimulation(
+            online_population, delay_model=paper_delay,
+            broadcast_interval=5.0, update_interval=10.0, window=25.0,
+            seed=1,
+        )
+        result = simulation.run(duration=400.0)
+        assert result.tail_mean_measured() == pytest.approx(gamma_star,
+                                                            abs=0.02)
+        assert result.final_estimate == pytest.approx(gamma_star, abs=0.05)
+
+    def test_trace_sampled_every_broadcast(self, online_population):
+        simulation = OnlineSimulation(online_population,
+                                      broadcast_interval=10.0, seed=2)
+        result = simulation.run(duration=100.0)
+        assert result.broadcasts == len(result.trace.times)
+        times = np.asarray(result.trace.times)
+        assert np.allclose(np.diff(times), 10.0)
+
+    def test_estimates_within_unit_interval(self, online_population):
+        simulation = OnlineSimulation(online_population, seed=4)
+        result = simulation.run(duration=150.0)
+        estimates = np.asarray(result.trace.estimated)
+        assert np.all((estimates >= 0.0) & (estimates <= 1.0))
+
+    def test_thresholds_move_from_zero(self, online_population):
+        """Devices start offloading everything; update clocks must raise
+        the mean threshold as they learn the edge is not free."""
+        simulation = OnlineSimulation(online_population, seed=5)
+        result = simulation.run(duration=200.0)
+        thresholds = result.trace.mean_threshold
+        assert thresholds[0] < thresholds[-1]
+        assert thresholds[-1] > 0.5
+
+    def test_deterministic_under_seed(self, online_population):
+        runs = [
+            OnlineSimulation(online_population, seed=7).run(duration=80.0)
+            for _ in range(2)
+        ]
+        assert runs[0].trace.estimated == runs[1].trace.estimated
+        assert runs[0].trace.measured == runs[1].trace.measured
+
+    def test_as_arrays(self, online_population):
+        result = OnlineSimulation(online_population, seed=8).run(duration=60.0)
+        arrays = result.trace.as_arrays()
+        assert set(arrays) == {"times", "estimated", "measured",
+                               "mean_threshold"}
+        assert all(isinstance(v, np.ndarray) for v in arrays.values())
+
+    def test_validation(self, online_population):
+        with pytest.raises(ValueError):
+            OnlineSimulation(online_population, broadcast_interval=0.0)
+        with pytest.raises(ValueError):
+            OnlineSimulation(online_population, initial_step=0.0)
+        simulation = OnlineSimulation(online_population, seed=9)
+        with pytest.raises(ValueError):
+            simulation.run(duration=0.0)
+
+
+class TestOnlineExperiment:
+    def test_run_reports_settling(self):
+        from repro.experiments import online_experiment
+        result = online_experiment.run(n_users=80, duration=250.0, seed=0)
+        assert result.settled_gap < 0.03
+        assert len(result.timescales.rows) == 3
+        text = str(result)
+        assert "Continuous" in text and "Timescale" in text

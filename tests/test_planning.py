@@ -1,0 +1,73 @@
+"""Tests for repro.core.planning — capacity inverse problems."""
+
+import pytest
+
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.core.planning import capacity_for_cost, capacity_for_utilization
+
+
+class TestCapacityForUtilization:
+    def test_meets_target_tightly(self, small_population, paper_delay):
+        current = solve_mfne(
+            MeanFieldMap(small_population, paper_delay)
+        ).utilization
+        target = current / 2.0
+        plan = capacity_for_utilization(small_population, target,
+                                        paper_delay)
+        assert plan.achieved <= target
+        # Tight: a slightly smaller capacity would overshoot.
+        assert plan.slack < 0.02
+
+    def test_looser_target_needs_less_capacity(self, small_population,
+                                               paper_delay):
+        strict = capacity_for_utilization(small_population, 0.05,
+                                          paper_delay)
+        loose = capacity_for_utilization(small_population, 0.12,
+                                         paper_delay)
+        assert loose.capacity <= strict.capacity
+
+    def test_already_satisfied_target_returns_floor(self, small_population,
+                                                    paper_delay):
+        plan = capacity_for_utilization(small_population, 0.99, paper_delay)
+        # Just above a_max is enough.
+        assert plan.capacity == pytest.approx(
+            float(small_population.arrival_rates.max()), rel=1e-6
+        )
+        assert plan.iterations == 0
+
+    def test_invalid_target(self, small_population):
+        with pytest.raises(ValueError):
+            capacity_for_utilization(small_population, 0.0)
+        with pytest.raises(ValueError):
+            capacity_for_utilization(small_population, 1.0)
+
+
+class TestCapacityForCost:
+    def test_meets_budget(self, small_population, paper_delay):
+        mean_field = MeanFieldMap(small_population, paper_delay)
+        current_cost = mean_field.average_cost(
+            solve_mfne(mean_field).utilization
+        )
+        budget = 0.97 * current_cost
+        plan = capacity_for_cost(small_population, budget, paper_delay)
+        assert plan.achieved <= budget
+        assert plan.quantity == "average_cost"
+        assert plan.capacity > small_population.capacity  # had to buy more
+
+    def test_infeasible_budget_raises(self, small_population, paper_delay):
+        """Latency and energy terms put a floor under the cost that no
+        amount of edge capacity removes."""
+        with pytest.raises(ValueError, match="infeasible"):
+            capacity_for_cost(small_population, 1e-3, paper_delay,
+                              max_capacity=100.0)
+
+    def test_cost_floor_is_informative(self, small_population, paper_delay):
+        """The infeasibility message reports the best achievable value."""
+        try:
+            capacity_for_cost(small_population, 1e-3, paper_delay,
+                              max_capacity=50.0)
+        except ValueError as error:
+            assert "achieves" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected ValueError")

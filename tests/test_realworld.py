@@ -1,0 +1,86 @@
+"""Tests for repro.population.realworld — the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.population.realworld import (
+    DATASET_SIZE,
+    PAPER_MEAN_SERVICE_RATE,
+    RealWorldData,
+    load_realworld_data,
+    wifi_offload_latencies,
+    yolo_processing_times,
+)
+
+
+class TestYoloProcessingTimes:
+    def test_size_and_positivity(self):
+        times = yolo_processing_times()
+        assert times.size == DATASET_SIZE
+        assert np.all(times > 0)
+
+    def test_calibrated_mean_service_rate(self):
+        """The paper's E[S] = 8.9437 must hold exactly for 1/time."""
+        times = yolo_processing_times()
+        assert (1.0 / times).mean() == pytest.approx(PAPER_MEAN_SERVICE_RATE,
+                                                     rel=1e-9)
+
+    def test_deterministic(self):
+        assert np.array_equal(yolo_processing_times(), yolo_processing_times())
+
+    def test_right_skewed(self):
+        """Fig. 6a is right-skewed: mean above median, long right tail."""
+        times = yolo_processing_times()
+        assert times.mean() > np.median(times)
+        assert times.max() > 2.5 * np.median(times)
+
+    def test_custom_calibration(self):
+        times = yolo_processing_times(mean_service_rate=4.0)
+        assert (1.0 / times).mean() == pytest.approx(4.0, rel=1e-9)
+
+
+class TestWifiLatencies:
+    def test_size_and_mean(self):
+        latencies = wifi_offload_latencies()
+        assert latencies.size == DATASET_SIZE
+        assert latencies.mean() == pytest.approx(0.1, rel=1e-9)
+
+    def test_long_tail(self):
+        """Fig. 6b shows a long tail: the max dwarfs the median."""
+        latencies = wifi_offload_latencies()
+        assert latencies.max() > 4 * np.median(latencies)
+
+    def test_deterministic(self):
+        assert np.array_equal(wifi_offload_latencies(), wifi_offload_latencies())
+
+    def test_custom_mean(self):
+        latencies = wifi_offload_latencies(mean_latency=2.0)
+        assert latencies.mean() == pytest.approx(2.0, rel=1e-9)
+
+
+class TestLoadRealworldData:
+    def test_cached_instance(self):
+        assert load_realworld_data() is load_realworld_data()
+
+    def test_arrays_read_only(self):
+        data = load_realworld_data()
+        with pytest.raises(ValueError):
+            data.processing_times[0] = 99.0
+
+    def test_derived_distributions(self):
+        data = load_realworld_data()
+        assert data.mean_service_rate == pytest.approx(PAPER_MEAN_SERVICE_RATE,
+                                                       rel=1e-9)
+        service = data.service_rate_distribution()
+        assert service.mean() == pytest.approx(PAPER_MEAN_SERVICE_RATE, rel=1e-9)
+        latency = data.latency_distribution()
+        assert latency.mean() == pytest.approx(data.mean_offload_latency)
+        processing = data.processing_time_distribution()
+        assert processing.mean() == pytest.approx(data.processing_times.mean())
+
+    def test_rejects_nonpositive_data(self):
+        with pytest.raises(ValueError):
+            RealWorldData(
+                processing_times=np.array([1.0, -0.5]),
+                offload_latencies=np.array([0.1, 0.2]),
+            )

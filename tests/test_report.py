@@ -1,0 +1,93 @@
+"""Tests for repro.experiments.report."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import (
+    ComparisonResult,
+    PaperComparison,
+    SeriesResult,
+    sparkline,
+)
+
+
+class TestPaperComparison:
+    def test_relative_error(self):
+        row = PaperComparison(label="x", measured=0.14, paper=0.13)
+        assert row.relative_error == pytest.approx(0.01 / 0.13)
+
+    def test_no_paper_value(self):
+        row = PaperComparison(label="x", measured=0.5)
+        assert row.relative_error is None
+        assert row.as_row()[2] == "—"
+
+    def test_as_row_formatting(self):
+        row = PaperComparison(label="setup", measured=0.1285, paper=0.13)
+        cells = row.as_row()
+        assert cells[0] == "setup"
+        assert "0.1285" in cells[1]
+        assert "%" in cells[3]
+
+
+class TestComparisonResult:
+    def test_str_contains_rows_and_notes(self):
+        result = ComparisonResult(
+            name="Table X",
+            rows=[PaperComparison("a", 1.0, 1.1)],
+            notes="a note",
+        )
+        text = str(result)
+        assert "Table X" in text
+        assert "a note" in text
+
+    def test_max_relative_error(self):
+        result = ComparisonResult(
+            name="t",
+            rows=[PaperComparison("a", 1.0, 1.0),
+                  PaperComparison("b", 1.2, 1.0)],
+        )
+        assert result.max_relative_error() == pytest.approx(0.2)
+
+    def test_max_relative_error_empty(self):
+        assert math.isnan(ComparisonResult(name="t", rows=[]).max_relative_error())
+
+
+class TestSeriesResult:
+    def test_column_extraction(self):
+        series = SeriesResult(name="s", columns=("x", "y"),
+                              rows=[(1, 10), (2, 20)])
+        assert series.column("y") == [10, 20]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            SeriesResult(name="s", columns=("x", "y"), rows=[(1,)])
+
+    def test_long_series_thinned_in_str(self):
+        series = SeriesResult(name="s", columns=("x",),
+                              rows=[(i,) for i in range(500)])
+        text = str(series)
+        assert "thinned" in text
+        assert "500 rows" in text
+
+    def test_short_series_shown_fully(self):
+        series = SeriesResult(name="s", columns=("x",),
+                              rows=[(i,) for i in range(5)])
+        assert "thinned" not in str(series)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "───"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampled_to_width(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) <= 50

@@ -1,0 +1,100 @@
+"""Tests for repro.utils.rng — deterministic stream management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_streams
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(9)
+        a = as_generator(seq).random(3)
+        b = as_generator(np.random.SeedSequence(9)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        streams = spawn_streams(0, 7)
+        assert len(streams) == 7
+
+    def test_zero_count(self):
+        assert spawn_streams(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+    def test_streams_are_independent(self):
+        a, b = spawn_streams(3, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_for_same_seed(self):
+        first = [g.random(4) for g in spawn_streams(5, 3)]
+        second = [g.random(4) for g in spawn_streams(5, 3)]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)
+
+    def test_adjacent_seeds_do_not_collide(self):
+        a = spawn_streams(1, 1)[0].random(10)
+        b = spawn_streams(2, 1)[0].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(0)
+        streams = spawn_streams(parent, 3)
+        assert len(streams) == 3
+        values = [g.random() for g in streams]
+        assert len(set(values)) == 3
+
+
+class TestRngFactory:
+    def test_same_name_same_state(self):
+        factory = RngFactory(11)
+        a = factory.stream("population").random(6)
+        b = factory.stream("population").random(6)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        factory = RngFactory(11)
+        a = factory.stream("population").random(6)
+        b = factory.stream("simulation").random(6)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").random(6)
+        b = RngFactory(2).stream("x").random(6)
+        assert not np.array_equal(a, b)
+
+    def test_streams_bundle(self):
+        factory = RngFactory(4)
+        bundle = factory.streams("devices", 5)
+        assert len(bundle) == 5
+        draws = [g.random() for g in bundle]
+        assert len(set(draws)) == 5
+
+    def test_streams_reproducible(self):
+        first = [g.random() for g in RngFactory(4).streams("d", 3)]
+        second = [g.random() for g in RngFactory(4).streams("d", 3)]
+        assert first == second
+
+    def test_repr_mentions_seed(self):
+        assert "17" in repr(RngFactory(17))

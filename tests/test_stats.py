@@ -1,0 +1,152 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.utils.stats import (
+    ConfidenceInterval,
+    RunningStats,
+    confidence_interval,
+    histogram_summary,
+    normal_quantile,
+    relative_error,
+)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize("level", [0.90, 0.95, 0.98, 0.99])
+    def test_tabulated_levels_match_scipy(self, level):
+        expected = scipy_stats.norm.ppf(0.5 + level / 2)
+        assert normal_quantile(level) == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("level", [0.5, 0.8, 0.925, 0.999])
+    def test_fallback_levels_match_scipy(self, level):
+        expected = scipy_stats.norm.ppf(0.5 + level / 2)
+        assert normal_quantile(level) == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("level", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_level_raises(self, level):
+        with pytest.raises(ValueError):
+            normal_quantile(level)
+
+
+class TestConfidenceInterval:
+    def test_matches_manual_computation(self):
+        data = np.arange(100, dtype=float)
+        ci = confidence_interval(data, level=0.98)
+        z = scipy_stats.norm.ppf(0.99)
+        sem = data.std(ddof=1) / 10.0
+        assert ci.mean == pytest.approx(49.5)
+        assert ci.half_width == pytest.approx(z * sem, rel=1e-9)
+        assert ci.n == 100
+
+    def test_contains_and_bounds(self):
+        ci = ConfidenceInterval(mean=1.0, half_width=0.2, level=0.98, n=10)
+        assert ci.low == pytest.approx(0.8)
+        assert ci.high == pytest.approx(1.2)
+        assert ci.contains(1.0)
+        assert not ci.contains(1.3)
+
+    def test_coverage_simulation(self):
+        """A 95% CI should cover the true mean ≈95% of the time."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(3.0, 1.0, size=200)
+            if confidence_interval(sample, level=0.95).contains(3.0):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_str_mentions_level(self):
+        ci = confidence_interval([1.0, 2.0, 3.0], level=0.98)
+        assert "98%" in str(ci)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(0.5, 0.0) == 0.5
+
+    def test_symmetric_sign(self):
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(5.0, 2.0, size=1000)
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.mean == pytest.approx(data.mean(), rel=1e-12)
+        assert stats.variance == pytest.approx(data.var(ddof=1), rel=1e-10)
+        assert stats.minimum == data.min()
+        assert stats.maximum == data.max()
+        assert stats.n == 1000
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = RunningStats().mean
+
+    def test_single_sample_variance_zero(self):
+        stats = RunningStats()
+        stats.push(3.0)
+        assert stats.variance == 0.0
+
+    def test_merge_equals_combined(self, rng):
+        a_data = rng.normal(size=300)
+        b_data = rng.normal(loc=4, size=500)
+        a, b = RunningStats(), RunningStats()
+        a.extend(a_data)
+        b.extend(b_data)
+        merged = a.merge(b)
+        combined = np.concatenate([a_data, b_data])
+        assert merged.n == 800
+        assert merged.mean == pytest.approx(combined.mean(), rel=1e-12)
+        assert merged.variance == pytest.approx(combined.var(ddof=1), rel=1e-10)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0, 3.0])
+        assert a.merge(RunningStats()).mean == pytest.approx(2.0)
+        assert RunningStats().merge(a).mean == pytest.approx(2.0)
+
+    def test_repr(self):
+        stats = RunningStats()
+        assert "empty" in repr(stats)
+        stats.push(1.0)
+        assert "n=1" in repr(stats)
+
+    def test_numerical_stability_large_offset(self):
+        """Welford should survive data with a huge common offset.
+
+        (The offset itself already rounds the inputs at ~1e-7 relative, so
+        the comparison is against the variance of the *stored* values.)
+        """
+        offset = 1e9
+        data = [offset + v for v in (0.1, 0.2, 0.3, 0.4)]
+        stats = RunningStats()
+        stats.extend(data)
+        assert stats.variance == pytest.approx(
+            np.var(np.array(data) - offset, ddof=1), rel=1e-4
+        )
+
+
+class TestHistogramSummary:
+    def test_density_integrates_to_one(self, rng):
+        data = rng.exponential(2.0, size=5000)
+        summary = histogram_summary(data, bins=25)
+        widths = np.diff(summary["edges"])
+        assert float((summary["density"] * widths).sum()) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram_summary([])

@@ -1,0 +1,76 @@
+"""Tests for repro.sweep — the one-knob equilibrium sweep tool."""
+
+import pytest
+
+from repro.sweep import PARAMETERS, parse_values, run_sweep
+
+
+class TestParseValues:
+    def test_basic(self):
+        assert parse_values("1,2.5,3") == [1.0, 2.5, 3.0]
+
+    def test_trailing_comma_and_spaces(self):
+        assert parse_values("1, 2,") == [1.0, 2.0]
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_values("1,banana")
+        with pytest.raises(ValueError):
+            parse_values("")
+
+
+class TestRunSweep:
+    def test_capacity_sweep_monotone(self):
+        result = run_sweep("capacity", [9.0, 12.0, 16.0], n_users=800,
+                           seed=0, include_dtu=False)
+        gammas = result.column("gamma*")
+        assert gammas[0] > gammas[1] > gammas[2]
+
+    def test_latency_sweep_shapes(self):
+        result = run_sweep("latency-scale", [0.5, 2.0], n_users=800,
+                           seed=0, include_dtu=False)
+        # Costlier offloading: lower utilisation, higher cost.
+        assert result.column("gamma*")[0] > result.column("gamma*")[1]
+        assert result.column("avg cost")[0] < result.column("avg cost")[1]
+
+    def test_weight_sweep_runs_with_dtu(self):
+        result = run_sweep("weight", [1.0], n_users=500, seed=0,
+                           include_dtu=True)
+        assert isinstance(result.rows[0][4], int)
+
+    def test_every_registered_parameter_works(self):
+        for parameter in PARAMETERS:
+            result = run_sweep(parameter, [_safe_value(parameter)],
+                               n_users=200, seed=0, include_dtu=False)
+            assert 0.0 <= result.rows[0][1] <= 1.0, parameter
+
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            run_sweep("frobnication", [1.0])
+
+    def test_empty_values(self):
+        with pytest.raises(ValueError):
+            run_sweep("capacity", [])
+
+
+def _safe_value(parameter: str) -> float:
+    """A valid sweep value per parameter (capacity must exceed A_max...)."""
+    return {
+        "capacity": 12.0,
+        "a-max": 3.0,
+        "latency-scale": 1.5,
+        "energy-local-max": 2.0,
+        "energy-offload-max": 0.8,
+        "weight": 2.0,
+        "headroom": 1.3,
+    }[parameter]
+
+
+class TestSweepCli:
+    def test_cli_subcommand(self, capsys):
+        from repro.__main__ import main
+        assert main(["sweep", "--param", "capacity",
+                     "--values", "10,14", "--users", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep — capacity" in out
+        assert "gamma*" in out

@@ -1,0 +1,247 @@
+"""Tests for repro.simulation.edge, .measurement and .system."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.core.equilibrium import solve_mfne
+from repro.core.meanfield import MeanFieldMap
+from repro.population.sampler import sample_population
+from repro.simulation.edge import EdgeServer
+from repro.simulation.measurement import (
+    DeterministicService,
+    EmpiricalService,
+    ExponentialService,
+    LogNormalService,
+    MeasurementConfig,
+)
+from repro.simulation.system import (
+    SimulatedUtilizationOracle,
+    dpo_policies,
+    simulate_system,
+    tro_policies,
+)
+
+
+class TestEdgeServer:
+    def test_utilization_from_rates(self, paper_delay):
+        edge = EdgeServer(capacity_per_user=10.0, n_users=4,
+                          delay_model=paper_delay)
+        gamma = edge.update_from_rates([1.0, 2.0, 3.0, 4.0])
+        assert gamma == pytest.approx(10.0 / 40.0)
+        assert edge.utilization == gamma
+        assert edge.delay() == pytest.approx(paper_delay(gamma))
+
+    def test_utilization_from_counts(self):
+        edge = EdgeServer(capacity_per_user=5.0, n_users=2)
+        gamma = edge.update_from_counts([10, 30], observation_time=4.0)
+        assert gamma == pytest.approx(10.0 / 10.0)
+
+    def test_clipped_at_one(self):
+        edge = EdgeServer(capacity_per_user=1.0, n_users=1)
+        assert edge.update_from_rates([5.0]) == 1.0
+
+    def test_total_capacity(self):
+        assert EdgeServer(3.0, 7).total_capacity == pytest.approx(21.0)
+
+    def test_validation(self):
+        edge = EdgeServer(1.0, 2)
+        with pytest.raises(ValueError):
+            edge.update_from_rates([1.0])            # wrong length
+        with pytest.raises(ValueError):
+            edge.update_from_rates([1.0, -1.0])      # negative
+        with pytest.raises(ValueError):
+            edge.update_from_counts([1, 1], observation_time=0.0)
+
+
+class TestServiceModels:
+    @pytest.mark.parametrize("model", [
+        ExponentialService(),
+        LogNormalService(cv=0.7),
+        DeterministicService(),
+    ], ids=repr)
+    def test_mean_service_time(self, model):
+        dist = model.distribution(service_rate=4.0)
+        assert dist.mean() == pytest.approx(0.25, rel=1e-9)
+
+    def test_empirical_service_preserves_shape(self, rng):
+        base = rng.gamma(2.0, 1.0, size=2000)
+        model = EmpiricalService(base)
+        dist = model.distribution(service_rate=5.0)
+        assert dist.mean() == pytest.approx(0.2, rel=1e-9)
+        # Coefficient of variation preserved from the base sample.
+        samples = dist.sample_array(rng, 20_000)
+        base_cv = base.std() / base.mean()
+        assert samples.std() / samples.mean() == pytest.approx(base_cv,
+                                                               rel=0.05)
+
+    def test_empirical_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalService([])
+        with pytest.raises(ValueError):
+            EmpiricalService([1.0, 0.0])
+
+    def test_measurement_config_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementConfig(horizon=10.0, warmup=10.0)
+        with pytest.raises(ValueError):
+            MeasurementConfig(horizon=0.0)
+        assert MeasurementConfig(horizon=10.0, warmup=2.0).observation_time \
+            == pytest.approx(8.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_population(request):
+    from repro.population.distributions import Uniform
+    from repro.population.sampler import PopulationConfig
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    return sample_population(config, 60, rng=13)
+
+
+class TestSimulateSystem:
+    def test_measurement_consistency(self, tiny_population, paper_delay):
+        thresholds = np.full(tiny_population.size, 2.0)
+        measurement = simulate_system(
+            tiny_population,
+            tro_policies(thresholds, tiny_population.size),
+            MeasurementConfig(horizon=80.0, warmup=10.0, seed=0),
+            delay_model=paper_delay,
+        )
+        n = tiny_population.size
+        assert measurement.offload_fractions.shape == (n,)
+        assert measurement.queue_lengths.shape == (n,)
+        assert measurement.user_costs.shape == (n,)
+        assert len(measurement.device_stats) == n
+        assert 0.0 <= measurement.utilization <= 1.0
+        assert measurement.edge_delay == pytest.approx(
+            paper_delay(measurement.utilization)
+        )
+        assert measurement.average_cost == pytest.approx(
+            float(measurement.user_costs.mean())
+        )
+
+    def test_utilization_matches_analytic(self, tiny_population, paper_delay):
+        """Long-horizon DES utilisation must approach the closed-form J1."""
+        mean_field = MeanFieldMap(tiny_population, paper_delay)
+        thresholds = mean_field.best_response(0.2).astype(float)
+        measurement = simulate_system(
+            tiny_population,
+            tro_policies(thresholds, tiny_population.size),
+            MeasurementConfig(horizon=600.0, warmup=100.0, seed=1),
+            delay_model=paper_delay,
+        )
+        assert measurement.utilization == pytest.approx(
+            mean_field.utilization(thresholds), abs=0.02
+        )
+
+    def test_policy_count_mismatch_raises(self, tiny_population):
+        with pytest.raises(ValueError, match="policies"):
+            simulate_system(tiny_population, tro_policies(1.0, 3))
+
+    def test_dpo_policies_builder(self, tiny_population):
+        policies = dpo_policies(0.5, tiny_population.size)
+        assert len(policies) == tiny_population.size
+        measurement = simulate_system(
+            tiny_population, policies,
+            MeasurementConfig(horizon=60.0, warmup=10.0, seed=2),
+        )
+        assert measurement.average_offload_fraction == pytest.approx(0.5,
+                                                                     abs=0.05)
+
+    def test_deterministic_under_seed(self, tiny_population):
+        config = MeasurementConfig(horizon=40.0, warmup=5.0, seed=9)
+        a = simulate_system(tiny_population,
+                            tro_policies(2.0, tiny_population.size), config)
+        b = simulate_system(tiny_population,
+                            tro_policies(2.0, tiny_population.size), config)
+        assert a.utilization == b.utilization
+        assert np.array_equal(a.offload_fractions, b.offload_fractions)
+
+
+class TestSimulatedUtilizationOracle:
+    def test_implements_oracle_protocol(self, tiny_population):
+        oracle = SimulatedUtilizationOracle(
+            tiny_population,
+            MeasurementConfig(horizon=40.0, warmup=5.0, seed=3),
+        )
+        thresholds = np.full(tiny_population.size, 1.5)
+        gamma = oracle.measure(thresholds)
+        assert 0.0 <= gamma <= 1.0
+        assert oracle.last_measurement is not None
+
+    def test_fresh_randomness_each_call(self, tiny_population):
+        oracle = SimulatedUtilizationOracle(
+            tiny_population,
+            MeasurementConfig(horizon=30.0, warmup=5.0, seed=3),
+        )
+        thresholds = np.full(tiny_population.size, 1.5)
+        a = oracle.measure(thresholds)
+        b = oracle.measure(thresholds)
+        assert a != b   # independent measurement noise
+
+    def test_des_driven_dtu_converges_near_theory(self, tiny_population,
+                                                  paper_delay):
+        """The practical-settings loop: DTU on a simulated system still
+        lands near the exponential-service MFNE."""
+        mean_field = MeanFieldMap(tiny_population, paper_delay)
+        gamma_star = solve_mfne(mean_field).utilization
+        oracle = SimulatedUtilizationOracle(
+            tiny_population,
+            MeasurementConfig(horizon=120.0, warmup=20.0, seed=4),
+            delay_model=paper_delay,
+        )
+        result = run_dtu(mean_field, DtuConfig(tolerance=0.01), oracle=oracle)
+        assert result.converged
+        assert result.estimated_utilization == pytest.approx(gamma_star,
+                                                             abs=0.05)
+
+
+class TestValidationBattery:
+    def test_full_battery_passes(self):
+        from repro.simulation.validate import run_battery
+        report = run_battery(horizon=3000.0, warmup=200.0, seed=0)
+        assert report.pass_rate == 1.0, str(report)
+
+    def test_report_formatting(self):
+        from repro.simulation.validate import run_battery
+        report = run_battery(intensities=(0.5,), thresholds=(2.0,),
+                             service_kinds=("exponential",),
+                             horizon=500.0, warmup=50.0)
+        text = str(report)
+        assert "1 cells" in text
+        assert "pass rate" in text
+
+    def test_broken_expectation_fails(self):
+        """Injected error must be caught: shrink tolerances to near zero
+        on a short run and confirm failures are reported (the battery is
+        not vacuously green)."""
+        from repro.simulation.validate import run_battery, ValidationCell
+        report = run_battery(intensities=(2.0,), thresholds=(2.5,),
+                             service_kinds=("exponential",),
+                             horizon=300.0, warmup=30.0)
+        cell = report.cells[0]
+        broken = ValidationCell(
+            service_kind=cell.service_kind,
+            intensity=cell.intensity,
+            threshold=cell.threshold,
+            expected_queue=cell.expected_queue + 1.0,   # wrong theory
+            measured_queue=cell.measured_queue,
+            expected_alpha=cell.expected_alpha,
+            measured_alpha=cell.measured_alpha,
+            tolerance_queue=cell.tolerance_queue,
+            tolerance_alpha=cell.tolerance_alpha,
+        )
+        assert not broken.passed
+
+    def test_unknown_service_kind(self):
+        from repro.simulation.validate import run_battery
+        with pytest.raises(ValueError):
+            run_battery(service_kinds=("mystery",), horizon=100.0,
+                        warmup=10.0)

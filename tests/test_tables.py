@@ -1,0 +1,38 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+        # Every body row has the same separator position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_title_underlined(self):
+        out = format_table(["c"], [[1]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_mixed_types(self):
+        out = format_table(["n", "name", "flag"], [[3, "abc", True]])
+        assert "3" in out and "abc" in out and "True" in out

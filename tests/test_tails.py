@@ -1,0 +1,35 @@
+"""Tests for repro.experiments.tails."""
+
+import pytest
+
+from repro.experiments import tails
+
+
+class TestTailsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tails.run(n_users=15, horizon=600.0, seed=0)
+
+    def test_quantile_rows(self, result):
+        assert [row[0] for row in result.rows] == ["p50", "p90", "p99",
+                                                   "p99.9"]
+
+    def test_waits_nonnegative_and_monotone(self, result):
+        tro = result.column("TRO wait")
+        dpo = result.column("DPO wait")
+        assert all(w >= 0 for w in tro + dpo)
+        assert tro == sorted(tro)
+        assert dpo == sorted(dpo)
+
+    def test_tro_tail_beats_dpo(self, result):
+        """Queue-aware admission dominates at the 99th percentile."""
+        quantiles = dict(zip(result.column("quantile"),
+                             zip(result.column("TRO wait"),
+                                 result.column("DPO wait"))))
+        tro_p99, dpo_p99 = quantiles["p99"]
+        assert dpo_p99 > tro_p99
+
+    def test_fixed_utilization_override(self):
+        result = tails.run(n_users=8, horizon=300.0, seed=1,
+                           utilization=0.3)
+        assert "0.300" in result.notes

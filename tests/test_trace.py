@@ -1,0 +1,114 @@
+"""Tests for repro.simulation.trace — auditable task lifecycles."""
+
+import numpy as np
+import pytest
+
+from repro.population.distributions import Exponential
+from repro.simulation.device import DpoAdmission, TroAdmission, simulate_device
+from repro.simulation.trace import TaskRecord, TaskTraceRecorder
+
+
+def _traced_run(policy, horizon=500.0, arrival=1.5, service=1.0, seed=7,
+                **kwargs):
+    recorder = TaskTraceRecorder()
+    stats = simulate_device(
+        arrival_rate=arrival, service=Exponential(service), policy=policy,
+        horizon=horizon, rng=seed, recorder=recorder, **kwargs,
+    )
+    return stats, recorder
+
+
+class TestTraceConsistency:
+    def test_trace_counts_match_stats(self):
+        stats, recorder = _traced_run(TroAdmission(3.5))
+        recorder.validate()
+        assert len(recorder) == stats.arrivals
+        assert len(recorder.offloaded) == stats.offloaded
+        assert len(recorder.admitted) == stats.admitted
+
+    def test_sojourns_match_stats_mean(self):
+        stats, recorder = _traced_run(TroAdmission(2.5))
+        sojourns = recorder.sojourn_times()
+        # The trace excludes nothing, but stats count only completions
+        # inside the observation window (here: the whole run).
+        assert sojourns.size == stats.completed
+        assert sojourns.mean() == pytest.approx(stats.mean_local_sojourn,
+                                                rel=1e-9)
+
+    def test_offload_fraction_matches(self):
+        stats, recorder = _traced_run(TroAdmission(1.3))
+        assert recorder.offload_fraction() == pytest.approx(
+            stats.offload_fraction
+        )
+
+    def test_fcfs_and_causality_hold(self):
+        _, recorder = _traced_run(TroAdmission(4.0), horizon=300.0)
+        recorder.validate()     # raises on any violation
+
+    def test_offloaded_tasks_have_no_service(self):
+        _, recorder = _traced_run(TroAdmission(0.0), horizon=50.0)
+        assert all(r.service_start is None for r in recorder.offloaded)
+        assert len(recorder.admitted) == 0
+
+    def test_waiting_times_nonnegative(self):
+        _, recorder = _traced_run(DpoAdmission(0.3))
+        waits = recorder.waiting_times()
+        assert np.all(waits >= 0)
+
+    def test_head_of_line_task_starts_immediately(self):
+        """A task admitted to an empty device waits exactly zero."""
+        _, recorder = _traced_run(TroAdmission(5.0), arrival=0.05,
+                                  horizon=2000.0)
+        # At such light load nearly every admitted task finds an idle server.
+        waits = recorder.waiting_times()
+        assert np.median(waits) == 0.0
+
+    def test_seeded_backlog_not_traced(self):
+        _, recorder = _traced_run(TroAdmission(5.0), initial_queue=3,
+                                  horizon=100.0)
+        assert all(r.task_id >= 0 for r in recorder.records.values())
+        recorder.validate()
+
+
+class TestTraceAnalytics:
+    def test_mm1_waiting_time_against_theory(self):
+        """TRO with a huge threshold ≈ M/M/1: mean wait = ρ/(s − a)."""
+        a, s = 0.5, 1.0
+        _, recorder = _traced_run(TroAdmission(200.0), arrival=a, service=s,
+                                  horizon=30_000.0, seed=3)
+        waits = recorder.waiting_times()
+        expected = (a / s) / (s - a)
+        assert waits.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_waiting_tail_bounded_by_threshold(self):
+        """Under TRO(k) an admitted task waits at most k services: the
+        waiting tail is dramatically shorter than M/M/1's."""
+        a, s, k = 0.9, 1.0, 3.0
+        _, recorder = _traced_run(TroAdmission(k), arrival=a, service=s,
+                                  horizon=20_000.0, seed=4)
+        waits = recorder.waiting_times()
+        # Expected wait of the 99.9th percentile of an Erlang(3) ≈ 11; the
+        # unbounded M/M/1 at ρ=0.9 would show far larger extremes.
+        assert np.quantile(waits, 0.999) < 20.0
+
+
+class TestTaskRecord:
+    def test_derived_times(self):
+        record = TaskRecord(task_id=1, arrival_time=1.0, admitted=True,
+                            service_start=2.5, departure_time=4.0)
+        assert record.waiting_time == pytest.approx(1.5)
+        assert record.sojourn_time == pytest.approx(3.0)
+        assert record.service_time == pytest.approx(1.5)
+
+    def test_incomplete_records_return_none(self):
+        record = TaskRecord(task_id=1, arrival_time=1.0, admitted=False)
+        assert record.waiting_time is None
+        assert record.sojourn_time is None
+        assert record.service_time is None
+
+    def test_empty_recorder(self):
+        recorder = TaskTraceRecorder()
+        assert len(recorder) == 0
+        assert recorder.offload_fraction() == 0.0
+        assert recorder.sojourn_times().size == 0
+        recorder.validate()

@@ -1,0 +1,119 @@
+"""Tests for repro.queueing.transient — uniformization and mixing times."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.queueing.birth_death import BirthDeathChain, tro_birth_death_chain
+from repro.queueing.transient import (
+    time_to_stationarity,
+    total_variation,
+    transient_distribution,
+    warmup_recommendation,
+)
+
+
+@pytest.fixture
+def sample_chain(rng):
+    return BirthDeathChain(
+        birth_rates=rng.uniform(0.3, 2.0, size=6),
+        death_rates=rng.uniform(0.5, 2.5, size=6),
+    )
+
+
+class TestTransientDistribution:
+    @pytest.mark.parametrize("t", [0.1, 1.0, 5.0])
+    def test_matches_matrix_exponential(self, sample_chain, t):
+        """Uniformization must agree with scipy's expm to high accuracy."""
+        q = sample_chain.rate_matrix()
+        expected = expm(q * t)[0, :]          # start in state 0
+        computed = transient_distribution(sample_chain, t, initial=0)
+        assert np.allclose(computed, expected, atol=1e-9)
+
+    def test_time_zero_is_initial(self, sample_chain):
+        out = transient_distribution(sample_chain, 0.0, initial=3)
+        expected = np.zeros(sample_chain.n_states)
+        expected[3] = 1.0
+        assert np.array_equal(out, expected)
+
+    def test_distribution_valid_at_all_times(self, sample_chain):
+        for t in (0.01, 0.5, 2.0, 50.0):
+            pi = transient_distribution(sample_chain, t)
+            assert np.all(pi >= -1e-12)
+            assert pi.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_converges_to_stationary(self, sample_chain):
+        stationary = sample_chain.stationary_distribution()
+        late = transient_distribution(sample_chain, 200.0)
+        assert np.allclose(late, stationary, atol=1e-6)
+
+    def test_distribution_initial_vector(self, sample_chain):
+        n = sample_chain.n_states
+        uniform = np.full(n, 1.0 / n)
+        out = transient_distribution(sample_chain, 1.0, initial=uniform)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_invalid_initial(self, sample_chain):
+        with pytest.raises(ValueError):
+            transient_distribution(sample_chain, 1.0, initial=99)
+        with pytest.raises(ValueError):
+            transient_distribution(sample_chain, 1.0,
+                                   initial=np.array([0.5, 0.5]))
+
+    def test_negative_time_rejected(self, sample_chain):
+        with pytest.raises(ValueError):
+            transient_distribution(sample_chain, -1.0)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.8])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation(np.array([1.0, 0.0]),
+                               np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestMixingTime:
+    def test_tv_met_at_reported_time(self, sample_chain):
+        t_mix = time_to_stationarity(sample_chain, tolerance=0.01)
+        stationary = sample_chain.stationary_distribution()
+        at_mix = transient_distribution(sample_chain, t_mix)
+        assert total_variation(at_mix, stationary) <= 0.0101
+
+    def test_tighter_tolerance_takes_longer(self, sample_chain):
+        loose = time_to_stationarity(sample_chain, tolerance=0.1)
+        tight = time_to_stationarity(sample_chain, tolerance=0.001)
+        assert tight > loose
+
+    def test_starting_at_stationary_is_instant(self, sample_chain):
+        stationary = sample_chain.stationary_distribution()
+        assert time_to_stationarity(sample_chain, tolerance=0.01,
+                                    initial=stationary) == 0.0
+
+    def test_tro_chain_mixing(self):
+        chain = tro_birth_death_chain(2.0, 1.0, 3.5)
+        t_mix = time_to_stationarity(chain, tolerance=0.01)
+        assert 0.0 < t_mix < 100.0
+
+
+class TestWarmupRecommendation:
+    def test_default_warmup_covers_paper_devices(self):
+        """The DES default warmup (40 time units) must exceed the mixing
+        time of the slowest-mixing devices in the theoretical settings."""
+        worst = 0.0
+        # Slow mixing happens near θ = 1 with large thresholds.
+        for a, s, x in [(1.0, 1.0, 8.0), (0.9, 1.0, 6.0), (3.0, 1.1, 5.0)]:
+            worst = max(worst, warmup_recommendation(a, s, x, tolerance=0.02))
+        from repro.simulation.measurement import MeasurementConfig
+        assert MeasurementConfig().warmup >= worst
+
+    def test_light_load_mixes_fast(self):
+        fast = warmup_recommendation(0.2, 5.0, 2.0)
+        slow = warmup_recommendation(1.0, 1.0, 8.0)
+        assert fast < slow

@@ -1,0 +1,240 @@
+"""Tests for repro.core.tro — the Eq. (7)/(8) closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tro import (
+    average_queue_length,
+    empty_probability,
+    occupancy_distribution,
+    offload_probability,
+    queue_and_offload,
+)
+from repro.queueing.birth_death import tro_birth_death_chain
+
+
+def _numeric_reference(threshold: float, intensity: float):
+    """Independent Q/α/π₀ via the generic birth–death solver."""
+    chain = tro_birth_death_chain(intensity, 1.0, threshold)
+    pi = chain.stationary_distribution()
+    k = int(math.floor(threshold))
+    delta = threshold - k
+    alpha = pi[k] * (1.0 - delta) + (pi[k + 1] if len(pi) > k + 1 else 0.0)
+    return chain.mean_state(), alpha, pi[0]
+
+
+class TestClosedFormsAgainstChain:
+    @pytest.mark.parametrize("intensity", [0.3, 0.9, 1.0, 1.5, 4.0, 8.0])
+    @pytest.mark.parametrize("threshold", [0.0, 0.4, 1.0, 2.5, 3.7, 10.0])
+    def test_grid(self, intensity, threshold):
+        q_ref, alpha_ref, pi0_ref = _numeric_reference(threshold, intensity)
+        assert average_queue_length(threshold, intensity) == pytest.approx(
+            q_ref, abs=1e-9
+        )
+        assert offload_probability(threshold, intensity) == pytest.approx(
+            alpha_ref, abs=1e-9
+        )
+        assert empty_probability(threshold, intensity) == pytest.approx(
+            pi0_ref, abs=1e-9
+        )
+
+    @given(
+        threshold=st.floats(0.0, 60.0),
+        intensity=st.floats(0.05, 12.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_agreement(self, threshold, intensity):
+        q_ref, alpha_ref, _ = _numeric_reference(threshold, intensity)
+        q, alpha = queue_and_offload(threshold, intensity)
+        assert q == pytest.approx(q_ref, rel=1e-6, abs=1e-9)
+        assert alpha == pytest.approx(alpha_ref, rel=1e-6, abs=1e-9)
+
+    @given(
+        threshold=st.floats(0.0, 200.0),
+        delta=st.floats(-1e-3, 1e-3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_near_one_intensities(self, threshold, delta):
+        """The θ ≈ 1 regime (where the naive formulas blow up)."""
+        intensity = 1.0 + delta
+        if intensity <= 0:
+            return
+        q_ref, alpha_ref, _ = _numeric_reference(threshold, intensity)
+        q, alpha = queue_and_offload(threshold, intensity)
+        assert q == pytest.approx(q_ref, rel=1e-4, abs=1e-7)
+        assert alpha == pytest.approx(alpha_ref, rel=1e-4, abs=1e-9)
+
+
+class TestPaperValues:
+    def test_theta_one_formulas(self):
+        """Paper Eq. (7)/(8) second branches at θ = 1."""
+        x = 3.3
+        k = 3
+        assert average_queue_length(x, 1.0) == pytest.approx(
+            (k + 1) * (2 * x - k) / (2 * (x + 1))
+        )
+        assert offload_probability(x, 1.0) == pytest.approx(1.0 / (x + 1))
+
+    def test_threshold_zero(self):
+        """x = 0: everything offloaded, empty queue."""
+        assert offload_probability(0.0, 2.0) == 1.0
+        assert average_queue_length(0.0, 2.0) == 0.0
+        assert empty_probability(0.0, 2.0) == 1.0
+
+    def test_integer_threshold_is_mm1k(self):
+        """Integer x with θ < 1 reduces to an M/M/1/K loss system."""
+        from repro.queueing.mm1 import (
+            mm1k_blocking_probability,
+            mm1k_mean_queue_length,
+        )
+        theta, k = 0.7, 4
+        assert offload_probability(float(k), theta) == pytest.approx(
+            mm1k_blocking_probability(theta, k)
+        )
+        assert average_queue_length(float(k), theta) == pytest.approx(
+            mm1k_mean_queue_length(theta, k)
+        )
+
+
+class TestMonotonicityAndBounds:
+    @given(
+        intensity=st.floats(0.05, 10.0),
+        x1=st.floats(0.0, 30.0),
+        x2=st.floats(0.0, 30.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_alpha_nonincreasing_q_nondecreasing_in_x(self, intensity, x1, x2):
+        lo, hi = min(x1, x2), max(x1, x2)
+        a_lo = offload_probability(lo, intensity)
+        a_hi = offload_probability(hi, intensity)
+        assert a_hi <= a_lo + 1e-9
+        q_lo = average_queue_length(lo, intensity)
+        q_hi = average_queue_length(hi, intensity)
+        assert q_hi >= q_lo - 1e-9
+
+    @given(
+        threshold=st.floats(0.0, 50.0),
+        intensity=st.floats(0.05, 10.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_bounds(self, threshold, intensity):
+        q, alpha = queue_and_offload(threshold, intensity)
+        assert 0.0 <= alpha <= 1.0 + 1e-12
+        assert -1e-12 <= q <= threshold + 1.0
+        pi0 = empty_probability(threshold, intensity)
+        assert 0.0 <= pi0 <= 1.0 + 1e-12
+
+    def test_continuity_in_threshold(self):
+        """Q and α are continuous across integer thresholds (Fig. 2)."""
+        for theta in (0.5, 1.0, 4.0):
+            for k in (1, 2, 5):
+                below = queue_and_offload(k - 1e-9, theta)
+                above = queue_and_offload(k + 1e-9, theta)
+                assert below[0] == pytest.approx(above[0], abs=1e-6)
+                assert below[1] == pytest.approx(above[1], abs=1e-6)
+
+    def test_alpha_limit_large_threshold_stable(self):
+        """θ < 1: a huge threshold admits (almost) everything."""
+        assert offload_probability(200.0, 0.5) < 1e-12
+
+    def test_alpha_limit_large_threshold_overloaded(self):
+        """θ > 1: at best a fraction 1/θ can be served locally."""
+        alpha = offload_probability(500.0, 2.0)
+        assert alpha == pytest.approx(1.0 - 1.0 / 2.0, abs=1e-9)
+
+
+class TestVectorized:
+    def test_matches_scalar_loop(self, rng):
+        thresholds = rng.uniform(0.0, 12.0, size=200)
+        intensities = rng.uniform(0.1, 6.0, size=200)
+        q_vec, a_vec = queue_and_offload(thresholds, intensities)
+        for i in range(200):
+            q_s, a_s = queue_and_offload(float(thresholds[i]), float(intensities[i]))
+            assert q_vec[i] == pytest.approx(q_s, rel=1e-12)
+            assert a_vec[i] == pytest.approx(a_s, rel=1e-12)
+
+    def test_broadcasting_scalar_threshold(self):
+        intensities = np.array([0.5, 1.0, 2.0])
+        q = average_queue_length(2.0, intensities)
+        assert q.shape == (3,)
+
+    def test_no_overflow_large_theta_large_threshold(self):
+        """θ = 50 with x = 300 must not overflow (θ^x ~ 10^509).
+
+        Gradual underflow to 0 is fine (and intended) — only overflow,
+        invalid operations, and division by zero are trapped here.
+        """
+        with np.errstate(over="raise", invalid="raise", divide="raise"):
+            q, alpha = queue_and_offload(300.0, 50.0)
+        assert alpha == pytest.approx(1.0 - 1.0 / 50.0, abs=1e-9)
+        # Mass piles up at the buffer top: Q → k − 1/(θ−1) for θ >> 1, δ = 0.
+        assert q == pytest.approx(300.0 - 1.0 / 49.0, abs=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            average_queue_length(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            offload_probability(1.0, 0.0)
+
+
+class TestOccupancyDistribution:
+    @pytest.mark.parametrize("intensity", [0.4, 1.0, 3.0])
+    @pytest.mark.parametrize("threshold", [0.0, 1.5, 4.0])
+    def test_matches_chain(self, intensity, threshold):
+        chain = tro_birth_death_chain(intensity, 1.0, threshold)
+        expected = chain.stationary_distribution()
+        pi = occupancy_distribution(threshold, intensity)
+        assert np.allclose(pi, expected, atol=1e-10)
+
+    def test_sums_to_one(self):
+        pi = occupancy_distribution(7.3, 2.5)
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi.shape == (9,)
+
+    def test_consistency_with_moments(self):
+        threshold, intensity = 4.6, 1.7
+        pi = occupancy_distribution(threshold, intensity)
+        q = float(np.dot(np.arange(pi.size), pi))
+        assert q == pytest.approx(average_queue_length(threshold, intensity),
+                                  abs=1e-10)
+
+    def test_large_theta_no_overflow(self):
+        with np.errstate(over="raise", invalid="raise", divide="raise"):
+            pi = occupancy_distribution(100.0, 30.0)
+        assert pi.sum() == pytest.approx(1.0)
+        # Mass concentrates at the top of the buffer when θ >> 1.
+        assert pi[-2] > 0.9
+
+
+class TestQueueLengthVariance:
+    def test_zero_at_threshold_zero(self):
+        from repro.core.tro import queue_length_variance
+        assert queue_length_variance(0.0, 3.0) == 0.0
+
+    def test_matches_distribution_moments(self):
+        from repro.core.tro import queue_length_variance
+        threshold, intensity = 4.3, 1.7
+        pi = occupancy_distribution(threshold, intensity)
+        states = np.arange(pi.size)
+        expected = float(np.dot(states**2, pi) - np.dot(states, pi) ** 2)
+        assert queue_length_variance(threshold, intensity) == \
+            pytest.approx(expected, abs=1e-12)
+
+    def test_bounded_buffer_bounds_variance(self):
+        """Variance on a buffer of size k+1 cannot exceed ((k+1)/2)²."""
+        from repro.core.tro import queue_length_variance
+        for threshold in (1.0, 3.5, 6.0):
+            k_plus_1 = math.floor(threshold) + 1
+            variance = queue_length_variance(threshold, 1.0)
+            assert 0.0 <= variance <= (k_plus_1 / 2.0) ** 2 + 1e-9
+
+    def test_heavy_traffic_concentrates(self):
+        """θ >> 1 pins the queue to the buffer top: variance shrinks."""
+        from repro.core.tro import queue_length_variance
+        moderate = queue_length_variance(5.0, 1.0)
+        heavy = queue_length_variance(5.0, 20.0)
+        assert heavy < moderate

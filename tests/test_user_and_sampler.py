@@ -1,0 +1,195 @@
+"""Tests for repro.population.user and repro.population.sampler."""
+
+import numpy as np
+import pytest
+
+from repro.population.distributions import Deterministic, Empirical, Uniform
+from repro.population.sampler import Population, PopulationConfig, sample_population
+from repro.population.user import UserProfile
+
+
+class TestUserProfile:
+    def test_intensity(self, example_user):
+        assert example_user.intensity == pytest.approx(2.0)
+
+    def test_mean_service_time(self, example_user):
+        assert example_user.mean_service_time == pytest.approx(1.0)
+
+    def test_offload_surcharge(self, example_user):
+        # g + τ + w (p_E − p_L) = 0.5 + 1 + (1 − 3) = −0.5
+        assert example_user.offload_surcharge(0.5) == pytest.approx(-0.5)
+
+    def test_frozen(self, example_user):
+        with pytest.raises(AttributeError):
+            example_user.arrival_rate = 5.0
+
+    def test_with_threshold_inputs(self, example_user):
+        other = example_user.with_threshold_inputs(arrival_rate=4.0)
+        assert other.arrival_rate == 4.0
+        assert other.service_rate == example_user.service_rate
+
+    @pytest.mark.parametrize("field,value", [
+        ("arrival_rate", 0.0),
+        ("service_rate", -1.0),
+        ("offload_latency", -0.1),
+        ("energy_local", -1.0),
+        ("weight", 0.0),
+    ])
+    def test_validation(self, field, value):
+        kwargs = dict(arrival_rate=1.0, service_rate=1.0, offload_latency=0.5,
+                      energy_local=1.0, energy_offload=0.5, weight=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            UserProfile(**kwargs)
+
+
+class TestPopulationConfig:
+    def test_requires_amax_below_capacity(self):
+        with pytest.raises(ValueError, match="A_max < c"):
+            PopulationConfig(
+                arrival=Uniform(0.0, 10.0),
+                service=Uniform(1.0, 5.0),
+                latency=Uniform(0.0, 1.0),
+                energy_local=Uniform(0.0, 3.0),
+                energy_offload=Uniform(0.0, 1.0),
+                capacity=10.0,
+            )
+
+    def test_rejects_negative_arrival_support(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PopulationConfig(
+                arrival=Uniform(-1.0, 4.0),
+                service=Uniform(1.0, 5.0),
+                latency=Uniform(0.0, 1.0),
+                energy_local=Uniform(0.0, 3.0),
+                energy_offload=Uniform(0.0, 1.0),
+                capacity=10.0,
+            )
+
+    def test_rejects_zero_service_support(self):
+        with pytest.raises(ValueError, match="service"):
+            PopulationConfig(
+                arrival=Uniform(0.0, 4.0),
+                service=Uniform(0.0, 5.0),
+                latency=Uniform(0.0, 1.0),
+                energy_local=Uniform(0.0, 3.0),
+                energy_offload=Uniform(0.0, 1.0),
+                capacity=10.0,
+            )
+
+    def test_describe(self, theoretical_config_small):
+        text = theoretical_config_small.describe()
+        assert "c=10" in text and "Uniform" in text
+
+
+class TestSamplePopulation:
+    def test_size_and_bounds(self, theoretical_config_small):
+        pop = sample_population(theoretical_config_small, 300, rng=0)
+        assert pop.size == 300
+        assert len(pop) == 300
+        assert np.all(pop.arrival_rates > 0)
+        assert np.all(pop.arrival_rates < 10.0)
+        assert np.all((pop.service_rates >= 1.0) & (pop.service_rates <= 5.0))
+        assert np.all(pop.weights == 1.0)
+
+    def test_deterministic_under_seed(self, theoretical_config_small):
+        a = sample_population(theoretical_config_small, 50, rng=3)
+        b = sample_population(theoretical_config_small, 50, rng=3)
+        assert np.array_equal(a.arrival_rates, b.arrival_rates)
+
+    def test_resampling_keeps_rates_positive(self):
+        """Empirical data containing a value ≥ c must be resampled away."""
+        config = PopulationConfig(
+            arrival=Empirical([0.5, 1.0, 9.999]),
+            service=Uniform(1.0, 5.0),
+            latency=Uniform(0.0, 1.0),
+            energy_local=Uniform(0.0, 3.0),
+            energy_offload=Uniform(0.0, 1.0),
+            capacity=10.0,
+        )
+        pop = sample_population(config, 200, rng=0)
+        assert np.all(pop.arrival_rates < 10.0)
+
+    def test_impossible_resampling_raises(self):
+        config = PopulationConfig(
+            arrival=Deterministic(0.0),     # always violates a > 0
+            service=Uniform(1.0, 5.0),
+            latency=Uniform(0.0, 1.0),
+            energy_local=Uniform(0.0, 3.0),
+            energy_offload=Uniform(0.0, 1.0),
+            capacity=10.0,
+        )
+        with pytest.raises(RuntimeError, match="resampling"):
+            sample_population(config, 10, rng=0, max_resample_rounds=5)
+
+    def test_rejects_zero_users(self, theoretical_config_small):
+        with pytest.raises(ValueError):
+            sample_population(theoretical_config_small, 0)
+
+
+class TestPopulation:
+    def test_intensities(self, small_population):
+        expected = small_population.arrival_rates / small_population.service_rates
+        assert np.allclose(small_population.intensities, expected)
+
+    def test_offload_surcharges(self, small_population):
+        surcharges = small_population.offload_surcharges(0.9)
+        expected = (0.9 + small_population.offload_latencies
+                    + small_population.weights
+                    * (small_population.energy_offload
+                       - small_population.energy_local))
+        assert np.allclose(surcharges, expected)
+
+    def test_profile_roundtrip(self, small_population):
+        profile = small_population.profile(17)
+        assert profile.arrival_rate == small_population.arrival_rates[17]
+        assert profile.intensity == pytest.approx(small_population.intensities[17])
+
+    def test_profiles_iterator(self, small_population):
+        profiles = list(small_population.profiles())
+        assert len(profiles) == small_population.size
+
+    def test_subset(self, small_population):
+        sub = small_population.subset(np.arange(10))
+        assert sub.size == 10
+        assert sub.capacity == small_population.capacity
+        assert np.array_equal(sub.arrival_rates, small_population.arrival_rates[:10])
+
+    def test_from_profiles(self):
+        profiles = [
+            UserProfile(arrival_rate=1.0, service_rate=2.0, offload_latency=0.1,
+                        energy_local=1.0, energy_offload=0.5),
+            UserProfile(arrival_rate=2.0, service_rate=1.0, offload_latency=0.2,
+                        energy_local=2.0, energy_offload=0.3),
+        ]
+        pop = Population.from_profiles(profiles, capacity=5.0)
+        assert pop.size == 2
+        assert pop.profile(1).arrival_rate == 2.0
+
+    def test_from_profiles_empty_raises(self):
+        with pytest.raises(ValueError):
+            Population.from_profiles([], capacity=5.0)
+
+    def test_rejects_rate_at_capacity(self):
+        with pytest.raises(ValueError, match="a_n < c"):
+            Population(
+                arrival_rates=np.array([5.0]),
+                service_rates=np.array([1.0]),
+                offload_latencies=np.array([0.1]),
+                energy_local=np.array([1.0]),
+                energy_offload=np.array([0.5]),
+                weights=np.array([1.0]),
+                capacity=5.0,
+            )
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Population(
+                arrival_rates=np.array([1.0, 2.0]),
+                service_rates=np.array([1.0]),
+                offload_latencies=np.array([0.1, 0.2]),
+                energy_local=np.array([1.0, 1.0]),
+                energy_offload=np.array([0.5, 0.5]),
+                weights=np.array([1.0, 1.0]),
+                capacity=5.0,
+            )

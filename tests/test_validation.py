@@ -1,0 +1,118 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_int_non_negative,
+    check_int_positive,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_accepts_int(self):
+        assert check_positive("x", 3) == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", math.inf)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckUnitInterval:
+    def test_open_left_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_unit_interval("x", 0.0, open_left=True)
+
+    def test_open_right_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_unit_interval("x", 1.0, open_right=True)
+
+    def test_closed_accepts_endpoints(self):
+        assert check_unit_interval("x", 0.0) == 0.0
+        assert check_unit_interval("x", 1.0) == 1.0
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("x", 5.0, 1.0, 10.0) == 5.0
+
+    def test_accepts_boundaries(self):
+        assert check_in_range("x", 1.0, 1.0, 10.0) == 1.0
+        assert check_in_range("x", 10.0, 1.0, 10.0) == 10.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.5, 1.0, 10.0)
+
+
+class TestIntCheckers:
+    def test_int_positive_accepts(self):
+        assert check_int_positive("n", 3) == 3
+
+    def test_int_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_int_positive("n", 0)
+
+    def test_int_positive_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_int_positive("n", 3.0)
+
+    def test_int_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_int_positive("n", True)
+
+    def test_int_non_negative_accepts_zero(self):
+        assert check_int_non_negative("n", 0) == 0
+
+    def test_int_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_int_non_negative("n", -1)
