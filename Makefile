@@ -23,6 +23,10 @@ examples:
 		python $$script || exit 1; \
 	done
 
+lint:
+	python -m compileall -q src tests benchmarks examples
+	PYTHONPATH=src python -m pytest --collect-only -q > /dev/null
+
 clean:
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

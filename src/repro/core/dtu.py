@@ -31,6 +31,8 @@ from typing import List, Optional, Protocol
 import numpy as np
 
 from repro.core.meanfield import MeanFieldMap
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import (
     check_int_positive,
@@ -126,6 +128,7 @@ def run_dtu(
     config: Optional[DtuConfig] = None,
     oracle: Optional[UtilizationOracle] = None,
     initial_estimate: float = 0.0,
+    recorder: Optional[Recorder] = None,
 ) -> DtuResult:
     """Run Algorithm 1 on ``mean_field``.
 
@@ -143,12 +146,28 @@ def run_dtu(
     initial_estimate:
         ``γ̂_0`` (paper uses 0; other starts exercise the γ̂ > γ* branch of
         Theorem 2, cf. Fig. 4b).
+    recorder:
+        Observability sink (see :mod:`repro.obs`). Defaults to the ambient
+        recorder — the zero-overhead null recorder unless the caller opted
+        in — so the γ̂ sequence is bit-identical with tracing off.
     """
     config = config or DtuConfig()
     oracle = oracle or AnalyticUtilizationOracle(mean_field)
     check_unit_interval("initial_estimate", initial_estimate)
     rng = as_generator(config.seed)
     asynchronous = config.update_probability < 1.0
+    obs = resolve_recorder(recorder)
+    tracing = obs.enabled
+    if tracing:
+        obs.event(
+            "dtu.start",
+            initial_estimate=float(initial_estimate),
+            initial_step=config.initial_step,
+            tolerance=config.tolerance,
+            max_iterations=config.max_iterations,
+            update_probability=config.update_probability,
+            n_users=mean_field.population.size,
+        )
 
     trace = DtuTrace()
     # γ̂_{-1} = 1, γ̂_0 = initial_estimate (Algorithm 1, line 1).
@@ -160,7 +179,8 @@ def run_dtu(
     # Users start from the best response to the initial broadcast estimate;
     # the oracle then supplies γ_1.
     thresholds = mean_field.best_response(estimate_prev).astype(float)
-    actual = oracle.measure(thresholds)
+    with obs.timer("dtu.oracle_measure_seconds"):
+        actual = oracle.measure(thresholds)
     _record(trace, mean_field, estimate_prev, actual, step, thresholds, config)
 
     iterations = 0
@@ -191,13 +211,25 @@ def run_dtu(
         if t >= 2 and abs(estimate - estimate_prev2) <= _OSCILLATION_TOL:
             counter += 1
             step = config.initial_step / counter
+            if tracing:
+                obs.event("dtu.oscillation", t=t, L=counter, eta=step)
 
         # --- Eq. (6): measure the actual utilisation of the new thresholds.
-        actual = oracle.measure(thresholds)
+        with obs.timer("dtu.oracle_measure_seconds"):
+            actual = oracle.measure(thresholds)
 
         estimate_prev2, estimate_prev = estimate_prev, estimate
         _record(trace, mean_field, estimate, actual, step, thresholds, config)
+        if tracing:
+            obs.count("dtu.iterations")
+            obs.event("dtu.iteration", t=t, gamma_hat=estimate, gamma=actual,
+                      eta=step, L=counter)
 
+    if tracing:
+        obs.gauge("dtu.gamma_hat", estimate_prev)
+        obs.gauge("dtu.gamma", actual)
+        obs.event("dtu.done", iterations=iterations, converged=converged,
+                  gamma_hat=estimate_prev, gamma=actual, L=counter)
     return DtuResult(
         estimated_utilization=estimate_prev,
         actual_utilization=actual,

@@ -14,9 +14,11 @@ estimated-utilisation trick).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.meanfield import MeanFieldMap
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
 from repro.utils.validation import check_int_positive, check_positive
 
 
@@ -44,6 +46,7 @@ def solve_mfne(
     max_iterations: int = 200,
     method: str = "bisection",
     damping: float = 0.5,
+    recorder: Optional[Recorder] = None,
 ) -> MfneResult:
     """Solve ``V(γ) = γ`` for the unique MFNE of Theorem 1.
 
@@ -56,18 +59,30 @@ def solve_mfne(
     method:
         ``"bisection"`` (guaranteed, default) or ``"damped"`` (fixed-point
         iteration ``γ ← (1−d)γ + d·V(γ)``, for ablations).
+    recorder:
+        Observability sink (see :mod:`repro.obs`); defaults to the ambient
+        recorder. Convergence traces are emitted as ``mfne.*`` events.
     """
     check_positive("tolerance", tolerance)
     check_int_positive("max_iterations", max_iterations)
+    obs = resolve_recorder(recorder)
     if method == "bisection":
-        return _solve_bisection(mean_field, tolerance, max_iterations)
-    if method == "damped":
-        return _solve_damped(mean_field, tolerance, max_iterations, damping)
-    raise ValueError(f"unknown method {method!r}; use 'bisection' or 'damped'")
+        result = _solve_bisection(mean_field, tolerance, max_iterations, obs)
+    elif method == "damped":
+        result = _solve_damped(mean_field, tolerance, max_iterations, damping, obs)
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'bisection' or 'damped'")
+    if obs.enabled:
+        obs.gauge("mfne.gamma_star", result.utilization)
+        obs.event("mfne.done", method=result.method,
+                  gamma_star=result.utilization, residual=result.residual,
+                  iterations=result.iterations, converged=result.converged)
+    return result
 
 
 def _solve_bisection(
-    mean_field: MeanFieldMap, tolerance: float, max_iterations: int
+    mean_field: MeanFieldMap, tolerance: float, max_iterations: int,
+    obs: Recorder,
 ) -> MfneResult:
     history: List[float] = []
     v0 = mean_field.value(0.0)
@@ -88,14 +103,21 @@ def _solve_bisection(
             "V(1) >= 1: the model violates A_max < c and has no interior MFNE"
         )
     iterations = 0
+    tracing = obs.enabled
     while high - low > tolerance and iterations < max_iterations:
         mid = 0.5 * (low + high)
         history.append(mid)
-        if mean_field.value(mid) > mid:
+        value_mid = mean_field.value(mid)
+        if value_mid > mid:
             low = mid
         else:
             high = mid
         iterations += 1
+        if tracing:
+            obs.count("mfne.bisection_steps")
+            obs.event("mfne.bisection_step", iteration=iterations, mid=mid,
+                      value=value_mid, low=low, high=high,
+                      bracket=high - low)
     gamma = 0.5 * (low + high)
     value = mean_field.value(gamma)
     return MfneResult(
@@ -114,9 +136,11 @@ def _solve_damped(
     tolerance: float,
     max_iterations: int,
     damping: float,
+    obs: Recorder,
 ) -> MfneResult:
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
+    tracing = obs.enabled
     gamma = 0.0
     history: List[float] = [gamma]
     converged = False
@@ -126,6 +150,11 @@ def _solve_damped(
         value = mean_field.value(gamma)
         new_gamma = (1.0 - damping) * gamma + damping * value
         history.append(new_gamma)
+        if tracing:
+            obs.count("mfne.damped_steps")
+            obs.event("mfne.damped_step", iteration=iterations,
+                      gamma=new_gamma, value=value,
+                      residual=abs(new_gamma - gamma))
         if abs(new_gamma - gamma) <= tolerance:
             gamma = new_gamma
             converged = True

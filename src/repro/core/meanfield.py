@@ -28,6 +28,7 @@ from repro.core.best_response import best_response_thresholds
 from repro.core.cost import population_average_cost, population_costs
 from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
 from repro.core.tro import queue_and_offload
+from repro.obs.context import get_recorder
 from repro.population.sampler import Population
 from repro.utils.validation import check_probability
 
@@ -70,7 +71,14 @@ class MeanFieldMap:
 
     def value(self, utilization: float) -> float:
         """The best-response map ``V(γ) = J1(J2(γ))`` (Eq. 9)."""
-        return self.utilization(self.best_response(utilization))
+        obs = get_recorder()
+        if not obs.enabled:
+            return self.utilization(self.best_response(utilization))
+        with obs.timer("meanfield.value_seconds"):
+            result = self.utilization(self.best_response(utilization))
+        obs.count("meanfield.value_evaluations")
+        obs.observe("meanfield.value", result)
+        return result
 
     def average_cost(
         self, utilization: float, thresholds: Optional[ArrayLike] = None

@@ -2,8 +2,17 @@
 
 Usage::
 
-    python -m repro.experiments            # quick pass (~1 minute)
-    python -m repro.experiments --full     # paper-scale populations
+    python -m repro.experiments                    # quick pass (~1 minute)
+    python -m repro.experiments --full             # paper-scale populations
+    python -m repro.experiments fig2 --trace out/  # observed run: JSONL
+                                                   # events + metrics +
+                                                   # manifest in out/
+
+``--trace DIR`` turns the whole run into an observed run: a
+:class:`~repro.obs.manifest.RunManifest`, an ``events.jsonl`` event trace
+and a ``metrics.json`` snapshot land in DIR, summarisable afterwards with
+``python -m repro.obs.report DIR``. ``--metrics`` prints the metrics table
+at the end without writing files; ``--quiet`` silences the human output.
 
 The ``benchmarks/`` directory runs the same experiments under
 pytest-benchmark with per-artifact timing.
@@ -15,6 +24,15 @@ import argparse
 import sys
 import time
 
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    ObsRecorder,
+    RunManifest,
+    StructuredLogger,
+    Tracer,
+    use_recorder,
+)
 from repro.experiments import (
     ablations,
     edge_model,
@@ -44,6 +62,9 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate every table and figure of the paper.",
     )
+    parser.add_argument("artifacts", nargs="*", metavar="ARTIFACT",
+                        help="artifact names to run (default: all), "
+                             "e.g. 'fig2 table1'")
     parser.add_argument("--full", action="store_true",
                         help="use paper-scale populations (slower)")
     parser.add_argument("--seed", type=int, default=0)
@@ -52,6 +73,13 @@ def main(argv=None) -> int:
     parser.add_argument("--export", type=str, default=None, metavar="DIR",
                         help="also write each exportable artifact to "
                              "DIR/<name>.csv and DIR/<name>.json")
+    parser.add_argument("--trace", type=str, default=None, metavar="DIR",
+                        help="write manifest.json, events.jsonl and "
+                             "metrics.json to DIR (see repro.obs.report)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect metrics and print the table at the end")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress human-readable stdout output")
     parser.add_argument("--list", action="store_true",
                         help="list the available artifact names and exit")
     args = parser.parse_args(argv)
@@ -110,9 +138,14 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    selected = list(jobs) if args.only is None else [
-        name.strip() for name in args.only.split(",")
-    ]
+    if args.artifacts and args.only is not None:
+        parser.error("give artifacts positionally or via --only, not both")
+    if args.artifacts:
+        selected = list(args.artifacts)
+    elif args.only is not None:
+        selected = [name.strip() for name in args.only.split(",")]
+    else:
+        selected = list(jobs)
     unknown = [name for name in selected if name not in jobs]
     if unknown:
         parser.error(f"unknown artifacts: {', '.join(unknown)}")
@@ -123,14 +156,51 @@ def main(argv=None) -> int:
         export_dir = Path(args.export)
         export_dir.mkdir(parents=True, exist_ok=True)
 
-    for name in selected:
-        started = time.perf_counter()
-        result = jobs[name]()
-        elapsed = time.perf_counter() - started
-        print(f"\n{'=' * 72}\n[{name}] ({elapsed:.1f}s)\n{'=' * 72}")
-        print(result)
-        if export_dir is not None:
-            _export(result, name, export_dir)
+    # --- observability: --trace writes a full trace directory, --metrics
+    # collects in memory only; both flow through one ObsRecorder.
+    recorder = NULL_RECORDER
+    tracer = None
+    trace_dir = None
+    if args.trace is not None:
+        from pathlib import Path
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest.capture(
+            seed=args.seed,
+            config={"full": args.full, "artifacts": selected},
+        )
+        manifest.save(trace_dir / "manifest.json")
+        tracer = Tracer(trace_dir / "events.jsonl", run_id=manifest.run_id)
+        recorder = ObsRecorder(MetricsRegistry(), tracer)
+    elif args.metrics:
+        recorder = ObsRecorder(MetricsRegistry())
+
+    log = StructuredLogger(quiet=args.quiet, recorder=recorder)
+    try:
+        with use_recorder(recorder):
+            for name in selected:
+                started = time.perf_counter()
+                result = jobs[name]()
+                elapsed = time.perf_counter() - started
+                if recorder.enabled:
+                    recorder.observe("experiments.artifact_seconds", elapsed)
+                    recorder.event("artifact.completed", name=name,
+                                   seconds=elapsed)
+                log.section(f"[{name}] ({elapsed:.1f}s)")
+                log.raw(str(result))
+                if export_dir is not None:
+                    _export(result, name, export_dir)
+    finally:
+        if tracer is not None:
+            recorder.registry.save(trace_dir / "metrics.json")
+            tracer.close()
+    if args.metrics and recorder.enabled:
+        rendered = recorder.registry.render()
+        if rendered:
+            print(f"\n{rendered}")
+    if trace_dir is not None and not args.quiet:
+        print(f"\ntrace written to {trace_dir} "
+              f"(summarise with: python -m repro.obs.report {trace_dir})")
     return 0
 
 

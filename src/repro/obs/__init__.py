@@ -1,0 +1,66 @@
+"""repro.obs — observability: metrics, tracing, manifests, reporting.
+
+The subsystem has four layers:
+
+* **metrics** — :class:`MetricsRegistry` with counters, gauges, histograms
+  and ``timer()`` context managers;
+* **tracing** — :class:`Tracer` appends structured JSONL events (run id,
+  wall-clock + monotonic timestamps) and :class:`RunManifest` captures the
+  reproducibility envelope (seed, config, git SHA, environment);
+* **recording** — the :class:`Recorder` facade instrumented code calls.
+  The default is the zero-overhead :data:`NULL_RECORDER`; an
+  :class:`ObsRecorder` fans out to a registry and tracer. The ambient
+  recorder (:func:`get_recorder` / :func:`use_recorder`) lets a CLI flag
+  switch the whole process on without threading arguments everywhere;
+* **reporting** — :func:`repro.obs.report.summarize` (also
+  ``python -m repro.obs.report DIR``) renders a trace directory back into
+  ASCII tables.
+
+Instrumentation is opt-in everywhere: with the null recorder installed,
+solver and simulator outputs are bit-identical to uninstrumented code.
+"""
+
+from repro.obs.context import get_recorder, resolve_recorder, use_recorder
+from repro.obs.log import StructuredLogger
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+)
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, ObsRecorder, Recorder
+from repro.obs.tracer import Tracer, new_run_id, read_events
+
+
+def summarize(trace_dir):
+    """Render a ``--trace`` directory as ASCII tables.
+
+    Thin lazy wrapper around :func:`repro.obs.report.summarize` so that
+    ``python -m repro.obs.report`` does not double-import the module.
+    """
+    from repro.obs.report import summarize as _summarize
+    return _summarize(trace_dir)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsRecorder",
+    "Recorder",
+    "RunManifest",
+    "StructuredLogger",
+    "Tracer",
+    "get_recorder",
+    "git_revision",
+    "new_run_id",
+    "read_events",
+    "render_snapshot",
+    "resolve_recorder",
+    "summarize",
+    "use_recorder",
+]

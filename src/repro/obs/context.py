@@ -1,0 +1,51 @@
+"""The ambient recorder: process-wide opt-in observability.
+
+Threading a recorder argument through every experiment signature would
+touch dozens of call sites per PR; instead the instrumented layers resolve
+their default recorder from an ambient slot:
+
+>>> from repro.obs import MetricsRegistry, ObsRecorder, get_recorder, use_recorder
+>>> get_recorder()
+NullRecorder()
+>>> recorder = ObsRecorder(MetricsRegistry())
+>>> with use_recorder(recorder):
+...     get_recorder() is recorder
+True
+>>> get_recorder()
+NullRecorder()
+
+Every hook also accepts an explicit ``recorder=`` argument that overrides
+the ambient one, so tests and libraries can instrument a single call
+without global state.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
+_ambient: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The current ambient recorder (the null recorder by default)."""
+    return _ambient
+
+
+def resolve_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """An explicit recorder if given, else the ambient one."""
+    return recorder if recorder is not None else _ambient
+
+
+@contextmanager
+def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Install ``recorder`` as the ambient recorder within the block."""
+    global _ambient
+    previous = _ambient
+    _ambient = recorder
+    try:
+        yield recorder
+    finally:
+        _ambient = previous

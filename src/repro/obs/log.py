@@ -1,0 +1,69 @@
+"""A structured logger that keeps human output stable.
+
+The experiments runner historically spoke to humans through bare
+``print()``. :class:`StructuredLogger` keeps that contract — by default it
+writes the exact same text to stdout — while adding two things on top:
+
+* ``--quiet`` support: human output can be suppressed wholesale;
+* structured duplication: every log line is also emitted as a ``log``
+  event through a :class:`~repro.obs.recorder.Recorder`, so a trace
+  directory contains the run's narration alongside its metrics.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
+
+class StructuredLogger:
+    """Human-format logging with an optional structured mirror."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        quiet: bool = False,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        self.stream = stream if stream is not None else sys.stdout
+        self.quiet = quiet
+        self.recorder = recorder
+
+    def _write(self, text: str) -> None:
+        if not self.quiet:
+            self.stream.write(text + "\n")
+
+    def info(self, message: str, **fields) -> None:
+        """One human-readable line plus a structured ``log`` event."""
+        self._write(message)
+        if self.recorder.enabled:
+            self.recorder.event("log", level="info", message=message, **fields)
+
+    def warning(self, message: str, **fields) -> None:
+        """Warnings print even under ``--quiet`` (to stderr)."""
+        if self.quiet:
+            sys.stderr.write(message + "\n")
+        else:
+            self._write(message)
+        if self.recorder.enabled:
+            self.recorder.event("log", level="warning", message=message, **fields)
+
+    def section(self, heading: str, width: int = 72) -> None:
+        """The runner's banner: a blank line, a rule, the heading, a rule."""
+        self._write(f"\n{'=' * width}\n{heading}\n{'=' * width}")
+        if self.recorder.enabled:
+            self.recorder.event("log", level="section", message=heading)
+
+    def raw(self, text: str) -> None:
+        """Verbatim multi-line payloads (experiment result tables).
+
+        Only a compact summary (first line, total length) goes to the
+        trace — result tables are exported separately via ``--export``.
+        """
+        self._write(text)
+        if self.recorder.enabled:
+            first_line = text.split("\n", 1)[0]
+            self.recorder.event("log", level="raw", message=first_line,
+                                chars=len(text))

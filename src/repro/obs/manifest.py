@@ -1,0 +1,89 @@
+"""Run manifests: everything needed to re-run what was observed.
+
+A :class:`RunManifest` records the reproducibility envelope of one run —
+seed, resolved configuration, git revision, interpreter/platform versions
+and the command line — and serialises to ``manifest.json`` inside a trace
+directory. The git lookup is best-effort: outside a checkout (e.g. an
+installed wheel) the field is simply ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.tracer import _json_default, new_run_id
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current git SHA (with ``-dirty`` suffix), or None if unknown."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        if sha.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        dirty = "-dirty" if status.returncode == 0 and status.stdout.strip() else ""
+        return sha.stdout.strip() + dirty
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The who/what/where of one observed run."""
+
+    run_id: str
+    created: str                       # ISO-8601 UTC
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    git_sha: Optional[str] = None
+    python: str = ""
+    platform: str = ""
+    numpy: str = ""
+    argv: tuple = ()
+
+    @classmethod
+    def capture(
+        cls,
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        run_id: Optional[str] = None,
+    ) -> "RunManifest":
+        """Snapshot the current environment."""
+        import numpy
+        return cls(
+            run_id=run_id or new_run_id(),
+            created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            seed=seed,
+            config=dict(config or {}),
+            git_sha=git_revision(Path(__file__).resolve().parent),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            numpy=numpy.__version__,
+            argv=tuple(sys.argv),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(asdict(self), indent=2,
+                                   default=_json_default))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        data["argv"] = tuple(data.get("argv", ()))
+        return cls(**data)

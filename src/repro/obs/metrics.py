@@ -1,0 +1,216 @@
+"""In-memory metrics: counters, gauges, histograms, and timers.
+
+A :class:`MetricsRegistry` is a process-local metrics store in the spirit
+of Prometheus client libraries, but dependency-free and synchronous —
+exactly what a reproducible single-process experiment run needs. All
+instruments are created lazily on first use and identified by a dotted
+name (``"dtu.iterations"``, ``"meanfield.value"``). The registry can
+render itself as an aligned ASCII table and serialise to JSON so the
+:mod:`repro.obs.report` summariser can re-render it later.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move up and down; remembers its last setting."""
+
+    name: str
+    value: float = math.nan
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """Streaming summary statistics of an observed quantity.
+
+    Keeps count/sum/min/max plus the sum of squares, which is enough for
+    the mean and standard deviation without storing every sample.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return math.nan
+        variance = (self.total_sq - self.total * self.total / self.count) / (
+            self.count - 1
+        )
+        return math.sqrt(max(variance, 0.0))
+
+
+class _Timer:
+    """Context manager that feeds elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+@dataclass
+class MetricsRegistry:
+    """Lazily created named instruments with table/JSON rendering."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    # -- instrument accessors ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    # -- one-shot update helpers ---------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("stage"):`` records seconds as a histogram."""
+        return _Timer(self.histogram(name))
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict view suitable for JSON serialisation."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "updates": g.updates}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "mean": h.mean,
+                    "stddev": h.stddev,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the snapshot to ``path`` as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2,
+                                   allow_nan=True, default=float))
+        return path
+
+    def render(self) -> str:
+        """All instruments as aligned ASCII tables (empty string if none)."""
+        return render_snapshot(self.snapshot())
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot`-shaped dict as tables."""
+    blocks = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        blocks.append(format_table(
+            headers=("counter", "value"),
+            rows=sorted(counters.items()),
+            title="Counters",
+        ))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        blocks.append(format_table(
+            headers=("gauge", "value", "updates"),
+            rows=[(n, g["value"], g["updates"]) for n, g in sorted(gauges.items())],
+            title="Gauges",
+        ))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        blocks.append(format_table(
+            headers=("histogram", "count", "mean", "stddev", "min", "max", "sum"),
+            rows=[
+                (n, h["count"],
+                 h["mean"], h["stddev"],
+                 "—" if h["min"] is None else h["min"],
+                 "—" if h["max"] is None else h["max"],
+                 h["sum"])
+                for n, h in sorted(histograms.items())
+            ],
+            title="Histograms (timers in seconds)",
+        ))
+    return "\n\n".join(blocks)

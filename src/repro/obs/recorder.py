@@ -1,0 +1,110 @@
+"""The recorder facade the instrumented hot paths talk to.
+
+Instrumentation hooks in the solvers and the simulator never touch a
+registry or a tracer directly — they call a :class:`Recorder`:
+
+* :class:`NullRecorder` is the default everywhere. Every method is a no-op
+  and ``enabled`` is False, so hot loops guard their bookkeeping with one
+  attribute check and skip it entirely. Analytic results are bit-identical
+  with observability off because the null path performs no arithmetic.
+* :class:`ObsRecorder` fans updates out to a :class:`~repro.obs.metrics.MetricsRegistry`
+  and, optionally, a :class:`~repro.obs.tracer.Tracer` — every ``event``
+  also bumps an ``events.<kind>`` counter so the metrics table doubles as
+  an event census.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Shared reusable no-op context manager for the null timer.
+_NULL_CONTEXT = nullcontext()
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What an instrumentation hook may call."""
+
+    enabled: bool
+
+    def event(self, kind: str, **payload) -> None:
+        """Record a structured event."""
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Add a sample to a histogram."""
+
+    def timer(self, name: str):
+        """Context manager timing a block into a histogram."""
+
+
+class NullRecorder:
+    """The zero-overhead disabled recorder."""
+
+    enabled = False
+
+    def event(self, kind: str, **payload) -> None:
+        pass
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def timer(self, name: str):
+        return _NULL_CONTEXT
+
+    def __repr__(self) -> str:
+        return "NullRecorder()"
+
+
+#: Module-level singleton — the default recorder everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+class ObsRecorder:
+    """An enabled recorder backed by a registry and an optional tracer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+
+    def event(self, kind: str, **payload) -> None:
+        self.registry.inc(f"events.{kind}")
+        if self.tracer is not None:
+            self.tracer.emit(kind, payload)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.registry.inc(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.observe(name, value)
+
+    def timer(self, name: str):
+        return self.registry.timer(name)
+
+    def __repr__(self) -> str:
+        traced = self.tracer.path if self.tracer is not None else None
+        return f"ObsRecorder(tracer={str(traced)!r})"

@@ -1,0 +1,105 @@
+"""Summarise a trace directory produced with ``--trace DIR``.
+
+Usage::
+
+    python -m repro.obs.report out/
+
+Reads whichever of ``manifest.json``, ``metrics.json`` and
+``events.jsonl`` exist in the directory and renders aligned ASCII tables:
+the run's reproducibility envelope, every counter/gauge/histogram, and an
+event census (count and time span per event kind). Missing files are
+skipped, so partial traces from crashed runs still summarise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.metrics import render_snapshot
+from repro.obs.tracer import read_events
+from repro.utils.tables import format_table
+
+MANIFEST_FILE = "manifest.json"
+METRICS_FILE = "metrics.json"
+EVENTS_FILE = "events.jsonl"
+
+
+def _manifest_table(path: Path) -> str:
+    data = json.loads(path.read_text())
+    rows = []
+    for key in ("run_id", "created", "seed", "git_sha", "python",
+                "platform", "numpy"):
+        if key in data:
+            rows.append((key, "—" if data[key] is None else str(data[key])))
+    if data.get("argv"):
+        rows.append(("argv", " ".join(data["argv"])))
+    for key, value in sorted((data.get("config") or {}).items()):
+        rows.append((f"config.{key}", str(value)))
+    return format_table(headers=("field", "value"), rows=rows, title="Run manifest")
+
+
+def _event_census(path: Path) -> str:
+    kinds: "OrderedDict[str, dict]" = OrderedDict()
+    total = 0
+    for record in read_events(path):
+        total += 1
+        kind = record.get("kind", "?")
+        mono = record.get("mono", 0.0)
+        entry = kinds.setdefault(kind, {"count": 0, "first": mono, "last": mono})
+        entry["count"] += 1
+        entry["last"] = mono
+    rows = [
+        (kind, e["count"], e["first"], e["last"], e["last"] - e["first"])
+        for kind, e in kinds.items()
+    ]
+    return format_table(
+        headers=("event kind", "count", "first [s]", "last [s]", "span [s]"),
+        rows=rows,
+        title=f"Event census ({total} events)",
+    )
+
+
+def summarize(trace_dir: Union[str, Path]) -> str:
+    """Render every artifact found in ``trace_dir`` as ASCII tables."""
+    trace_dir = Path(trace_dir)
+    if not trace_dir.is_dir():
+        raise FileNotFoundError(f"trace directory {trace_dir} does not exist")
+    blocks: List[str] = []
+    manifest = trace_dir / MANIFEST_FILE
+    if manifest.exists():
+        blocks.append(_manifest_table(manifest))
+    events = trace_dir / EVENTS_FILE
+    if events.exists():
+        blocks.append(_event_census(events))
+    metrics = trace_dir / METRICS_FILE
+    if metrics.exists():
+        rendered = render_snapshot(json.loads(metrics.read_text()))
+        if rendered:
+            blocks.append(rendered)
+    if not blocks:
+        return (f"{trace_dir}: no {MANIFEST_FILE}, {EVENTS_FILE} or "
+                f"{METRICS_FILE} found — nothing to summarise")
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a --trace directory as ASCII tables.",
+    )
+    parser.add_argument("trace_dir", help="directory written by --trace")
+    args = parser.parse_args(argv)
+    try:
+        print(summarize(args.trace_dir))
+    except FileNotFoundError as error:
+        parser.error(str(error))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

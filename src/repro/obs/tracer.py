@@ -1,0 +1,108 @@
+"""Structured event tracing to JSONL files.
+
+A :class:`Tracer` appends one JSON object per line to a trace file. Every
+record carries the run id, a monotonically increasing sequence number, the
+wall-clock timestamp (Unix seconds) and a monotonic timestamp relative to
+tracer creation — the pair makes both "when did this happen" and "how long
+between these two events" answerable after the fact. Payload values are
+coerced through ``float``/``int``/``str`` fallbacks so numpy scalars and
+arrays serialise without the caller thinking about it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import uuid
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+
+def _json_default(value):
+    """Serialise numpy scalars/arrays and other non-JSON types."""
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    return str(value)
+
+
+def new_run_id() -> str:
+    """A short unique id for one observed run."""
+    return uuid.uuid4().hex[:12]
+
+
+class Tracer:
+    """Append-only JSONL event writer.
+
+    Usable as a context manager; :meth:`close` flushes and releases the
+    file. Emitting after ``close`` raises.
+    """
+
+    def __init__(self, path: Union[str, Path], run_id: Optional[str] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id or new_run_id()
+        self._file: Optional[io.TextIOWrapper] = self.path.open("w")
+        self._sequence = 0
+        self._epoch_mono = time.monotonic()
+
+    @property
+    def events_emitted(self) -> int:
+        return self._sequence
+
+    def emit(self, kind: str, payload: Optional[dict] = None) -> None:
+        """Append one event record of ``kind`` with ``payload`` data."""
+        if self._file is None:
+            raise ValueError(f"tracer for {self.path} is closed")
+        record = {
+            "run": self.run_id,
+            "seq": self._sequence,
+            "wall": time.time(),
+            "mono": time.monotonic() - self._epoch_mono,
+            "kind": kind,
+        }
+        if payload:
+            record["data"] = payload
+        self._file.write(json.dumps(record, default=_json_default) + "\n")
+        self._sequence += 1
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._file is None else f"{self._sequence} events"
+        return f"Tracer({str(self.path)!r}, run={self.run_id}, {state})"
+
+
+def read_events(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield the event records of a JSONL trace file, in order.
+
+    Blank lines are skipped; a truncated final line (e.g. the process died
+    mid-write) is dropped rather than raising, so post-mortem analysis of
+    crashed runs still works.
+    """
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                return

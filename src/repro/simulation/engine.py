@@ -14,6 +14,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
+
 
 @dataclass(order=True)
 class Event:
@@ -43,11 +46,21 @@ class DiscreteEventSimulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 recorder: Optional[Recorder] = None):
         self.now = float(start_time)
         self._heap: list = []
         self._counter = itertools.count()
         self._processed = 0
+        self._scheduled = 0
+        self._cancelled_skipped = 0
+        self._max_heap_depth = 0
+        # Verbose per-run events are only emitted for engines given an
+        # explicit recorder; ambient observers get the aggregate counters
+        # and heap-depth histogram but not one event per device simulation
+        # (a system run spins up one engine per user).
+        self._obs_verbose = recorder is not None
+        self._obs = resolve_recorder(recorder)
 
     @property
     def processed_events(self) -> int:
@@ -59,6 +72,21 @@ class DiscreteEventSimulator:
         """Number of events still on the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total number of events ever pushed onto the heap."""
+        return self._scheduled
+
+    @property
+    def cancelled_events(self) -> int:
+        """Cancelled events skipped (counted when popped, not marked)."""
+        return self._cancelled_skipped
+
+    @property
+    def max_heap_depth(self) -> int:
+        """High-water mark of the event heap."""
+        return self._max_heap_depth
+
     def schedule_at(self, time: float, action: Callable[[], Any]) -> Event:
         """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
         if math.isnan(time) or time < self.now:
@@ -67,6 +95,9 @@ class DiscreteEventSimulator:
             )
         event = Event(time=float(time), sequence=next(self._counter), action=action)
         heapq.heappush(self._heap, event)
+        self._scheduled += 1
+        if len(self._heap) > self._max_heap_depth:
+            self._max_heap_depth = len(self._heap)
         return event
 
     def schedule_after(self, delay: float, action: Callable[[], Any]) -> Event:
@@ -80,6 +111,7 @@ class DiscreteEventSimulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_skipped += 1
                 continue
             self.now = event.time
             event.action()
@@ -95,17 +127,40 @@ class DiscreteEventSimulator:
         ``until`` so time-weighted statistics can close their last interval.
         """
         executed = 0
-        while self._heap:
-            if max_events is not None and executed >= max_events:
-                return
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and event.time > until:
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    self._cancelled_skipped += 1
+                    continue
+                if until is not None and event.time > until:
+                    self.now = max(self.now, until)
+                    return
+                self.step()
+                executed += 1
+            if until is not None:
                 self.now = max(self.now, until)
-                return
-            self.step()
-            executed += 1
-        if until is not None:
-            self.now = max(self.now, until)
+        finally:
+            if self._obs.enabled:
+                self._report_run(executed)
+
+    def _report_run(self, executed: int) -> None:
+        """Push this run's counters to the recorder (enabled path only)."""
+        obs = self._obs
+        obs.count("des.runs")
+        obs.count("des.events_fired", executed)
+        obs.observe("des.heap_depth_max", self._max_heap_depth)
+        if self._obs_verbose:
+            obs.event(
+                "des.run",
+                fired=executed,
+                processed_total=self._processed,
+                scheduled_total=self._scheduled,
+                cancelled_total=self._cancelled_skipped,
+                pending=len(self._heap),
+                max_heap_depth=self._max_heap_depth,
+                now=self.now,
+            )

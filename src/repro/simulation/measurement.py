@@ -51,6 +51,14 @@ class MeasurementConfig:
     def observation_time(self) -> float:
         return self.horizon - self.warmup
 
+    def describe(self) -> dict:
+        """A JSON-friendly view for trace payloads and run manifests."""
+        return {
+            "horizon": self.horizon,
+            "warmup": self.warmup,
+            "observation_time": self.observation_time,
+        }
+
 
 class ServiceModel(ABC):
     """Maps a device's mean service rate to its service-time distribution."""

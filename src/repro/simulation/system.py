@@ -39,6 +39,8 @@ from repro.simulation.measurement import (
     PoissonArrivals,
     ServiceModel,
 )
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
 from repro.utils.rng import as_generator, spawn_streams
 from repro.utils.stats import ConfidenceInterval, confidence_interval
 
@@ -82,6 +84,7 @@ def simulate_system(
     service_model: Optional[ServiceModel] = None,
     delay_model: Optional[EdgeDelayModel] = None,
     arrival_model: Optional[ArrivalModel] = None,
+    recorder: Optional[Recorder] = None,
 ) -> SystemMeasurement:
     """Simulate every device and aggregate system-level measurements.
 
@@ -89,7 +92,9 @@ def simulate_system(
     :func:`tro_policies` / :func:`dpo_policies` or the classes directly).
     ``arrival_model`` defaults to Poisson (the paper's assumption); pass a
     :class:`~repro.simulation.measurement.RenewalArrivals` for bursty or
-    regular traffic.
+    regular traffic. ``recorder`` (default: the ambient one, see
+    :mod:`repro.obs`) receives per-device queue/offload histograms and a
+    ``system.measurement`` summary event.
     """
     config = config or MeasurementConfig()
     service_model = service_model or ExponentialService()
@@ -131,7 +136,7 @@ def simulate_system(
              + queues / population.arrival_rates
              + (population.weights * population.energy_offload + edge_delay
                 + population.offload_latencies) * alpha)
-    return SystemMeasurement(
+    measurement = SystemMeasurement(
         utilization=gamma,
         edge_delay=edge_delay,
         offload_fractions=alpha,
@@ -139,6 +144,26 @@ def simulate_system(
         user_costs=costs,
         device_stats=tuple(stats),
     )
+    obs = resolve_recorder(recorder)
+    if obs.enabled:
+        obs.count("system.simulations")
+        obs.gauge("system.utilization", gamma)
+        for fraction, queue in zip(alpha, queues):
+            obs.observe("system.offload_fraction", fraction)
+            obs.observe("system.queue_length", queue)
+        obs.event(
+            "system.measurement",
+            n_users=n,
+            utilization=gamma,
+            edge_delay=edge_delay,
+            mean_offload_fraction=measurement.average_offload_fraction,
+            mean_queue_length=float(queues.mean()),
+            average_cost=measurement.average_cost,
+            service_model=repr(service_model),
+            arrival_model=repr(arrival_model),
+            protocol=config.describe(),
+        )
+    return measurement
 
 
 def tro_policies(thresholds: ArrayLike, n_users: int) -> List[AdmissionPolicy]:
@@ -223,6 +248,7 @@ class SimulatedUtilizationOracle:
         service_model: Optional[ServiceModel] = None,
         delay_model: Optional[EdgeDelayModel] = None,
         arrival_model: Optional[ArrivalModel] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.population = population
         self.config = config or MeasurementConfig()
@@ -230,6 +256,7 @@ class SimulatedUtilizationOracle:
         self.arrival_model = arrival_model or PoissonArrivals()
         self.delay_model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
         self._seed_stream = as_generator(self.config.seed)
+        self._recorder = recorder
         self.last_measurement: Optional[SystemMeasurement] = None
 
     def measure(self, thresholds: np.ndarray) -> float:
@@ -245,6 +272,12 @@ class SimulatedUtilizationOracle:
             service_model=self.service_model,
             delay_model=self.delay_model,
             arrival_model=self.arrival_model,
+            recorder=self._recorder,
         )
         self.last_measurement = measurement
+        obs = resolve_recorder(self._recorder)
+        if obs.enabled:
+            obs.count("oracle.des_measurements")
+            obs.event("oracle.measure", utilization=measurement.utilization,
+                      average_cost=measurement.average_cost)
         return measurement.utilization

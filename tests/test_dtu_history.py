@@ -1,0 +1,115 @@
+"""DTU convergence history: the recorded trace must agree with the result.
+
+Satellite coverage for PR 1: on a seeded analytic-oracle run we pin down
+(1) the per-iteration trace length, (2) the step-size halvings (the
+``L`` increments of Algorithm 1, lines 9–14), and (3) the final γ̂ —
+each cross-checked between :class:`DtuTrace`, :class:`DtuResult` and the
+``repro.obs`` event stream, with and without tracing enabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.obs import MetricsRegistry, ObsRecorder, Tracer, read_events, use_recorder
+
+SEED = 20230705
+
+
+@pytest.fixture
+def dtu_config():
+    return DtuConfig(tolerance=5e-3, seed=SEED, record_thresholds=True)
+
+
+class TestTraceAgreesWithResult:
+    def test_trace_length_is_iterations_plus_initial(self, mean_field, dtu_config):
+        result = run_dtu(mean_field, dtu_config)
+        # One record for the initial (γ̂₀, γ₁) pair plus one per iteration.
+        expected = result.iterations + 1
+        trace = result.trace
+        assert len(trace.estimated_utilization) == expected
+        assert len(trace.actual_utilization) == expected
+        assert len(trace.step_sizes) == expected
+        assert len(trace.average_costs) == expected
+        assert len(trace.thresholds) == expected
+
+    def test_final_gamma_hat_matches_trace_tail(self, mean_field, dtu_config):
+        result = run_dtu(mean_field, dtu_config)
+        assert result.estimated_utilization == result.trace.estimated_utilization[-1]
+        assert result.actual_utilization == result.trace.actual_utilization[-1]
+        assert np.array_equal(result.thresholds, result.trace.thresholds[-1])
+
+    def test_step_size_halvings_follow_eta0_over_L(self, mean_field, dtu_config):
+        """Every recorded step size is η₀/L and L only ever increments."""
+        result = run_dtu(mean_field, dtu_config)
+        eta0 = dtu_config.initial_step
+        implied_L = [round(eta0 / eta) for eta in result.trace.step_sizes]
+        assert implied_L[0] == 1
+        # L is non-decreasing and moves by at most 1 per iteration.
+        diffs = np.diff(implied_L)
+        assert np.all(diffs >= 0) and np.all(diffs <= 1)
+        assert result.converged
+        # The run actually exercised the oscillation branch.
+        assert implied_L[-1] > 1
+        for L, eta in zip(implied_L, result.trace.step_sizes):
+            assert eta == pytest.approx(eta0 / L)
+
+
+class TestObsEventsAgreeWithTrace:
+    def _run_traced(self, mean_field, dtu_config, tmp_path):
+        tracer = Tracer(tmp_path / "events.jsonl")
+        recorder = ObsRecorder(MetricsRegistry(), tracer)
+        result = run_dtu(mean_field, dtu_config, recorder=recorder)
+        tracer.close()
+        events = list(read_events(tmp_path / "events.jsonl"))
+        return result, recorder, events
+
+    def test_iteration_event_count_equals_reported_iterations(
+            self, mean_field, dtu_config, tmp_path):
+        result, recorder, events = self._run_traced(
+            mean_field, dtu_config, tmp_path)
+        iteration_events = [e for e in events if e["kind"] == "dtu.iteration"]
+        assert len(iteration_events) == result.iterations
+        assert (recorder.registry.counter("dtu.iterations").value
+                == result.iterations)
+
+    def test_oscillation_events_count_the_L_increments(
+            self, mean_field, dtu_config, tmp_path):
+        result, _, events = self._run_traced(mean_field, dtu_config, tmp_path)
+        eta0 = dtu_config.initial_step
+        implied_L = [round(eta0 / eta) for eta in result.trace.step_sizes]
+        halvings = int(implied_L[-1] - implied_L[0])
+        oscillations = [e for e in events if e["kind"] == "dtu.oscillation"]
+        assert len(oscillations) == halvings
+        assert [e["data"]["L"] for e in oscillations] == \
+            list(range(2, implied_L[-1] + 1))
+
+    def test_event_gammas_match_the_python_trace(
+            self, mean_field, dtu_config, tmp_path):
+        result, _, events = self._run_traced(mean_field, dtu_config, tmp_path)
+        event_gamma_hat = [e["data"]["gamma_hat"] for e in events
+                           if e["kind"] == "dtu.iteration"]
+        assert event_gamma_hat == result.trace.estimated_utilization[1:]
+        done = [e for e in events if e["kind"] == "dtu.done"]
+        assert len(done) == 1
+        assert done[0]["data"]["gamma_hat"] == result.estimated_utilization
+        assert done[0]["data"]["converged"] is True
+
+    def test_gamma_sequence_bit_identical_with_and_without_tracing(
+            self, mean_field, dtu_config, tmp_path):
+        """Observability off vs on must not perturb the solver by one ULP."""
+        plain = run_dtu(mean_field, dtu_config)
+        traced, _, _ = self._run_traced(mean_field, dtu_config, tmp_path)
+        assert plain.trace.estimated_utilization == \
+            traced.trace.estimated_utilization
+        assert plain.trace.actual_utilization == \
+            traced.trace.actual_utilization
+        assert plain.trace.step_sizes == traced.trace.step_sizes
+        assert plain.estimated_utilization == traced.estimated_utilization
+        assert np.array_equal(plain.thresholds, traced.thresholds)
+
+        # The ambient-recorder route must be equally non-perturbing.
+        with use_recorder(ObsRecorder()):
+            ambient = run_dtu(mean_field, dtu_config)
+        assert ambient.trace.estimated_utilization == \
+            plain.trace.estimated_utilization
