@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench experiments experiments-full examples lint clean
+.PHONY: install test bench bench-runtime experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-runtime:
+	PYTHONPATH=src python benchmarks/bench_runtime.py
 
 experiments:
 	python -m repro.experiments

@@ -1,14 +1,18 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows without writing any Python::
+Five subcommands cover the common workflows without writing any Python::
 
     python -m repro solve    --scenario paper-theoretical --users 10000
     python -m repro dtu      --scenario vision-fleet --plot
     python -m repro compare  --scenario paper-practical
+    python -m repro sweep    --param capacity --values 9,10,12,16 --jobs 4
     python -m repro scenarios
 
-(`python -m repro.experiments` separately regenerates the paper's tables
-and figures.)
+``sweep`` accepts ``--jobs N`` (solve points on N worker processes) and
+``--cache DIR`` (content-addressed result cache; re-running a point is a
+hit) via the :mod:`repro.runtime` engine — the table is bit-identical for
+any jobs count. (`python -m repro.experiments` separately regenerates the
+paper's tables and figures.)
 """
 
 from __future__ import annotations
@@ -150,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated values, e.g. 9,10,12,16")
     sweep.add_argument("--users", type=int, default=3000)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes solving points in parallel "
+                            "(default 1: inline; results identical)")
+    sweep.add_argument("--cache", type=str, default=None, metavar="DIR",
+                       help="content-addressed result cache directory "
+                            "(re-running a solved point is a cache hit)")
     sweep.set_defaults(func=cmd_sweep)
 
     return parser
@@ -158,7 +168,8 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_sweep(args) -> int:
     from repro.sweep import parse_values, run_sweep
     result = run_sweep(args.param, parse_values(args.values),
-                       n_users=args.users, seed=args.seed)
+                       n_users=args.users, seed=args.seed,
+                       jobs=args.jobs, cache=args.cache)
     print(result)
     return 0
 

@@ -20,6 +20,7 @@ the DTU algorithm both operate on it.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
@@ -29,7 +30,8 @@ from repro.core.cost import population_average_cost, population_costs
 from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
 from repro.core.tro import queue_and_offload
 from repro.obs.context import get_recorder
-from repro.population.sampler import Population
+from repro.population.sampler import Population, PopulationConfig, sample_population
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_probability
 
 ArrayLike = Union[float, np.ndarray]
@@ -104,3 +106,96 @@ class MeanFieldMap:
     def __repr__(self) -> str:
         return (f"MeanFieldMap(n={self.population.size}, "
                 f"c={self.population.capacity:g}, delay={self.delay_model!r})")
+
+
+@dataclass(frozen=True)
+class MonteCarloValue:
+    """``V(γ)`` evaluated over independently sampled populations.
+
+    The paper's Eq. (9) is an expectation; any finite population gives one
+    empirical realisation. This result summarises the sampling distribution
+    of the empirical ``V(γ)`` — the quantity whose ``N → ∞`` concentration
+    the strong-law argument of Section III relies on.
+    """
+
+    utilization: float          # the γ the map was evaluated at
+    values: np.ndarray          # empirical V(γ), one per sampled population
+    n_users: int
+    samples: int
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std(ddof=1)) if self.samples > 1 else 0.0
+
+    @property
+    def standard_error(self) -> float:
+        return self.std / float(np.sqrt(self.samples))
+
+    def __str__(self) -> str:
+        return (f"V({self.utilization:g}) = {self.mean:.6f} "
+                f"± {self.standard_error:.2e} "
+                f"({self.samples} populations × {self.n_users} users)")
+
+
+def _mc_value_point(
+    config: PopulationConfig,
+    utilization: float,
+    n_users: int,
+    delay_model: Optional[EdgeDelayModel],
+    seed: SeedLike,
+) -> float:
+    """One Monte-Carlo sample of the empirical ``V(γ)`` (a runtime task)."""
+    population = sample_population(config, n_users, rng=seed)
+    return MeanFieldMap(population, delay_model).value(utilization)
+
+
+def monte_carlo_value(
+    config: PopulationConfig,
+    utilization: float,
+    n_users: int = 1000,
+    samples: int = 32,
+    seed: SeedLike = 0,
+    delay_model: Optional[EdgeDelayModel] = None,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+    timeout: Optional[float] = None,
+) -> MonteCarloValue:
+    """Evaluate ``V(γ)`` over ``samples`` independently drawn populations.
+
+    Fans out over :class:`repro.runtime.TaskRunner`: population *i* is
+    always sampled from the *i*-th spawned child of ``seed`` (see
+    :func:`repro.runtime.derive_seeds`), so the returned values are
+    bit-identical for any ``jobs`` count; ``cache`` makes repeated
+    evaluations (e.g. plotting ``V`` on a γ grid, convergence studies in
+    ``N``) incremental.
+    """
+    from repro.runtime import TaskRunner, TaskSpec, derive_seeds
+
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    gamma = check_probability("utilization", utilization)
+    specs = [
+        TaskSpec(
+            fn=_mc_value_point,
+            kwargs=dict(config=config, utilization=gamma, n_users=n_users,
+                        delay_model=delay_model),
+            seed=child,
+            name=f"meanfield.mc[{index}]",
+        )
+        for index, child in enumerate(derive_seeds(seed, samples))
+    ]
+    runner = TaskRunner(jobs=jobs, cache=cache, timeout=timeout)
+    values = np.array([result.unwrap() for result in runner.run(specs)])
+    obs = get_recorder()
+    if obs.enabled:
+        obs.count("meanfield.mc_evaluations")
+        obs.event("meanfield.monte_carlo", utilization=gamma,
+                  samples=samples, n_users=n_users,
+                  mean=float(values.mean()))
+    return MonteCarloValue(
+        utilization=gamma, values=values, n_users=n_users, samples=samples,
+    )

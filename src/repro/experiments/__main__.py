@@ -4,9 +4,16 @@ Usage::
 
     python -m repro.experiments                    # quick pass (~1 minute)
     python -m repro.experiments --full             # paper-scale populations
+    python -m repro.experiments --jobs 4 --cache .repro-cache
     python -m repro.experiments fig2 --trace out/  # observed run: JSONL
                                                    # events + metrics +
                                                    # manifest in out/
+
+``--jobs N`` fans the repetition/replication loops of the artifacts that
+support it (currently ``table3``) out over N worker processes, and
+``--cache DIR`` attaches the :mod:`repro.runtime` content-addressed result
+cache, so re-running an artifact re-uses every previously computed task —
+both leave the printed numbers bit-identical.
 
 ``--trace DIR`` turns the whole run into an observed run: a
 :class:`~repro.obs.manifest.RunManifest`, an ``events.jsonl`` event trace
@@ -80,6 +87,12 @@ def main(argv=None) -> int:
                         help="collect metrics and print the table at the end")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress human-readable stdout output")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the fan-out loops of "
+                             "artifacts that support it (default 1: inline)")
+    parser.add_argument("--cache", type=str, default=None, metavar="DIR",
+                        help="repro.runtime result-cache directory shared "
+                             "by all artifacts in this run")
     parser.add_argument("--list", action="store_true",
                         help="list the available artifact names and exit")
     args = parser.parse_args(argv)
@@ -92,7 +105,8 @@ def main(argv=None) -> int:
         "table1": lambda: table1.run(n_users=quick_n, rng=args.seed),
         "table2": lambda: table2.run(n_users=practical_n, rng=args.seed),
         "table3": lambda: table3.run(n_users=practical_n,
-                                     repetitions=table3_reps, seed=args.seed),
+                                     repetitions=table3_reps, seed=args.seed,
+                                     jobs=args.jobs, cache=args.cache),
         "fig2": lambda: fig2.run(),
         "fig3": lambda: fig3.run(),
         "fig4": lambda: fig4.run(n_users=quick_n, rng=args.seed),

@@ -38,7 +38,8 @@ from repro.experiments.settings import (
     theoretical_config,
 )
 from repro.population.sampler import PopulationConfig, sample_population
-from repro.utils.rng import RngFactory
+from repro.runtime import TaskRunner, TaskSpec
+from repro.utils.rng import RngFactory, SeedLike
 from repro.utils.stats import ConfidenceInterval, confidence_interval
 from repro.utils.tables import format_table
 
@@ -93,14 +94,29 @@ class Table3Result:
         return all(row.dtu_cost < row.dpo_cost.low for row in self.rows)
 
 
+def _dpo_repetition(
+    config: PopulationConfig,
+    n_users: int,
+    edge_delay: float,
+    seed: SeedLike,
+) -> float:
+    """One DPO population redraw + cost evaluation (a runtime task)."""
+    redraw = sample_population(config, n_users, rng=seed)
+    probabilities = optimal_offload_probabilities(redraw, edge_delay)
+    return dpo_population_cost(redraw, probabilities, edge_delay)
+
+
 def _evaluate_family(
     family: str,
     configs: Dict[str, PopulationConfig],
     n_users: int,
     repetitions: int,
     factory: RngFactory,
+    jobs: int = 1,
+    cache: Optional[object] = None,
 ) -> List[Table3Row]:
     rows = []
+    runner = TaskRunner(jobs=jobs, cache=cache)
     for setup, config in configs.items():
         base_rng = factory.stream(f"{family}/{setup}/base")
         population = sample_population(config, n_users, rng=base_rng)
@@ -111,14 +127,23 @@ def _evaluate_family(
         dtu_cost = dtu.average_cost
 
         # --- DPO: equilibrium on the base population, CI over re-draws.
+        # Each repetition gets the i-th spawned child of the named stream —
+        # seeds fixed up front, so the CI is identical for any jobs count.
         equilibrium = solve_dpo_equilibrium(population, PAPER_G)
         edge_delay = PAPER_G(equilibrium.utilization)
-        rep_rng = factory.stream(f"{family}/{setup}/dpo-reps")
-        costs = []
-        for _ in range(repetitions):
-            redraw = sample_population(config, n_users, rng=rep_rng)
-            probabilities = optimal_offload_probabilities(redraw, edge_delay)
-            costs.append(dpo_population_cost(redraw, probabilities, edge_delay))
+        rep_streams = factory.seed_sequences(f"{family}/{setup}/dpo-reps",
+                                             repetitions)
+        specs = [
+            TaskSpec(
+                fn=_dpo_repetition,
+                kwargs=dict(config=config, n_users=n_users,
+                            edge_delay=edge_delay),
+                seed=rep_seed,
+                name=f"table3[{family}/{setup}/rep{index}]",
+            )
+            for index, rep_seed in enumerate(rep_streams)
+        ]
+        costs = [result.unwrap() for result in runner.run(specs)]
         ci = confidence_interval(costs, level=0.98)
 
         paper_dtu, paper_dpo, paper_red = PAPER_TABLE3[family][setup]
@@ -140,16 +165,24 @@ def run(
     n_users: int = 1000,
     repetitions: int = 500,
     seed: Optional[int] = 0,
+    jobs: int = 1,
+    cache: Optional[object] = None,
 ) -> Table3Result:
-    """Regenerate Table III (both settings families, all six rows)."""
+    """Regenerate Table III (both settings families, all six rows).
+
+    ``jobs``/``cache`` fan the DPO repetitions out over the
+    :mod:`repro.runtime` engine; results are identical for any jobs count.
+    """
     factory = RngFactory(seed)
     theoretical = {
         setup: theoretical_config(setup, latency_high=5.0)
         for setup in THEORETICAL_ARRIVALS
     }
     practical = {setup: practical_config(setup) for setup in PRACTICAL_ARRIVALS}
-    rows = _evaluate_family("theoretical", theoretical, n_users, repetitions, factory)
-    rows += _evaluate_family("practical", practical, n_users, repetitions, factory)
+    rows = _evaluate_family("theoretical", theoretical, n_users, repetitions,
+                            factory, jobs=jobs, cache=cache)
+    rows += _evaluate_family("practical", practical, n_users, repetitions,
+                             factory, jobs=jobs, cache=cache)
     return Table3Result(
         rows=rows,
         notes=(f"n_users={n_users}, repetitions={repetitions} "

@@ -1,0 +1,130 @@
+"""Disk-backed, content-addressed result cache.
+
+Every cache entry is keyed by the SHA-256 of a canonical JSON document
+
+.. code-block:: json
+
+    {"fn": "<module.qualname>", "config": <canonical config>,
+     "seed": <canonical seed>, "version": "<repro version>"}
+
+so a result is re-usable exactly when the task function, its full
+configuration, its seed, *and* the repro version all match — bumping
+``repro.__version__`` invalidates every previous entry without touching the
+directory. Values are stored as pickles under ``<dir>/objects/<k0:2>/<key>``
+with a JSON sidecar carrying the key document for debugging (``ls`` +
+``cat`` answer "what is this entry?" without unpickling anything).
+
+Writes are atomic (temp file + :func:`os.replace`), so a crashed or
+concurrently-writing run can never leave a truncated pickle behind; a
+corrupt or unreadable entry degrades to a cache miss.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple
+
+from repro.runtime.canonical import canonical_json, content_digest, function_qualname
+
+
+def _repro_version() -> str:
+    # Imported lazily: repro/__init__ pulls in the whole core package and the
+    # runtime must stay importable from inside it without a cycle.
+    try:
+        from repro import __version__
+        return __version__
+    except Exception:
+        return "unknown"
+
+
+class ResultCache:
+    """Content-addressed store mapping task identity → pickled result."""
+
+    def __init__(self, directory, version: Optional[str] = None):
+        self.directory = Path(directory)
+        self.version = version if version is not None else _repro_version()
+        self._objects = self.directory / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------- keys --
+    def key_for(self, fn: Callable, config: Any, seed: Any) -> str:
+        """The 64-hex-char content address of one task invocation."""
+        document = {
+            "fn": function_qualname(fn),
+            "config": config,
+            "seed": seed,
+            "version": self.version,
+        }
+        return content_digest(document)
+
+    def key_document(self, fn: Callable, config: Any, seed: Any) -> str:
+        """The canonical JSON the key hashes (sidecar / debugging)."""
+        return canonical_json({
+            "fn": function_qualname(fn),
+            "config": config,
+            "seed": seed,
+            "version": self.version,
+        })
+
+    def _value_path(self, key: str) -> Path:
+        return self._objects / key[:2] / key
+
+    # ------------------------------------------------------------ lookup --
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupt or missing entries are misses."""
+        path = self._value_path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any, document: Optional[str] = None) -> None:
+        """Store ``value`` under ``key`` atomically (last writer wins)."""
+        path = self._value_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
+        pickle.dump(value, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(path, buffer.getvalue())
+        if document is not None:
+            sidecar = json.dumps(
+                {"key": key, "document": json.loads(document)}, indent=2,
+            ).encode("utf-8")
+            self._atomic_write(path.with_suffix(".meta.json"), sidecar)
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._value_path(key).exists()
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            dir=str(path.parent), prefix=".tmp-", delete=False,
+        )
+        try:
+            with handle:
+                handle.write(data)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.directory)!r}, "
+                f"version={self.version!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

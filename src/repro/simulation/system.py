@@ -190,6 +190,24 @@ class ReplicatedMeasurement:
                 f"[{self.replications} replications]")
 
 
+def _replication_point(
+    population: Population,
+    policies: Sequence[AdmissionPolicy],
+    horizon: float,
+    warmup: float,
+    service_model: Optional[ServiceModel],
+    delay_model: Optional[EdgeDelayModel],
+    seed: int,
+) -> tuple:
+    """One independent DES replication (a pure :mod:`repro.runtime` task)."""
+    measurement = simulate_system(
+        population, policies,
+        MeasurementConfig(horizon=horizon, warmup=warmup, seed=seed),
+        service_model=service_model, delay_model=delay_model,
+    )
+    return measurement.utilization, measurement.average_cost
+
+
 def simulate_system_replicated(
     population: Population,
     policies: Sequence[AdmissionPolicy],
@@ -198,6 +216,9 @@ def simulate_system_replicated(
     service_model: Optional[ServiceModel] = None,
     delay_model: Optional[EdgeDelayModel] = None,
     confidence: float = 0.95,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+    timeout: Optional[float] = None,
 ) -> ReplicatedMeasurement:
     """Independent replications of :func:`simulate_system` with CIs.
 
@@ -206,24 +227,37 @@ def simulate_system_replicated(
     service streams each time) and returns normal-approximation confidence
     intervals for the utilisation and the population cost — the
     statistically honest way to quote simulated numbers.
+
+    The replications fan out over :class:`repro.runtime.TaskRunner`
+    (``jobs=N`` processes, optional result ``cache``); every replication's
+    seed is drawn from the base seed *before* execution in index order, so
+    the intervals are bit-identical for any ``jobs`` count — and identical
+    to the historical serial implementation.
     """
     if replications < 2:
         raise ValueError("need at least 2 replications for an interval")
+    from repro.runtime import TaskRunner, TaskSpec
+
     base = config or MeasurementConfig()
     seed_stream = as_generator(base.seed)
-    gammas, costs = [], []
-    for _ in range(replications):
-        run_config = MeasurementConfig(
-            horizon=base.horizon,
-            warmup=base.warmup,
-            seed=int(seed_stream.integers(0, 2**63 - 1)),
+    rep_seeds = [int(s) for s in seed_stream.integers(0, 2**63 - 1,
+                                                      size=replications)]
+    specs = [
+        TaskSpec(
+            fn=_replication_point,
+            kwargs=dict(population=population, policies=list(policies),
+                        horizon=base.horizon, warmup=base.warmup,
+                        service_model=service_model,
+                        delay_model=delay_model),
+            seed=rep_seed,
+            name=f"des.replication[{index}]",
         )
-        measurement = simulate_system(
-            population, policies, run_config,
-            service_model=service_model, delay_model=delay_model,
-        )
-        gammas.append(measurement.utilization)
-        costs.append(measurement.average_cost)
+        for index, rep_seed in enumerate(rep_seeds)
+    ]
+    runner = TaskRunner(jobs=jobs, cache=cache, timeout=timeout)
+    outcomes = [result.unwrap() for result in runner.run(specs)]
+    gammas = [gamma for gamma, _ in outcomes]
+    costs = [cost for _, cost in outcomes]
     return ReplicatedMeasurement(
         utilization=confidence_interval(gammas, level=confidence),
         average_cost=confidence_interval(costs, level=confidence),

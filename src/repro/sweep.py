@@ -7,12 +7,17 @@ fraction, and DTU's iteration count — resampling the population per point
 where the knob changes the generating distributions. Exposed on the CLI::
 
     python -m repro sweep --param capacity --values 9,10,12,16
-    python -m repro sweep --param latency-scale --values 0.5,1,2,5
+    python -m repro sweep --param latency-scale --values 0.5,1,2,5 --jobs 4
+
+Each point is an independent, seeded task, so the sweep fans out over the
+:mod:`repro.runtime` engine: ``jobs=N`` solves N points concurrently and
+``cache=DIR`` makes re-running any previously-solved point a cache hit —
+with bit-identical tables for every ``jobs`` count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,6 +28,7 @@ from repro.core.meanfield import MeanFieldMap
 from repro.experiments.report import SeriesResult
 from repro.population.distributions import Deterministic, Scaled, Uniform
 from repro.population.sampler import PopulationConfig, sample_population
+from repro.runtime import TaskRunner, TaskSpec
 from repro.utils.rng import SeedLike
 
 #: Baseline knob values (the Section IV-A theoretical setting).
@@ -67,14 +73,54 @@ PARAMETERS: Dict[str, str] = {
 }
 
 
+def _sweep_point(
+    parameter: str,
+    value: float,
+    n_users: int,
+    include_dtu: bool,
+    seed: SeedLike,
+) -> tuple:
+    """Solve one sweep point (a pure, seeded :mod:`repro.runtime` task)."""
+    key = PARAMETERS[parameter]
+    config, delay_model = _config(**{key: float(value)})
+    population = sample_population(config, n_users, rng=seed)
+    mean_field = MeanFieldMap(population, delay_model)
+    equilibrium = solve_mfne(mean_field)
+    thresholds = mean_field.best_response(equilibrium.utilization)
+    alpha = mean_field.offload_probabilities(thresholds)
+    cost = mean_field.average_cost(equilibrium.utilization, thresholds)
+    if include_dtu:
+        dtu_iterations = run_dtu(mean_field).iterations
+    else:
+        dtu_iterations = None
+    return (
+        float(value),
+        float(equilibrium.utilization),
+        float(cost),
+        float(np.mean(alpha)),
+        dtu_iterations if dtu_iterations is not None else "-",
+    )
+
+
 def run_sweep(
     parameter: str,
     values: Sequence[float],
     n_users: int = 3000,
     seed: SeedLike = 0,
     include_dtu: bool = True,
+    jobs: int = 1,
+    cache: Optional[object] = None,
+    timeout: Optional[float] = None,
 ) -> SeriesResult:
-    """Sweep one knob over ``values``; solve the equilibrium at each point."""
+    """Sweep one knob over ``values``; solve the equilibrium at each point.
+
+    Every point receives the *same* ``seed`` (common random numbers: the
+    population redraw differences across points reflect only the knob, not
+    sampling noise), so the per-point tasks are fully determined up front
+    and ``jobs=4`` produces the identical table to ``jobs=1``. ``cache``
+    (a directory or :class:`repro.runtime.ResultCache`) short-circuits
+    previously-solved points.
+    """
     if parameter not in PARAMETERS:
         raise KeyError(
             f"unknown parameter {parameter!r}; "
@@ -82,27 +128,18 @@ def run_sweep(
         )
     if not values:
         raise ValueError("values must be non-empty")
-    key = PARAMETERS[parameter]
-    rows: List[tuple] = []
-    for value in values:
-        config, delay_model = _config(**{key: float(value)})
-        population = sample_population(config, n_users, rng=seed)
-        mean_field = MeanFieldMap(population, delay_model)
-        equilibrium = solve_mfne(mean_field)
-        thresholds = mean_field.best_response(equilibrium.utilization)
-        alpha = mean_field.offload_probabilities(thresholds)
-        cost = mean_field.average_cost(equilibrium.utilization, thresholds)
-        if include_dtu:
-            dtu_iterations = run_dtu(mean_field).iterations
-        else:
-            dtu_iterations = None
-        rows.append((
-            float(value),
-            float(equilibrium.utilization),
-            float(cost),
-            float(np.mean(alpha)),
-            dtu_iterations if dtu_iterations is not None else "-",
-        ))
+    specs = [
+        TaskSpec(
+            fn=_sweep_point,
+            kwargs=dict(parameter=parameter, value=float(value),
+                        n_users=n_users, include_dtu=include_dtu),
+            seed=seed,
+            name=f"sweep[{parameter}={value:g}]",
+        )
+        for value in values
+    ]
+    runner = TaskRunner(jobs=jobs, cache=cache, timeout=timeout)
+    rows: List[tuple] = [result.unwrap() for result in runner.run(specs)]
     return SeriesResult(
         name=f"Sweep — {parameter}",
         columns=(parameter, "gamma*", "avg cost", "mean offload frac",

@@ -79,11 +79,23 @@ class RngFactory:
 
     def streams(self, name: str, count: int) -> List[np.random.Generator]:
         """Return ``count`` independent generators under the ``name`` label."""
+        return [np.random.default_rng(child)
+                for child in self.seed_sequences(name, count)]
+
+    def seed_sequences(self, name: str, count: int) -> List[np.random.SeedSequence]:
+        """The ``count`` child seeds underlying :meth:`streams`.
+
+        Useful when the seeds must travel (e.g. as :mod:`repro.runtime`
+        task seeds, which enter cache keys): a :class:`~numpy.random.SeedSequence`
+        has a canonical identity (entropy + spawn key) where a generator
+        only has mutable state. ``default_rng`` over these children yields
+        exactly the :meth:`streams` generators.
+        """
         digest = _stable_hash(name)
         base = np.random.SeedSequence(
             entropy=self._root.entropy, spawn_key=(digest,)
         )
-        return [np.random.default_rng(child) for child in base.spawn(count)]
+        return list(base.spawn(count))
 
     def __repr__(self) -> str:
         return f"RngFactory(seed={self.seed!r})"
