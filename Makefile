@@ -1,18 +1,26 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-runtime experiments experiments-full examples lint clean
+.PHONY: install test test-fast bench bench-runtime bench-fastpath experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# The tier-1 invocation — identical to what CI runs.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+# Inner-loop subset: skip the seconds-scale simulator suites.
+test-fast:
+	PYTHONPATH=src python -m pytest -x -q -m "not slow and not des"
 
 bench:
 	pytest benchmarks/ --benchmark-only
 
 bench-runtime:
 	PYTHONPATH=src python benchmarks/bench_runtime.py
+
+bench-fastpath:
+	PYTHONPATH=src python benchmarks/bench_fastpath.py
 
 experiments:
 	python -m repro.experiments

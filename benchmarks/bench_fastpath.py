@@ -1,0 +1,130 @@
+"""Event DES vs vectorized fast path — the population-scale benchmark.
+
+Times one system simulation (identical population, policies, and
+observation protocol) through both :func:`repro.simulation.system.simulate_system`
+backends at N ∈ {10², 10³, 10⁴, 10⁵} devices and writes
+``BENCH_fastpath.json`` at the repo root. The acceptance bar for the fast
+path is a ≥ 10× speedup at N = 10⁴; in practice the gap widens with N
+because the event backend pays Python-callback overhead per event
+(~N·R·T events) while the fast path executes ~R·T synchronized array
+steps regardless of N.
+
+Standalone (the ``make bench-fastpath`` target)::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py [--quick] [--output F]
+
+``--quick`` caps the populations at 4×10³ (CI smoke; still writes JSON).
+Under ``pytest benchmarks/`` one reduced-scale measurement runs through
+the shared ``once`` fixture; the JSON artifact is only written by the
+standalone entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Simulated time units per run — enough for non-trivial queue dynamics
+#: while keeping the 10⁵-device event run in tens of seconds.
+HORIZON = 40.0
+WARMUP = 8.0
+THRESHOLD = 2.0
+FULL_SIZES = (100, 1_000, 10_000, 100_000)
+QUICK_SIZES = (100, 1_000, 4_000)
+
+
+def _measure_point(n_users: int, seed: int = 7) -> dict:
+    """Time event vs vectorized on one freshly sampled population."""
+    from repro.population.scenarios import build_scenario
+    from repro.population.sampler import sample_population
+    from repro.simulation.measurement import MeasurementConfig
+    from repro.simulation.system import simulate_system, tro_policies
+
+    population = sample_population(
+        build_scenario("paper-theoretical"), n_users, rng=seed,
+    )
+    policies = tro_policies(THRESHOLD, population.size)
+    config = MeasurementConfig(horizon=HORIZON, warmup=WARMUP, seed=3)
+
+    timings = {}
+    results = {}
+    for backend in ("event", "vectorized"):
+        started = time.perf_counter()
+        results[backend] = simulate_system(
+            population, policies, config, backend=backend,
+        )
+        timings[backend] = time.perf_counter() - started
+
+    gap = abs(results["event"].utilization - results["vectorized"].utilization)
+    return {
+        "n_devices": n_users,
+        "horizon": HORIZON,
+        "event_seconds": round(timings["event"], 4),
+        "vectorized_seconds": round(timings["vectorized"], 4),
+        "speedup": round(timings["event"] / timings["vectorized"], 2),
+        "event_utilization": round(results["event"].utilization, 6),
+        "vectorized_utilization": round(results["vectorized"].utilization, 6),
+        "utilization_gap": round(gap, 6),
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    from repro import __version__
+
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    points = [_measure_point(n) for n in sizes]
+    return {
+        "benchmark": "repro.simulation.fastpath — event DES vs vectorized",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "protocol": {"horizon": HORIZON, "warmup": WARMUP,
+                     "threshold": THRESHOLD,
+                     "scenario": "paper-theoretical"},
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="cap populations at 4e3 (CI smoke; still "
+                             "writes JSON)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_fastpath.json")
+    args = parser.parse_args(argv)
+    report = run_benchmark(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for point in report["points"]:
+        print(f"N={point['n_devices']:>7,}  "
+              f"event {point['event_seconds']:8.2f}s  "
+              f"vectorized {point['vectorized_seconds']:8.3f}s  "
+              f"({point['speedup']:.1f}x, "
+              f"|Δγ̂| = {point['utilization_gap']:.4f})")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+def test_fastpath_benchmark(once):
+    """One quick measured pass under ``pytest benchmarks/``."""
+    report = once(run_benchmark, quick=True)
+    for point in report["points"]:
+        # The two backends simulate the same system; γ̂ must agree closely.
+        assert point["utilization_gap"] < 0.05
+    # By 10³ devices the array path must already beat the event heap.
+    big = report["points"][-1]
+    assert big["vectorized_seconds"] < big["event_seconds"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

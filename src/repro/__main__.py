@@ -11,8 +11,11 @@ Five subcommands cover the common workflows without writing any Python::
 ``sweep`` accepts ``--jobs N`` (solve points on N worker processes) and
 ``--cache DIR`` (content-addressed result cache; re-running a point is a
 hit) via the :mod:`repro.runtime` engine — the table is bit-identical for
-any jobs count. (`python -m repro.experiments` separately regenerates the
-paper's tables and figures.)
+any jobs count — plus ``--backend event|vectorized`` to re-measure every
+solved point by full system simulation (``vectorized`` uses the
+uniformized-CTMC fast path, see :mod:`repro.simulation.fastpath`).
+(`python -m repro.experiments` separately regenerates the paper's tables
+and figures.)
 """
 
 from __future__ import annotations
@@ -160,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache", type=str, default=None, metavar="DIR",
                        help="content-addressed result cache directory "
                             "(re-running a solved point is a cache hit)")
+    sweep.add_argument("--backend", choices=("event", "vectorized"),
+                       default=None,
+                       help="validate each point by simulation and append "
+                            "a measured-γ̂ column (vectorized: the fast "
+                            "uniformized-CTMC path)")
+    sweep.add_argument("--sim-horizon", type=float, default=150.0,
+                       help="simulated time units per --backend validation "
+                            "run (default 150)")
     sweep.set_defaults(func=cmd_sweep)
 
     return parser
@@ -169,7 +180,8 @@ def cmd_sweep(args) -> int:
     from repro.sweep import parse_values, run_sweep
     result = run_sweep(args.param, parse_values(args.values),
                        n_users=args.users, seed=args.seed,
-                       jobs=args.jobs, cache=args.cache)
+                       jobs=args.jobs, cache=args.cache,
+                       backend=args.backend, sim_horizon=args.sim_horizon)
     print(result)
     return 0
 

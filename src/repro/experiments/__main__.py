@@ -15,6 +15,11 @@ support it (currently ``table3``) out over N worker processes, and
 cache, so re-running an artifact re-uses every previously computed task —
 both leave the printed numbers bit-identical.
 
+``--backend vectorized`` switches the Markovian simulations onto the
+uniformized-CTMC fast path (:mod:`repro.simulation.fastpath`): the
+``learning`` windows run vectorized, and ``table3`` gains a simulated
+DTU-cost cross-check next to the closed-form number.
+
 ``--trace DIR`` turns the whole run into an observed run: a
 :class:`~repro.obs.manifest.RunManifest`, an ``events.jsonl`` event trace
 and a ``metrics.json`` snapshot land in DIR, summarisable afterwards with
@@ -93,6 +98,12 @@ def main(argv=None) -> int:
     parser.add_argument("--cache", type=str, default=None, metavar="DIR",
                         help="repro.runtime result-cache directory shared "
                              "by all artifacts in this run")
+    parser.add_argument("--backend", choices=("event", "vectorized"),
+                        default=None,
+                        help="simulation backend for the artifacts that "
+                             "support it (learning windows; table3 adds a "
+                             "simulated DTU-cost cross-check). 'vectorized' "
+                             "is the uniformized-CTMC fast path")
     parser.add_argument("--list", action="store_true",
                         help="list the available artifact names and exit")
     args = parser.parse_args(argv)
@@ -106,7 +117,8 @@ def main(argv=None) -> int:
         "table2": lambda: table2.run(n_users=practical_n, rng=args.seed),
         "table3": lambda: table3.run(n_users=practical_n,
                                      repetitions=table3_reps, seed=args.seed,
-                                     jobs=args.jobs, cache=args.cache),
+                                     jobs=args.jobs, cache=args.cache,
+                                     backend=args.backend),
         "fig2": lambda: fig2.run(),
         "fig3": lambda: fig3.run(),
         "fig4": lambda: fig4.run(n_users=quick_n, rng=args.seed),
@@ -137,6 +149,7 @@ def main(argv=None) -> int:
             n_users=150 if args.full else 80,
             iterations=25 if args.full else 15,
             seed=args.seed,
+            backend=args.backend or "event",
         ),
         "fairness": lambda: fairness.run(
             n_users=5000 if args.full else 2000, seed=args.seed,

@@ -46,7 +46,13 @@ from repro.utils.tables import format_table
 
 @dataclass(frozen=True)
 class Table3Row:
-    """One Table III line: DTU cost vs DPO mean cost with CI."""
+    """One Table III line: DTU cost vs DPO mean cost with CI.
+
+    ``dtu_sim_cost``/``dtu_sim_utilization`` are only populated when the
+    table is regenerated with a simulation ``backend``: the DTU equilibrium
+    is then re-measured by actually simulating the base population at its
+    final thresholds instead of trusting the closed-form cost alone.
+    """
 
     family: str
     setup: str
@@ -55,6 +61,8 @@ class Table3Row:
     paper_dtu: float
     paper_dpo: float
     paper_reduction_pct: float
+    dtu_sim_cost: Optional[float] = None
+    dtu_sim_utilization: Optional[float] = None
 
     @property
     def reduction_pct(self) -> float:
@@ -72,7 +80,9 @@ class Table3Result:
             (
                 row.family,
                 row.setup,
-                f"{row.dtu_cost:.3f} (paper {row.paper_dtu:.2f})",
+                f"{row.dtu_cost:.3f} (paper {row.paper_dtu:.2f})"
+                + (f" [sim {row.dtu_sim_cost:.3f}]"
+                   if row.dtu_sim_cost is not None else ""),
                 f"{row.dpo_cost.mean:.3f} ± {row.dpo_cost.half_width:.4f} "
                 f"(paper {row.paper_dpo:.2f})",
                 f"{row.reduction_pct:.1f}% (paper {row.paper_reduction_pct:.1f}%)",
@@ -114,6 +124,8 @@ def _evaluate_family(
     factory: RngFactory,
     jobs: int = 1,
     cache: Optional[object] = None,
+    backend: Optional[str] = None,
+    sim_horizon: float = 200.0,
 ) -> List[Table3Row]:
     rows = []
     runner = TaskRunner(jobs=jobs, cache=cache)
@@ -125,6 +137,24 @@ def _evaluate_family(
         # --- DTU: run Algorithm 1 to its fixed point and take the final cost.
         dtu = run_dtu(mean_field, DtuConfig(seed=factory.stream(f"{family}/{setup}/dtu")))
         dtu_cost = dtu.average_cost
+
+        # --- Optional simulation cross-check of the DTU equilibrium.
+        dtu_sim_cost = None
+        dtu_sim_utilization = None
+        if backend is not None:
+            from repro.simulation.measurement import MeasurementConfig
+            from repro.simulation.system import simulate_system, tro_policies
+
+            measurement = simulate_system(
+                population,
+                tro_policies(dtu.thresholds, population.size),
+                MeasurementConfig(horizon=sim_horizon, warmup=sim_horizon / 5,
+                                  seed=factory.stream(f"{family}/{setup}/sim")),
+                delay_model=PAPER_G,
+                backend=backend,
+            )
+            dtu_sim_cost = measurement.average_cost
+            dtu_sim_utilization = measurement.utilization
 
         # --- DPO: equilibrium on the base population, CI over re-draws.
         # Each repetition gets the i-th spawned child of the named stream —
@@ -156,6 +186,8 @@ def _evaluate_family(
                 paper_dtu=paper_dtu,
                 paper_dpo=paper_dpo,
                 paper_reduction_pct=paper_red,
+                dtu_sim_cost=dtu_sim_cost,
+                dtu_sim_utilization=dtu_sim_utilization,
             )
         )
     return rows
@@ -167,11 +199,17 @@ def run(
     seed: Optional[int] = 0,
     jobs: int = 1,
     cache: Optional[object] = None,
+    backend: Optional[str] = None,
+    sim_horizon: float = 200.0,
 ) -> Table3Result:
     """Regenerate Table III (both settings families, all six rows).
 
     ``jobs``/``cache`` fan the DPO repetitions out over the
     :mod:`repro.runtime` engine; results are identical for any jobs count.
+    ``backend`` (``"event"``/``"vectorized"``) additionally re-measures
+    every DTU equilibrium by simulating the base population at the final
+    thresholds over ``sim_horizon`` time units — the vectorized fast path
+    keeps this a sub-second add-on per setup at N = 10³.
     """
     factory = RngFactory(seed)
     theoretical = {
@@ -180,14 +218,17 @@ def run(
     }
     practical = {setup: practical_config(setup) for setup in PRACTICAL_ARRIVALS}
     rows = _evaluate_family("theoretical", theoretical, n_users, repetitions,
-                            factory, jobs=jobs, cache=cache)
+                            factory, jobs=jobs, cache=cache, backend=backend,
+                            sim_horizon=sim_horizon)
     rows += _evaluate_family("practical", practical, n_users, repetitions,
-                             factory, jobs=jobs, cache=cache)
-    return Table3Result(
-        rows=rows,
-        notes=(f"n_users={n_users}, repetitions={repetitions} "
-               "(paper: 5000); theoretical family uses T~U(0,5) as in the paper"),
-    )
+                             factory, jobs=jobs, cache=cache, backend=backend,
+                             sim_horizon=sim_horizon)
+    notes = (f"n_users={n_users}, repetitions={repetitions} "
+             "(paper: 5000); theoretical family uses T~U(0,5) as in the paper")
+    if backend is not None:
+        notes += (f"; [sim ...] = DTU cost re-measured by the {backend} "
+                  f"backend over {sim_horizon:g} time units")
+    return Table3Result(rows=rows, notes=notes)
 
 
 def paper_rows() -> List[Tuple[str, str, float, float, float]]:

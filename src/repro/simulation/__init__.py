@@ -13,6 +13,9 @@ latencies. This subpackage provides the machinery for those experiments:
 * :mod:`repro.simulation.system` — the N-device system: measured
   utilisation, per-user offload fractions and queue lengths, and a
   simulation-backed utilisation oracle for the DTU algorithm;
+* :mod:`repro.simulation.fastpath` — the vectorized fast path: all N
+  device queues advanced simultaneously by uniformized-CTMC array
+  stepping (``backend="vectorized"`` in :func:`simulate_system`);
 * :mod:`repro.simulation.measurement` — warmup handling and statistics.
 """
 
@@ -20,10 +23,16 @@ from repro.simulation.device import DeviceStats, DpoAdmission, TroAdmission, sim
 from repro.simulation.edge import EdgeServer
 from repro.simulation.edge_queue import EdgeQueueStats, simulate_edge_queue
 from repro.simulation.engine import DiscreteEventSimulator, Event
+from repro.simulation.fastpath import (
+    FastpathUnsupportedError,
+    check_fastpath_supported,
+    simulate_devices_vectorized,
+)
 from repro.simulation.measurement import MeasurementConfig
 from repro.simulation.online import OnlineResult, OnlineSimulation
 from repro.simulation.trace import TaskRecord, TaskTraceRecorder
 from repro.simulation.system import (
+    BACKENDS,
     ReplicatedMeasurement,
     SimulatedUtilizationOracle,
     SystemMeasurement,
@@ -32,6 +41,10 @@ from repro.simulation.system import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "FastpathUnsupportedError",
+    "check_fastpath_supported",
+    "simulate_devices_vectorized",
     "DiscreteEventSimulator",
     "Event",
     "DeviceStats",

@@ -77,6 +77,10 @@ def _policies_from_probabilities(probabilities: ArrayLike, n: int) -> List[Admis
     return [DpoAdmission(float(value)) for value in p]
 
 
+#: Valid ``backend=`` choices for :func:`simulate_system`.
+BACKENDS = ("event", "vectorized")
+
+
 def simulate_system(
     population: Population,
     policies: Sequence[AdmissionPolicy],
@@ -85,6 +89,7 @@ def simulate_system(
     delay_model: Optional[EdgeDelayModel] = None,
     arrival_model: Optional[ArrivalModel] = None,
     recorder: Optional[Recorder] = None,
+    backend: str = "event",
 ) -> SystemMeasurement:
     """Simulate every device and aggregate system-level measurements.
 
@@ -95,6 +100,14 @@ def simulate_system(
     regular traffic. ``recorder`` (default: the ambient one, see
     :mod:`repro.obs`) receives per-device queue/offload histograms and a
     ``system.measurement`` summary event.
+
+    ``backend`` selects the device simulator: ``"event"`` runs one event-heap
+    DES per device (any service/arrival model); ``"vectorized"`` steps all N
+    queues at once through the uniformized-CTMC fast path
+    (:mod:`repro.simulation.fastpath`) — 1–2 orders of magnitude faster, but
+    exact only for the Markovian setting (exponential service, Poisson
+    arrivals, TRO/DPO policies). The two backends draw different random
+    streams, so for one seed they agree statistically, not bit-wise.
     """
     config = config or MeasurementConfig()
     service_model = service_model or ExponentialService()
@@ -103,23 +116,35 @@ def simulate_system(
     n = population.size
     if len(policies) != n:
         raise ValueError(f"need {n} policies, got {len(policies)}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
-    streams = spawn_streams(config.seed, n)
-    stats: List[DeviceStats] = []
-    for i in range(n):
-        arrival_rate = float(population.arrival_rates[i])
-        service = service_model.distribution(float(population.service_rates[i]))
-        stats.append(
-            simulate_device(
-                arrival_rate=arrival_rate,
-                service=service,
-                policy=policies[i],
-                horizon=config.horizon,
-                rng=streams[i],
-                warmup=config.warmup,
-                interarrival=arrival_model.interarrival(arrival_rate),
-            )
+    if backend == "vectorized":
+        from repro.simulation.fastpath import (
+            check_fastpath_supported,
+            simulate_devices_vectorized,
         )
+        check_fastpath_supported(policies, service_model, arrival_model)
+        stats: List[DeviceStats] = simulate_devices_vectorized(
+            population, policies, config, recorder=recorder,
+        )
+    else:
+        streams = spawn_streams(config.seed, n)
+        stats = []
+        for i in range(n):
+            arrival_rate = float(population.arrival_rates[i])
+            service = service_model.distribution(float(population.service_rates[i]))
+            stats.append(
+                simulate_device(
+                    arrival_rate=arrival_rate,
+                    service=service,
+                    policy=policies[i],
+                    horizon=config.horizon,
+                    rng=streams[i],
+                    warmup=config.warmup,
+                    interarrival=arrival_model.interarrival(arrival_rate),
+                )
+            )
 
     offload_counts = np.array([s.offloaded for s in stats], dtype=float)
     edge = EdgeServer(
@@ -162,6 +187,7 @@ def simulate_system(
             service_model=repr(service_model),
             arrival_model=repr(arrival_model),
             protocol=config.describe(),
+            backend=backend,
         )
     return measurement
 
@@ -197,13 +223,15 @@ def _replication_point(
     warmup: float,
     service_model: Optional[ServiceModel],
     delay_model: Optional[EdgeDelayModel],
-    seed: int,
+    seed,
+    backend: str = "event",
 ) -> tuple:
-    """One independent DES replication (a pure :mod:`repro.runtime` task)."""
+    """One independent simulation replication (a pure :mod:`repro.runtime` task)."""
     measurement = simulate_system(
         population, policies,
         MeasurementConfig(horizon=horizon, warmup=warmup, seed=seed),
         service_model=service_model, delay_model=delay_model,
+        backend=backend,
     )
     return measurement.utilization, measurement.average_cost
 
@@ -219,38 +247,38 @@ def simulate_system_replicated(
     jobs: int = 1,
     cache: Optional[object] = None,
     timeout: Optional[float] = None,
+    backend: str = "event",
 ) -> ReplicatedMeasurement:
     """Independent replications of :func:`simulate_system` with CIs.
 
-    One DES run gives a point estimate whose error is invisible; this
-    wrapper runs ``replications`` independent copies (fresh arrival and
-    service streams each time) and returns normal-approximation confidence
-    intervals for the utilisation and the population cost — the
+    One simulation run gives a point estimate whose error is invisible;
+    this wrapper runs ``replications`` independent copies (fresh arrival
+    and service streams each time) and returns normal-approximation
+    confidence intervals for the utilisation and the population cost — the
     statistically honest way to quote simulated numbers.
 
     The replications fan out over :class:`repro.runtime.TaskRunner`
     (``jobs=N`` processes, optional result ``cache``); every replication's
-    seed is drawn from the base seed *before* execution in index order, so
-    the intervals are bit-identical for any ``jobs`` count — and identical
-    to the historical serial implementation.
+    seed is derived from the base seed via :func:`repro.runtime.derive_seeds`
+    *before* execution in index order, so the intervals are bit-identical
+    for any ``jobs`` count — for the ``"vectorized"`` backend exactly as
+    for ``"event"``.
     """
     if replications < 2:
         raise ValueError("need at least 2 replications for an interval")
-    from repro.runtime import TaskRunner, TaskSpec
+    from repro.runtime import TaskRunner, TaskSpec, derive_seeds
 
     base = config or MeasurementConfig()
-    seed_stream = as_generator(base.seed)
-    rep_seeds = [int(s) for s in seed_stream.integers(0, 2**63 - 1,
-                                                      size=replications)]
+    rep_seeds = derive_seeds(base.seed, replications)
     specs = [
         TaskSpec(
             fn=_replication_point,
             kwargs=dict(population=population, policies=list(policies),
                         horizon=base.horizon, warmup=base.warmup,
                         service_model=service_model,
-                        delay_model=delay_model),
+                        delay_model=delay_model, backend=backend),
             seed=rep_seed,
-            name=f"des.replication[{index}]",
+            name=f"{backend}.replication[{index}]",
         )
         for index, rep_seed in enumerate(rep_seeds)
     ]

@@ -29,7 +29,7 @@ from repro.experiments.report import SeriesResult
 from repro.population.distributions import Deterministic, Scaled, Uniform
 from repro.population.sampler import PopulationConfig, sample_population
 from repro.runtime import TaskRunner, TaskSpec
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, as_generator
 
 #: Baseline knob values (the Section IV-A theoretical setting).
 _BASE = dict(
@@ -79,11 +79,20 @@ def _sweep_point(
     n_users: int,
     include_dtu: bool,
     seed: SeedLike,
+    backend: Optional[str] = None,
+    sim_horizon: float = 150.0,
 ) -> tuple:
-    """Solve one sweep point (a pure, seeded :mod:`repro.runtime` task)."""
+    """Solve one sweep point (a pure, seeded :mod:`repro.runtime` task).
+
+    With ``backend`` set, the solved equilibrium is cross-checked by
+    actually simulating the sampled population at its best-response
+    thresholds (``"vectorized"`` keeps this cheap even for large sweeps)
+    and the measured γ̂ is appended to the row.
+    """
     key = PARAMETERS[parameter]
     config, delay_model = _config(**{key: float(value)})
-    population = sample_population(config, n_users, rng=seed)
+    gen = as_generator(seed)
+    population = sample_population(config, n_users, rng=gen)
     mean_field = MeanFieldMap(population, delay_model)
     equilibrium = solve_mfne(mean_field)
     thresholds = mean_field.best_response(equilibrium.utilization)
@@ -93,13 +102,27 @@ def _sweep_point(
         dtu_iterations = run_dtu(mean_field).iterations
     else:
         dtu_iterations = None
-    return (
+    row = (
         float(value),
         float(equilibrium.utilization),
         float(cost),
         float(np.mean(alpha)),
         dtu_iterations if dtu_iterations is not None else "-",
     )
+    if backend is not None:
+        from repro.simulation.measurement import MeasurementConfig
+        from repro.simulation.system import simulate_system, tro_policies
+
+        measurement = simulate_system(
+            population,
+            tro_policies(thresholds, population.size),
+            MeasurementConfig(horizon=sim_horizon, warmup=sim_horizon / 5,
+                              seed=gen),
+            delay_model=delay_model,
+            backend=backend,
+        )
+        row += (float(measurement.utilization),)
+    return row
 
 
 def run_sweep(
@@ -111,6 +134,8 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[object] = None,
     timeout: Optional[float] = None,
+    backend: Optional[str] = None,
+    sim_horizon: float = 150.0,
 ) -> SeriesResult:
     """Sweep one knob over ``values``; solve the equilibrium at each point.
 
@@ -120,6 +145,11 @@ def run_sweep(
     and ``jobs=4`` produces the identical table to ``jobs=1``. ``cache``
     (a directory or :class:`repro.runtime.ResultCache`) short-circuits
     previously-solved points.
+
+    ``backend`` (``"event"`` or ``"vectorized"``) appends a simulated γ̂
+    column: every point's equilibrium is re-measured by a full system
+    simulation over ``sim_horizon`` time units. The vectorized fast path
+    makes this validation affordable at every sweep point.
     """
     if parameter not in PARAMETERS:
         raise KeyError(
@@ -132,7 +162,8 @@ def run_sweep(
         TaskSpec(
             fn=_sweep_point,
             kwargs=dict(parameter=parameter, value=float(value),
-                        n_users=n_users, include_dtu=include_dtu),
+                        n_users=n_users, include_dtu=include_dtu,
+                        backend=backend, sim_horizon=sim_horizon),
             seed=seed,
             name=f"sweep[{parameter}={value:g}]",
         )
@@ -140,10 +171,13 @@ def run_sweep(
     ]
     runner = TaskRunner(jobs=jobs, cache=cache, timeout=timeout)
     rows: List[tuple] = [result.unwrap() for result in runner.run(specs)]
+    columns = (parameter, "gamma*", "avg cost", "mean offload frac",
+               "DTU iters")
+    if backend is not None:
+        columns += (f"sim gamma ({backend})",)
     return SeriesResult(
         name=f"Sweep — {parameter}",
-        columns=(parameter, "gamma*", "avg cost", "mean offload frac",
-                 "DTU iters"),
+        columns=columns,
         rows=rows,
         notes=f"n_users={n_users}, other knobs at Section IV-A baselines",
     )

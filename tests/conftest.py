@@ -1,9 +1,25 @@
-"""Shared fixtures and options for the test suite."""
+"""Shared fixtures, options, and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:  # hypothesis is optional — the property suites importorskip it.
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    hypothesis_settings.register_profile(
+        "ci",
+        max_examples=200,
+        deadline=None,  # shared CI runners have unpredictable latency
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile("dev", max_examples=50, deadline=None)
+    hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 def pytest_addoption(parser):
@@ -13,6 +29,10 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: multi-minute test, needs --runslow")
+    config.addinivalue_line(
+        "markers",
+        "des: exercises the discrete-event/vectorized simulators "
+        "(seconds-scale; skipped by `make test-fast`)")
 
 
 def pytest_collection_modifyitems(config, items):

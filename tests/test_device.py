@@ -8,6 +8,9 @@ from repro.population.distributions import Deterministic, Exponential
 from repro.queueing.mg1 import mg1k_threshold_metrics
 from repro.simulation.device import DpoAdmission, TroAdmission, simulate_device
 
+# Seconds-scale simulator runs; `make test-fast` skips these suites.
+pytestmark = pytest.mark.des
+
 
 class TestTroAdmission:
     def test_below_floor_always_admits(self, rng):

@@ -22,6 +22,9 @@ from repro.simulation.system import (
     tro_policies,
 )
 
+# Seconds-scale simulator runs; `make test-fast` skips these suites.
+pytestmark = pytest.mark.des
+
 
 class TestEdgeServer:
     def test_utilization_from_rates(self, paper_delay):

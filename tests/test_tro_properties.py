@@ -1,0 +1,124 @@
+"""Property-based tests: the TRO closed forms vs the birth–death oracle.
+
+The paper's Eq. 7 (``Q(x)``) and Eq. 8 (``α(x)``) are closed-form
+functionals of the stationary distribution of the threshold-truncated
+M/M/1 chain. :mod:`repro.queueing.birth_death` solves that chain directly
+from detailed balance, so it is an independent oracle: for *every*
+``(x, θ)`` — including θ within ``INTENSITY_TOL`` of 1, where
+:mod:`repro.core.tro` switches to Taylor limits, and integer thresholds
+where δ = 0 collapses the randomized state — the two must agree.
+
+Hypothesis drives the sampling; the ``ci``/``dev`` profiles are registered
+in ``tests/conftest.py`` and selected with ``HYPOTHESIS_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core import tro  # noqa: E402
+from repro.core.tro import INTENSITY_TOL  # noqa: E402
+from repro.queueing.birth_death import tro_birth_death_chain  # noqa: E402
+
+#: Generic (x, θ) ranges: thresholds up to 8 queue slots, intensities from
+#: deeply underloaded to 3× overloaded. Bounded away from exact machine
+#: extremes; the θ ≈ 1 strategy below targets the Taylor branch directly.
+thresholds = st.floats(min_value=0.0, max_value=8.0,
+                       allow_nan=False, allow_infinity=False)
+intensities = st.floats(min_value=0.05, max_value=3.0,
+                        allow_nan=False, allow_infinity=False)
+#: Offsets putting ``|θ − 1|·(k+1)`` safely inside INTENSITY_TOL for any
+#: threshold ≤ 8 — always the limit-formula branch.
+near_one_offsets = st.floats(min_value=-INTENSITY_TOL / 10,
+                             max_value=INTENSITY_TOL / 10,
+                             allow_nan=False, allow_infinity=False)
+
+
+def birth_death_reference(threshold: float, intensity: float):
+    """(Q, α, π₀) from the detailed-balance stationary solve + PASTA."""
+    chain = tro_birth_death_chain(arrival_rate=intensity, service_rate=1.0,
+                                  threshold=threshold)
+    pi = chain.stationary_distribution()
+    k = int(np.floor(threshold))
+    delta = threshold - k
+    q = float(np.arange(pi.size) @ pi)
+    # PASTA: an arrival is offloaded w.p. (1 − δ) at state k, surely at k+1.
+    alpha = pi[k] * (1.0 - delta)
+    if pi.size > k + 1:
+        alpha += pi[k + 1]
+    return q, float(alpha), float(pi[0])
+
+
+@given(threshold=thresholds, intensity=intensities)
+def test_closed_forms_match_stationary_solve(threshold, intensity):
+    q_ref, alpha_ref, pi0_ref = birth_death_reference(threshold, intensity)
+    q, alpha = tro.queue_and_offload(threshold, intensity)
+    assert float(q) == pytest.approx(q_ref, rel=1e-6, abs=1e-9)
+    assert float(alpha) == pytest.approx(alpha_ref, rel=1e-6, abs=1e-9)
+    assert float(tro.empty_probability(threshold, intensity)) == \
+        pytest.approx(pi0_ref, rel=1e-6, abs=1e-9)
+
+
+@given(threshold=thresholds, offset=near_one_offsets)
+def test_taylor_branch_matches_stationary_solve(threshold, offset):
+    # θ pinned inside the INTENSITY_TOL window around 1: repro.core.tro
+    # must take its limit formulas, the chain solve stays exact.
+    intensity = 1.0 + offset
+    q_ref, alpha_ref, pi0_ref = birth_death_reference(threshold, intensity)
+    q, alpha = tro.queue_and_offload(threshold, intensity)
+    assert float(q) == pytest.approx(q_ref, rel=1e-4, abs=1e-6)
+    assert float(alpha) == pytest.approx(alpha_ref, rel=1e-4, abs=1e-6)
+    assert float(tro.empty_probability(threshold, intensity)) == \
+        pytest.approx(pi0_ref, rel=1e-4, abs=1e-6)
+
+
+@given(threshold=st.integers(min_value=0, max_value=10),
+       intensity=intensities)
+def test_integer_thresholds_delta_zero(threshold, intensity):
+    # δ = 0: the randomized state disappears and α = π_k exactly.
+    q_ref, alpha_ref, _ = birth_death_reference(float(threshold), intensity)
+    q, alpha = tro.queue_and_offload(float(threshold), intensity)
+    assert float(q) == pytest.approx(q_ref, rel=1e-6, abs=1e-9)
+    assert float(alpha) == pytest.approx(alpha_ref, rel=1e-6, abs=1e-9)
+
+
+@given(intensity=intensities,
+       lo=thresholds, hi=thresholds)
+def test_monotonicity_in_threshold(intensity, lo, hi):
+    # Raising the threshold admits weakly more work: Q nondecreasing,
+    # α nonincreasing (the structure behind the paper's best response).
+    x1, x2 = sorted((lo, hi))
+    q1, a1 = tro.queue_and_offload(x1, intensity)
+    q2, a2 = tro.queue_and_offload(x2, intensity)
+    assert float(q2) >= float(q1) - 1e-9
+    assert float(a2) <= float(a1) + 1e-9
+
+
+@given(threshold=thresholds, intensity=intensities)
+def test_ranges_and_occupancy(threshold, intensity):
+    q, alpha = tro.queue_and_offload(threshold, intensity)
+    assert 0.0 <= float(alpha) <= 1.0
+    # The queue never exceeds ⌈x⌉ states of content.
+    assert 0.0 <= float(q) <= np.ceil(threshold) + 1e-9
+    pi0 = float(tro.empty_probability(threshold, intensity))
+    assert 0.0 <= pi0 <= 1.0
+
+
+@settings(max_examples=25)
+@given(threshold=thresholds, intensity=intensities)
+def test_occupancy_distribution_consistent(threshold, intensity):
+    # The full stationary vector exposed by repro.core.tro must itself
+    # match the chain solve state by state.
+    chain = tro_birth_death_chain(arrival_rate=intensity, service_rate=1.0,
+                                  threshold=threshold)
+    pi_ref = chain.stationary_distribution()
+    pi = tro.occupancy_distribution(threshold, intensity)
+    assert pi.size == pi_ref.size
+    np.testing.assert_allclose(pi, pi_ref, rtol=1e-6, atol=1e-9)
+    assert float(pi.sum()) == pytest.approx(1.0, abs=1e-9)
