@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test test-fast bench bench-runtime bench-fastpath experiments experiments-full examples lint clean
+.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,9 @@ bench-runtime:
 
 bench-fastpath:
 	PYTHONPATH=src python benchmarks/bench_fastpath.py
+
+bench-net:
+	PYTHONPATH=src python benchmarks/bench_net.py
 
 experiments:
 	python -m repro.experiments

@@ -1,0 +1,117 @@
+"""repro.net benchmark — message throughput of the actor runtime.
+
+Times a full message-passing DTU run (coordinator + N device actors over
+the virtual clock) at N ∈ {10², 10³, 10⁴}, fault-free and with 10 %
+message loss + jitter, and writes ``BENCH_net.json`` at the repo root
+with wall time, events processed, and messages/second for each point.
+
+Standalone (the ``make bench-net`` target)::
+
+    PYTHONPATH=src python benchmarks/bench_net.py [--quick] [--output F]
+
+Under ``pytest benchmarks/`` a reduced measurement runs once through the
+shared ``once`` fixture; the JSON artifact is only written by the
+standalone entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _fleet(n_devices: int):
+    from repro.population.scenarios import build_scenario
+    from repro.population.sampler import sample_population
+
+    return sample_population(build_scenario("paper-theoretical"),
+                             n_devices, rng=7)
+
+
+def measure_point(n_devices: int, loss: float) -> dict:
+    """One timed run: returns wall time, throughput, and run statistics."""
+    from repro.net import FaultConfig, NetConfig, run_net_dtu
+
+    population = _fleet(n_devices)
+    faults = FaultConfig(loss=loss, jitter=0.2) if loss > 0.0 else None
+    config = NetConfig(faults=faults, seed=0, max_rounds=200,
+                       log_messages=False)
+    started = time.perf_counter()
+    result = run_net_dtu(population, config)
+    seconds = time.perf_counter() - started
+    attempted = result.log.attempted
+    return {
+        "n_devices": n_devices,
+        "loss": loss,
+        "wall_seconds": round(seconds, 4),
+        "messages_attempted": attempted,
+        "messages_delivered": result.log.count("delivered"),
+        "messages_per_second": round(attempted / seconds, 1),
+        "events_fired": result.events_fired,
+        "events_per_second": round(result.events_fired / seconds, 1),
+        "rounds": result.rounds,
+        "converged": result.converged,
+        "final_estimate": result.estimated_utilization,
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    from repro import __version__
+
+    sizes = [100, 1_000] if quick else [100, 1_000, 10_000]
+    points = [measure_point(n, loss)
+              for n in sizes for loss in (0.0, 0.1)]
+    return {
+        "benchmark": "repro.net actor runtime (message-passing DTU)",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "workloads": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale (CI smoke; still writes JSON)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_net.json")
+    args = parser.parse_args(argv)
+    report = run_benchmark(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["workloads"]:
+        print(f"N={entry['n_devices']:>6} loss={entry['loss']:<4} "
+              f"{entry['wall_seconds']:8.2f}s  "
+              f"{entry['messages_per_second']:>10.0f} msg/s  "
+              f"{entry['rounds']:>3} rounds  "
+              f"converged={entry['converged']}")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+def test_net_benchmark(once):
+    """One quick measured pass under ``pytest benchmarks/``."""
+    report = once(run_benchmark, quick=True)
+    for entry in report["workloads"]:
+        assert entry["converged"]
+        assert entry["messages_per_second"] > 0
+    fault_free = [e for e in report["workloads"] if e["loss"] == 0.0]
+    lossy = [e for e in report["workloads"] if e["loss"] > 0.0]
+    # 10% loss must not keep the protocol from terminating in a similar
+    # number of rounds (the sign-step is robust to a thinner sample).
+    for clean, faulty in zip(fault_free, lossy):
+        assert faulty["rounds"] <= 4 * clean["rounds"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

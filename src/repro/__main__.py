@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows without writing any Python::
+Six subcommands cover the common workflows without writing any Python::
 
     python -m repro solve    --scenario paper-theoretical --users 10000
     python -m repro dtu      --scenario vision-fleet --plot
+    python -m repro net      --scenario paper-theoretical --loss 0.2
     python -m repro compare  --scenario paper-practical
     python -m repro sweep    --param capacity --values 9,10,12,16 --jobs 4
     python -m repro scenarios
@@ -14,8 +15,11 @@ hit) via the :mod:`repro.runtime` engine — the table is bit-identical for
 any jobs count — plus ``--backend event|vectorized`` to re-measure every
 solved point by full system simulation (``vectorized`` uses the
 uniformized-CTMC fast path, see :mod:`repro.simulation.fastpath`).
-(`python -m repro.experiments` separately regenerates the paper's tables
-and figures.)
+``net`` runs DTU as a real message-passing protocol over the
+:mod:`repro.net` actor runtime, with optional seeded loss/jitter/
+duplication, churn, and stragglers — fault-free it reproduces ``dtu``
+exactly. (`python -m repro.experiments` separately regenerates the
+paper's tables and figures.)
 """
 
 from __future__ import annotations
@@ -100,6 +104,49 @@ def cmd_dtu(args) -> int:
     return 0
 
 
+def cmd_net(args) -> int:
+    from repro.net import ChurnConfig, FaultConfig, NetConfig, run_net_dtu
+
+    population = _population(args)
+    gamma_star = solve_mfne(MeanFieldMap(population)).utilization
+    faults = None
+    if args.loss or args.duplicate or args.latency or args.jitter:
+        faults = FaultConfig(loss=args.loss, duplicate=args.duplicate,
+                             latency=args.latency, jitter=args.jitter)
+    churn = None
+    if args.leave_rate or args.stragglers:
+        churn = ChurnConfig(leave_rate=args.leave_rate,
+                            mean_downtime=args.mean_downtime,
+                            straggler_fraction=args.stragglers,
+                            straggler_delay=args.straggler_delay)
+    config = NetConfig(
+        initial_step=args.step, tolerance=args.tolerance,
+        max_rounds=args.max_rounds, heartbeat_interval=args.heartbeat,
+        faults=faults, churn=churn, seed=args.seed,
+        log_messages=False,    # CLI runs can be large; counters suffice
+    )
+    result = run_net_dtu(population, config)
+    log = result.log
+    print(f"scenario: {args.scenario} (N={population.size}, "
+          f"seed={args.seed})")
+    print(f"γ* = {gamma_star:.4f}; net DTU converged={result.converged} "
+          f"in {result.iterations} updates / {result.rounds} rounds "
+          f"({result.silent_rounds} silent); final γ̂ = "
+          f"{result.estimated_utilization:.4f}, last measured γ = "
+          f"{result.measured_utilization:.4f}")
+    print(f"virtual time {result.virtual_time:.1f}, "
+          f"{result.events_fired} events; messages: "
+          f"{log.attempted} attempted, {log.count('delivered')} delivered "
+          f"({100 * log.delivered_fraction:.1f}%), "
+          f"{log.count('dropped') + log.count('partitioned')} lost, "
+          f"{log.count('duplicated')} duplicated")
+    if args.plot:
+        print()
+        print(convergence_plot(result.trace.estimated,
+                               result.trace.measured, gamma_star))
+    return 0
+
+
 def cmd_compare(args) -> int:
     population = _population(args)
     mean_field = MeanFieldMap(population)
@@ -143,6 +190,35 @@ def build_parser() -> argparse.ArgumentParser:
     dtu.add_argument("--plot", action="store_true",
                      help="draw the convergence trace")
     dtu.set_defaults(func=cmd_dtu)
+
+    net = subparsers.add_parser(
+        "net", help="run DTU as a message-passing protocol (repro.net)")
+    _add_common(net)
+    net.add_argument("--step", type=float, default=0.1, help="η₀")
+    net.add_argument("--tolerance", type=float, default=0.01, help="ε")
+    net.add_argument("--max-rounds", type=int, default=500,
+                     help="broadcast budget, retries included")
+    net.add_argument("--loss", type=float, default=0.0,
+                     help="P(message dropped)")
+    net.add_argument("--duplicate", type=float, default=0.0,
+                     help="P(message duplicated)")
+    net.add_argument("--latency", type=float, default=0.0,
+                     help="base one-way delay (virtual time)")
+    net.add_argument("--jitter", type=float, default=0.0,
+                     help="mean exponential extra delay (causes reordering)")
+    net.add_argument("--leave-rate", type=float, default=0.0,
+                     help="per-device churn rate (exponential)")
+    net.add_argument("--mean-downtime", type=float, default=0.0,
+                     help="mean off-time before rejoining (0: gone for good)")
+    net.add_argument("--stragglers", type=float, default=0.0,
+                     help="fraction of devices with slow reports")
+    net.add_argument("--straggler-delay", type=float, default=1.0,
+                     help="extra report delay for stragglers")
+    net.add_argument("--heartbeat", type=float, default=0.0,
+                     help="device heartbeat interval (0: disabled)")
+    net.add_argument("--plot", action="store_true",
+                     help="draw the convergence trace")
+    net.set_defaults(func=cmd_net)
 
     compare = subparsers.add_parser(
         "compare", help="DTU vs DPO on a scenario")

@@ -45,6 +45,81 @@ from repro.utils.validation import (
 _OSCILLATION_TOL = 1e-12
 
 
+class DtuStepper:
+    """The Eq. 4 sign-step with the lines-9–14 oscillation bookkeeping.
+
+    A pure state machine over the estimate sequence — no population, no
+    oracle, no I/O — shared by the three executions of Algorithm 1 in this
+    repository: the synchronous iteration loop (:func:`run_dtu`), the
+    continuous-time run (:class:`repro.simulation.online.OnlineSimulation`),
+    and the message-passing coordinator
+    (:class:`repro.net.actors.EdgeCoordinator`).
+
+    State after ``t`` calls to :meth:`update`: ``estimate`` is ``γ̂_t``,
+    the hidden previous value is ``γ̂_{t−1}`` (initialised to the
+    algorithm's ``γ̂_{−1} = 1``), ``step`` is the current ``η`` and
+    ``counter`` the shrink divisor ``L``.
+    """
+
+    def __init__(
+        self,
+        initial_step: float = 0.1,
+        tolerance: float = 1e-2,
+        initial_estimate: float = 0.0,
+    ):
+        check_unit_interval("initial_step", initial_step, open_left=True)
+        check_unit_interval("initial_estimate", initial_estimate)
+        self.initial_step = float(initial_step)
+        self.tolerance = float(tolerance)
+        self.estimate = float(initial_estimate)   # γ̂_t
+        self.previous = 1.0                       # γ̂_{t−1}; starts at γ̂_{−1}
+        self.step = float(initial_step)           # η_t
+        self.counter = 1                          # L
+        self.updates = 0                          # t
+
+    @property
+    def converged(self) -> bool:
+        """The Algorithm-1 stop test ``|γ̂_t − γ̂_{t−1}| ≤ ε``."""
+        return abs(self.estimate - self.previous) <= self.tolerance
+
+    def update(self, actual: float) -> float:
+        """Move γ̂ one sign step toward ``actual`` (Eq. 4); return new γ̂.
+
+        Also applies the oscillation rule: when the new estimate returns to
+        ``γ̂_{t−2}`` the step size shrinks to ``η₀ / L`` with ``L``
+        incremented. Returns the new estimate (also left in ``estimate``);
+        whether this call shrank is exposed as :attr:`shrank`.
+        """
+        diff = actual - self.estimate
+        if abs(diff) <= _OSCILLATION_TOL:
+            new = self.estimate
+        else:
+            direction = 1.0 if diff > 0 else -1.0
+            new = min(1.0, max(0.0, self.estimate + self.step * direction))
+        self.updates += 1
+        self.shrank = (self.updates >= 2
+                       and abs(new - self.previous) <= _OSCILLATION_TOL)
+        if self.shrank:
+            self.counter += 1
+            self.step = self.initial_step / self.counter
+        self.previous, self.estimate = self.estimate, new
+        return new
+
+    #: Whether the most recent :meth:`update` triggered the η₀/L shrink.
+    shrank = False
+
+    def decay(self, factor: float, floor: float = 0.0) -> float:
+        """Shrink the step size out-of-band (graceful degradation).
+
+        Used by the network coordinator when a broadcast round receives no
+        reports at all: the estimate is held and the step decays, so a
+        blacked-out edge drifts toward inaction instead of oscillating on
+        stale information. Returns the new step.
+        """
+        self.step = max(floor, self.step * factor)
+        return self.step
+
+
 class UtilizationOracle(Protocol):
     """Anything that can report the edge utilisation for given thresholds."""
 
@@ -171,33 +246,33 @@ def run_dtu(
 
     trace = DtuTrace()
     # γ̂_{-1} = 1, γ̂_0 = initial_estimate (Algorithm 1, line 1).
-    estimate_prev2 = 1.0
-    estimate_prev = float(initial_estimate)
-    step = config.initial_step
-    counter = 1
+    stepper = DtuStepper(
+        initial_step=config.initial_step,
+        tolerance=config.tolerance,
+        initial_estimate=initial_estimate,
+    )
 
     # Users start from the best response to the initial broadcast estimate;
     # the oracle then supplies γ_1.
-    thresholds = mean_field.best_response(estimate_prev).astype(float)
+    thresholds = mean_field.best_response(stepper.estimate).astype(float)
     with obs.timer("dtu.oracle_measure_seconds"):
         actual = oracle.measure(thresholds)
-    _record(trace, mean_field, estimate_prev, actual, step, thresholds, config)
+    _record(trace, mean_field, stepper.estimate, actual, stepper.step,
+            thresholds, config)
 
     iterations = 0
     converged = False
     for t in range(1, config.max_iterations + 1):
-        if abs(estimate_prev - estimate_prev2) <= config.tolerance:
+        if stepper.converged:
             converged = True
             break
         iterations = t
 
-        # --- Eq. (4): move the estimate one step toward the actual γ_t.
-        diff = actual - estimate_prev
-        if abs(diff) <= _OSCILLATION_TOL:
-            estimate = estimate_prev
-        else:
-            direction = 1.0 if diff > 0 else -1.0
-            estimate = min(1.0, max(0.0, estimate_prev + step * direction))
+        # --- Eq. (4) + step-size rule (lines 9–14), via the shared stepper.
+        estimate = stepper.update(actual)
+        if tracing and stepper.shrank:
+            obs.event("dtu.oscillation", t=t, L=stepper.counter,
+                      eta=stepper.step)
 
         # --- Eq. (5): users best-respond to the broadcast estimate.
         response = mean_field.best_response(estimate).astype(float)
@@ -207,31 +282,24 @@ def run_dtu(
         else:
             thresholds = response
 
-        # --- Step-size rule (lines 9–14): shrink on oscillation.
-        if t >= 2 and abs(estimate - estimate_prev2) <= _OSCILLATION_TOL:
-            counter += 1
-            step = config.initial_step / counter
-            if tracing:
-                obs.event("dtu.oscillation", t=t, L=counter, eta=step)
-
         # --- Eq. (6): measure the actual utilisation of the new thresholds.
         with obs.timer("dtu.oracle_measure_seconds"):
             actual = oracle.measure(thresholds)
 
-        estimate_prev2, estimate_prev = estimate_prev, estimate
-        _record(trace, mean_field, estimate, actual, step, thresholds, config)
+        _record(trace, mean_field, estimate, actual, stepper.step,
+                thresholds, config)
         if tracing:
             obs.count("dtu.iterations")
             obs.event("dtu.iteration", t=t, gamma_hat=estimate, gamma=actual,
-                      eta=step, L=counter)
+                      eta=stepper.step, L=stepper.counter)
 
     if tracing:
-        obs.gauge("dtu.gamma_hat", estimate_prev)
+        obs.gauge("dtu.gamma_hat", stepper.estimate)
         obs.gauge("dtu.gamma", actual)
         obs.event("dtu.done", iterations=iterations, converged=converged,
-                  gamma_hat=estimate_prev, gamma=actual, L=counter)
+                  gamma_hat=stepper.estimate, gamma=actual, L=stepper.counter)
     return DtuResult(
-        estimated_utilization=estimate_prev,
+        estimated_utilization=stepper.estimate,
         actual_utilization=actual,
         thresholds=thresholds,
         iterations=iterations,

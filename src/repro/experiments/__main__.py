@@ -55,6 +55,7 @@ from repro.experiments import (
     multiedge_experiment,
     online_experiment,
     robustness,
+    robustness_net,
     tails,
     fig2,
     fig3,
@@ -131,6 +132,9 @@ def main(argv=None) -> int:
                                              quick=not args.full),
         "robustness": lambda: robustness.run(n_users=quick_n // 2,
                                              seed=args.seed),
+        "robustness_net": lambda: robustness_net.run(
+            n_users=500 if args.full else 200, seed=args.seed,
+        ),
         "tails": lambda: tails.run(
             n_users=60 if args.full else 25,
             horizon=3000.0 if args.full else 1200.0,

@@ -1,0 +1,75 @@
+"""repro.net — asynchronous message-passing runtime for DTU.
+
+The other executions of Algorithm 1 in this repository (``core.dtu``,
+``simulation.online``, ``simulation.fastpath``) share one convenient
+fiction: the edge and the devices exchange state by function call.  This
+package drops that fiction.  An :class:`~repro.net.actors.EdgeCoordinator`
+and N :class:`~repro.net.actors.DeviceAgent` coroutines run the protocol
+over an explicit :class:`~repro.net.transport.Transport` carrying typed
+messages, and a :class:`~repro.net.transport.FaultyTransport` plus
+:class:`~repro.net.churn.ChurnModel` subject it to seeded loss, latency,
+jitter, duplication, reordering, partitions, churn, and stragglers —
+while the :class:`~repro.net.clock.Runtime` keeps every run bit-identical
+for a given seed.
+
+Entry point: :func:`~repro.net.protocol.run_net_dtu` (CLI:
+``python -m repro net``).
+"""
+
+from repro.net.actors import EDGE_ADDRESS, DeviceAgent, EdgeCoordinator, NetTrace
+from repro.net.churn import ChurnConfig, ChurnModel
+from repro.net.clock import Mailbox, Runtime, VirtualClock
+from repro.net.messages import (
+    Address,
+    Envelope,
+    GammaBroadcast,
+    Heartbeat,
+    JoinLeave,
+    Message,
+    MessageLog,
+    ThresholdReport,
+)
+from repro.net.protocol import (
+    NetConfig,
+    NetDtuResult,
+    build_devices,
+    run_net_dtu,
+    with_faults,
+)
+from repro.net.transport import (
+    FaultConfig,
+    FaultyTransport,
+    LocalTransport,
+    Partition,
+    Transport,
+)
+
+__all__ = [
+    "EDGE_ADDRESS",
+    "Address",
+    "ChurnConfig",
+    "ChurnModel",
+    "DeviceAgent",
+    "EdgeCoordinator",
+    "Envelope",
+    "FaultConfig",
+    "FaultyTransport",
+    "GammaBroadcast",
+    "Heartbeat",
+    "JoinLeave",
+    "LocalTransport",
+    "Mailbox",
+    "Message",
+    "MessageLog",
+    "NetConfig",
+    "NetDtuResult",
+    "NetTrace",
+    "Partition",
+    "Runtime",
+    "ThresholdReport",
+    "Transport",
+    "VirtualClock",
+    "build_devices",
+    "run_net_dtu",
+    "with_faults",
+]

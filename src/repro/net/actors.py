@@ -1,0 +1,332 @@
+"""The two actor roles of the distributed DTU protocol.
+
+:class:`DeviceAgent` is Algorithm 1's device side, taken literally: it
+best-responds (Lemma 1, :func:`repro.core.best_response.optimal_threshold_from_surcharge`)
+to the **latest γ̂ broadcast it actually received** — which under faults
+may be stale, duplicated, or arbitrarily delayed — and reports the
+threshold plus the offered offload rate ``a_n·α_n(x_n)`` back to the edge.
+
+:class:`EdgeCoordinator` is the edge side: it broadcasts γ̂, measures the
+utilisation from the :class:`~repro.net.messages.ThresholdReport`s
+received within a sliding window, and applies the shared Eq. 4 sign step
+(:class:`repro.core.dtu.DtuStepper`).  Silence — a round with no usable
+reports at all — triggers graceful degradation: γ̂ is held, the step size
+decays, and the next broadcast backs off exponentially, so a partitioned
+edge neither diverges nor spins.
+
+The per-device arithmetic (surcharge → staircase search → α) is
+bit-compatible with the vectorised :class:`repro.core.meanfield.MeanFieldMap`
+path, which is what lets the fault-free synchronous run reproduce
+``run_dtu`` trajectories exactly (pinned by ``tests/test_net.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.best_response import optimal_threshold_from_surcharge
+from repro.core.dtu import DtuStepper
+from repro.core.edge_delay import EdgeDelayModel
+from repro.core.tro import offload_probability
+from repro.net.clock import Runtime
+from repro.net.messages import (
+    GammaBroadcast,
+    Heartbeat,
+    JoinLeave,
+    ThresholdReport,
+)
+from repro.net.transport import Transport
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
+
+EDGE_ADDRESS = "edge"
+
+
+class DeviceAgent:
+    """One device: joins, heartbeats, best-responds to received broadcasts."""
+
+    def __init__(
+        self,
+        index: int,
+        arrival_rate: float,
+        service_rate: float,
+        offload_latency: float,
+        energy_local: float,
+        energy_offload: float,
+        weight: float,
+        delay_model: EdgeDelayModel,
+        runtime: Runtime,
+        transport: Transport,
+        heartbeat_interval: float = 0.0,
+        report_delay: float = 0.0,
+    ):
+        self.address = index
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+        self.intensity = self.arrival_rate / self.service_rate
+        self.offload_latency = float(offload_latency)
+        self.energy_local = float(energy_local)
+        self.energy_offload = float(energy_offload)
+        self.weight = float(weight)
+        self.delay_model = delay_model
+        self.runtime = runtime
+        self.transport = transport
+        self.heartbeat_interval = heartbeat_interval
+        self.report_delay = report_delay
+        self.mailbox = transport.register(index)
+        # Thresholds start at 0 (offload everything); the first received
+        # broadcast replaces this with the Lemma-1 response, exactly like
+        # run_dtu's initial best response to γ̂_0.
+        self.threshold = 0.0
+        self.offload_rate = self.arrival_rate      # α(0) = 1
+        self.alive = True
+        self.last_round = -1
+        self.broadcasts_handled = 0
+        self.reports_sent = 0
+
+    async def run(self) -> None:
+        self.transport.send(self.address, EDGE_ADDRESS,
+                            JoinLeave(self.address, True))
+        if self.heartbeat_interval > 0.0:
+            self.runtime.clock.call_later(self.heartbeat_interval,
+                                          self._heartbeat)
+        while True:
+            envelope = await self.mailbox.get()
+            if not self.alive:
+                continue   # powered off: traffic is discarded
+            message = envelope.message
+            # Best-respond to the latest broadcast actually received;
+            # duplicates and reordered older rounds are ignored.
+            if isinstance(message, GammaBroadcast) and \
+                    message.round > self.last_round:
+                self.last_round = message.round
+                self.broadcasts_handled += 1
+                self._respond(message)
+
+    def _respond(self, broadcast: GammaBroadcast) -> None:
+        """Lemma 1 best response + report (Algorithm 1, device side)."""
+        surcharge = (self.delay_model(broadcast.estimate)
+                     + self.offload_latency
+                     + self.weight * (self.energy_offload - self.energy_local))
+        best = float(optimal_threshold_from_surcharge(
+            self.arrival_rate, self.intensity, surcharge,
+        ))
+        self.threshold = best
+        self.offload_rate = self.arrival_rate * offload_probability(
+            best, self.intensity,
+        )
+        self.reports_sent += 1
+        self.transport.send(
+            self.address, EDGE_ADDRESS,
+            ThresholdReport(self.address, broadcast.round,
+                            self.threshold, self.offload_rate),
+            delay=self.report_delay,
+        )
+
+    def _heartbeat(self) -> None:
+        if self.runtime.stopping:
+            return
+        if self.alive:
+            self.transport.send(self.address, EDGE_ADDRESS,
+                                Heartbeat(self.address, self.runtime.now))
+        self.runtime.clock.call_later(self.heartbeat_interval,
+                                      self._heartbeat)
+
+    def set_alive(self, alive: bool) -> None:
+        """Churn hook: power the device off/on, announcing gracefully.
+
+        The announcement travels over the (possibly faulty) transport, so
+        the coordinator may never hear it — that is what heartbeat-based
+        pruning is for.
+        """
+        if alive == self.alive:
+            return
+        self.alive = alive
+        self.transport.send(self.address, EDGE_ADDRESS,
+                            JoinLeave(self.address, alive))
+
+
+@dataclass
+class NetTrace:
+    """One row per *measured* coordinator round (silent rounds excluded)."""
+
+    times: List[float] = field(default_factory=list)
+    estimated: List[float] = field(default_factory=list)   # γ̂ before update
+    measured: List[float] = field(default_factory=list)    # window γ
+    heard: List[int] = field(default_factory=list)         # reports used
+    members: List[int] = field(default_factory=list)       # alive devices
+
+    def as_arrays(self) -> dict:
+        return {key: np.asarray(value) for key, value in (
+            ("times", self.times), ("estimated", self.estimated),
+            ("measured", self.measured), ("heard", self.heard),
+            ("members", self.members),
+        )}
+
+
+class EdgeCoordinator:
+    """The edge side of the protocol: broadcast, measure, sign-step.
+
+    ``config`` is a :class:`repro.net.protocol.NetConfig`; only its plain
+    attributes are read, so the coordinator stays import-independent of
+    the high-level runner module.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        transport: Transport,
+        devices: Sequence[int],
+        capacity: float,
+        config,
+        recorder: Optional[Recorder] = None,
+    ):
+        self.runtime = runtime
+        self.transport = transport
+        self.known = sorted(devices)         # provisioned fleet
+        self.capacity = float(capacity)
+        self.config = config
+        self.mailbox = transport.register(EDGE_ADDRESS)
+        self.stepper = DtuStepper(
+            initial_step=config.initial_step,
+            tolerance=config.tolerance,
+            initial_estimate=config.initial_estimate,
+        )
+        self._obs = resolve_recorder(recorder)
+        self._left: set = set()
+        self._last_heard: Dict[int, float] = {}
+        #: device -> (delivered_at, round, offload_rate, threshold)
+        self._reports: Dict[int, Tuple[float, int, float, float]] = {}
+        self.trace = NetTrace()
+        self.round = 0               # broadcast sequence number
+        self.iterations = 0          # Eq. 4 updates applied
+        self.silent_rounds = 0
+        self.converged = False
+        self.final_measured: Optional[float] = None
+
+    async def run(self) -> None:
+        config = self.config
+        wait = config.report_timeout
+        for _ in range(config.max_rounds):
+            self._broadcast()
+            await self.runtime.sleep(wait)
+            self._drain()
+            measured = self._measure(self.runtime.now)
+            if measured is None:
+                # Graceful degradation: hold γ̂, decay η, back off, retry.
+                self.silent_rounds += 1
+                self.stepper.decay(config.silence_decay)
+                wait = min(wait * config.backoff, config.max_backoff)
+                if self._obs.enabled:
+                    self._obs.count("net.silent_rounds")
+                    self._obs.event("net.silence", round=self.round,
+                                    next_wait=wait, eta=self.stepper.step)
+            else:
+                self.final_measured = measured
+                self._record(measured)
+                if self.stepper.converged:
+                    self.converged = True
+                    break
+                self.iterations += 1
+                self.stepper.update(measured)
+                wait = config.report_timeout
+        self.runtime.stop()
+
+    # -- protocol steps --------------------------------------------------
+
+    def _broadcast(self) -> None:
+        self.round += 1
+        message = GammaBroadcast(self.round, self.stepper.estimate,
+                                 self.stepper.step)
+        for device in self.known:     # sorted → deterministic fault draws
+            self.transport.send(EDGE_ADDRESS, device, message)
+        if self._obs.enabled:
+            self._obs.count("net.broadcasts")
+
+    def _drain(self) -> None:
+        for envelope in self.mailbox.drain():
+            message = envelope.message
+            if isinstance(message, ThresholdReport):
+                self._last_heard[message.device] = envelope.delivered_at
+                stored = self._reports.get(message.device)
+                if stored is None or message.round >= stored[1]:
+                    self._reports[message.device] = (
+                        envelope.delivered_at, message.round,
+                        message.offload_rate, message.threshold,
+                    )
+            elif isinstance(message, Heartbeat):
+                self._last_heard[message.device] = envelope.delivered_at
+            elif isinstance(message, JoinLeave):
+                self._last_heard[message.device] = envelope.delivered_at
+                if message.joining:
+                    self._left.discard(message.device)
+                else:
+                    self._left.add(message.device)
+                    self._reports.pop(message.device, None)
+
+    def _alive(self, device: int, now: float) -> bool:
+        if device in self._left:
+            return False
+        timeout = self.config.liveness_timeout
+        if timeout is None:
+            return True
+        return now - self._last_heard.get(device, 0.0) <= timeout
+
+    def members(self, now: float) -> List[int]:
+        """Devices currently considered part of the fleet."""
+        return [device for device in self.known if self._alive(device, now)]
+
+    def _measure(self, now: float) -> Optional[float]:
+        """Utilisation from the reports in the sliding window, or None.
+
+        The mean offered rate over the devices actually heard from — an
+        unbiased estimate of the population mean under device-independent
+        loss — divided by the per-user capacity, mirroring
+        ``MeanFieldMap.utilization`` (identical NumPy reduction, so the
+        all-devices case is bit-equal to the closed form).
+        """
+        window = self.config.report_window
+        rates: List[float] = []
+        for device in self.known:
+            stored = self._reports.get(device)
+            if stored is None:
+                continue
+            delivered_at, report_round, rate, _ = stored
+            # An answer to the *current* broadcast is never stale, however
+            # long the (backed-off) wait was; the age window only prunes
+            # left-over answers to earlier rounds.
+            stale = (now - delivered_at > window
+                     and report_round != self.round)
+            if stale or not self._alive(device, now):
+                continue
+            rates.append(rate)
+        if not rates:
+            return None
+        return float(np.mean(np.asarray(rates)) / self.capacity)
+
+    def _record(self, measured: float) -> None:
+        now = self.runtime.now
+        heard = len([d for d in self.known if d in self._reports])
+        members = len(self.members(now))
+        trace = self.trace
+        trace.times.append(now)
+        trace.estimated.append(self.stepper.estimate)
+        trace.measured.append(measured)
+        trace.heard.append(heard)
+        trace.members.append(members)
+        if self._obs.enabled:
+            self._obs.count("net.rounds")
+            self._obs.event("net.round", round=self.round,
+                            gamma_hat=self.stepper.estimate,
+                            measured=measured, heard=heard, members=members)
+
+    @property
+    def mean_threshold(self) -> float:
+        """Mean of the last reported thresholds (diagnostic)."""
+        if not self._reports:
+            return 0.0
+        return float(np.mean([stored[3] for stored in
+                              self._reports.values()]))

@@ -1,0 +1,89 @@
+"""Device churn and stragglers for the network runtime.
+
+A real fleet is never static: devices power off, roam out of coverage,
+rejoin later, and a tail of them is persistently slow.  The
+:class:`ChurnModel` turns a seeded :class:`ChurnConfig` into a concrete,
+fully precomputed timeline per device — alternating leave/rejoin epochs
+drawn from exponential holding times — plus a straggler designation that
+inflates a device's report latency.  Precomputing the timeline (rather
+than drawing during execution) keeps the schedule independent of message
+interleaving, preserving the bit-identical-rerun contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Population-level churn and straggler parameters."""
+
+    leave_rate: float = 0.0          # per-device rate of leaving (exp)
+    mean_downtime: float = 0.0       # mean off-time before rejoining;
+    #                                  0 with leave_rate > 0 → leaves for good
+    straggler_fraction: float = 0.0  # fraction of devices that straggle
+    straggler_delay: float = 0.0     # extra report latency for stragglers
+
+    def __post_init__(self) -> None:
+        check_non_negative("leave_rate", self.leave_rate)
+        check_non_negative("mean_downtime", self.mean_downtime)
+        check_probability("straggler_fraction", self.straggler_fraction)
+        check_non_negative("straggler_delay", self.straggler_delay)
+
+    @property
+    def static(self) -> bool:
+        return self.leave_rate == 0.0 and self.straggler_fraction == 0.0
+
+
+class ChurnModel:
+    """Materialised churn: per-device timelines and straggler flags."""
+
+    def __init__(self, config: ChurnConfig, n_devices: int,
+                 horizon: float, seed: SeedLike = 0):
+        self.config = config
+        self.n_devices = n_devices
+        self.horizon = float(horizon)
+        rng = as_generator(seed)
+        if config.straggler_fraction > 0.0:
+            self.stragglers = rng.random(n_devices) < config.straggler_fraction
+        else:
+            self.stragglers = np.zeros(n_devices, dtype=bool)
+        #: Per device: [(time, alive_after), ...] strictly increasing times.
+        self.timelines: List[List[Tuple[float, bool]]] = [
+            self._timeline(rng) for _ in range(n_devices)
+        ]
+
+    def _timeline(self, rng: np.random.Generator) -> List[Tuple[float, bool]]:
+        config = self.config
+        events: List[Tuple[float, bool]] = []
+        if config.leave_rate <= 0.0:
+            return events
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / config.leave_rate))
+            if t >= self.horizon:
+                return events
+            events.append((t, False))
+            if config.mean_downtime <= 0.0:
+                return events      # a permanent departure
+            t += float(rng.exponential(config.mean_downtime))
+            if t >= self.horizon:
+                return events
+            events.append((t, True))
+
+    def report_delay(self, device: int) -> float:
+        """Extra report latency for ``device`` (0 unless a straggler)."""
+        if self.stragglers[device]:
+            return self.config.straggler_delay
+        return 0.0
+
+    @property
+    def churn_events(self) -> int:
+        return sum(len(timeline) for timeline in self.timelines)

@@ -1,0 +1,184 @@
+"""A deterministic virtual-time driver for asyncio actors.
+
+The network runtime must satisfy two requirements that pull in opposite
+directions: actors are ordinary ``async def`` coroutines (so the protocol
+code reads like the deployment code it models), yet a run must be
+**bit-identical** for a given seed — message logs, γ̂ trajectories, fault
+draws, everything — regardless of host load or Python version quirks.
+
+The resolution is that no actor ever touches the wall clock or an
+unordered asyncio primitive:
+
+* every wait goes through the runtime — :meth:`Runtime.sleep` or
+  :meth:`Mailbox.get` — and every wake-up is an entry on **one** event
+  heap ordered by ``(virtual time, insertion sequence)``;
+* the driver pops one event, advances the virtual clock, fires the
+  callback, then yields exactly once to the asyncio loop.  The woken task
+  runs its synchronous segment to its next ``await`` (asyncio runs a task
+  until it yields), during which it may only *push* future events — tasks
+  never resolve each other's futures directly.  So when control returns to
+  the driver, the system is quiescent and the next pop is well-defined;
+* ``Mailbox.get`` returns buffered items without yielding to the loop, so
+  a drain loop stays inside one segment.
+
+The result is a discrete-event simulation (cf.
+:class:`repro.simulation.engine.DiscreteEventSimulator`) whose "processes"
+are real asyncio coroutines, with no wall time anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import math
+from collections import deque
+from typing import Any, Callable, Coroutine, List, Optional, Sequence
+
+
+class VirtualClock:
+    """A monotone virtual clock over a ``(time, seq, action)`` heap."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def call_at(self, when: float, action: Callable[[], Any]) -> None:
+        """Schedule ``action`` at absolute virtual time ``when``."""
+        if math.isnan(when) or when < self.now:
+            raise ValueError(
+                f"cannot schedule at t={when} (current time is {self.now})"
+            )
+        heapq.heappush(self._heap, (float(when), next(self._seq), action))
+
+    def call_later(self, delay: float, action: Callable[[], Any]) -> None:
+        """Schedule ``action`` ``delay`` virtual time units from now."""
+        if math.isnan(delay) or delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.call_at(self.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class Mailbox:
+    """A deterministic single-reader inbox.
+
+    ``put`` is synchronous (called from clock callbacks — message delivery
+    events); ``get`` returns a buffered item *without yielding to the
+    event loop* when one is available, so an actor draining its inbox
+    stays within one synchronous segment.
+    """
+
+    def __init__(self):
+        self._items: deque = deque()
+        self._waiter: Optional[asyncio.Future] = None
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        if self._waiter is not None and not self._waiter.done():
+            self._waiter.set_result(None)
+
+    async def get(self) -> Any:
+        if not self._items:
+            if self._waiter is not None:
+                raise RuntimeError("Mailbox supports a single reader")
+            self._waiter = asyncio.get_running_loop().create_future()
+            try:
+                await self._waiter
+            finally:
+                self._waiter = None
+        return self._items.popleft()
+
+    def drain(self) -> List[Any]:
+        """Pop and return everything currently buffered (no await)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Runtime:
+    """Runs actor coroutines against a :class:`VirtualClock`.
+
+    >>> runtime = Runtime()
+    >>> order = []
+    >>> async def actor(name, delay):
+    ...     await runtime.sleep(delay)
+    ...     order.append((name, runtime.now))
+    >>> runtime.run([actor("b", 2.0), actor("a", 1.0)])
+    >>> order
+    [('a', 1.0), ('b', 2.0)]
+    """
+
+    def __init__(self):
+        self.clock = VirtualClock()
+        self.stopping = False
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling actor for ``delay`` virtual time units."""
+        future = asyncio.get_running_loop().create_future()
+        self.clock.call_later(
+            delay, lambda: future.done() or future.set_result(None)
+        )
+        await future
+
+    def stop(self) -> None:
+        """End the run: the driver exits before the next event fires."""
+        self.stopping = True
+
+    def run(
+        self,
+        actors: Sequence[Coroutine],
+        until: Optional[float] = None,
+    ) -> None:
+        """Drive ``actors`` until :meth:`stop`, heap exhaustion or ``until``.
+
+        Actor exceptions propagate (the run is torn down first); reaching
+        ``until`` or an empty heap is a normal return, so a run can never
+        deadlock — a fully-silent network simply stops making events.
+        """
+        asyncio.run(self._drive(list(actors), until))
+
+    async def _drive(self, actors: List[Coroutine], until: Optional[float]):
+        tasks = [asyncio.ensure_future(coroutine) for coroutine in actors]
+        try:
+            # Opening segments: every actor runs to its first await,
+            # registering its initial timers/receives.
+            await asyncio.sleep(0)
+            heap = self.clock._heap
+            while not self.stopping:
+                if not heap:
+                    # Quiesce before concluding the run is over: a task
+                    # woken by the last event may still be ready to run
+                    # and can schedule new events or call stop().
+                    await asyncio.sleep(0)
+                    if not heap:
+                        break
+                    continue
+                when, _, action = heapq.heappop(heap)
+                if until is not None and when > until:
+                    break
+                self.clock.now = when
+                action()
+                self.events_fired += 1
+                # One yield: the woken task(s) run to their next await.
+                await asyncio.sleep(0)
+        finally:
+            self.stopping = True
+            for task in tasks:
+                task.cancel()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, Exception) and \
+                    not isinstance(outcome, asyncio.CancelledError):
+                raise outcome

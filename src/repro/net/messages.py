@@ -1,0 +1,144 @@
+"""Typed protocol messages and the append-only message log.
+
+The DTU protocol needs exactly four message kinds:
+
+* :class:`GammaBroadcast` — edge → devices: the estimate γ̂ for a round;
+* :class:`ThresholdReport` — device → edge: the Lemma-1 best response and
+  the offered offload rate ``a_n·α_n(x_n)`` it induces (what the edge
+  aggregates into its utilisation measurement);
+* :class:`Heartbeat` — device → edge: liveness, so silent devices can be
+  pruned from the measurement denominator;
+* :class:`JoinLeave` — device → edge: graceful membership changes (churn).
+
+Messages travel inside :class:`Envelope` records stamped by the transport
+with a global sequence number, send time and delivery time.  The
+:class:`MessageLog` records every fate (sent / delivered / dropped / …) as
+a plain tuple; two runs with the same seed must produce *equal* logs —
+the reproducibility contract ``tests/test_net.py`` pins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+Address = Union[int, str]   # devices are ints, the coordinator is "edge"
+
+
+@dataclass(frozen=True)
+class GammaBroadcast:
+    """The edge's estimate γ̂ for ``round`` (Algorithm 1's broadcast)."""
+
+    round: int
+    estimate: float     # γ̂
+    step: float         # current η (diagnostic, lets devices reason about it)
+
+
+@dataclass(frozen=True)
+class ThresholdReport:
+    """A device's best response to the latest broadcast it received."""
+
+    device: int
+    round: int          # the broadcast round being answered
+    threshold: float    # Lemma-1 optimal x*
+    offload_rate: float  # a_n · α_n(x*) — the device's offered edge load
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness signal."""
+
+    device: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class JoinLeave:
+    """Graceful membership change: ``joining=False`` announces departure."""
+
+    device: int
+    joining: bool
+
+
+Message = Union[GammaBroadcast, ThresholdReport, Heartbeat, JoinLeave]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight, stamped by the transport."""
+
+    seq: int
+    src: Address
+    dst: Address
+    sent_at: float
+    delivered_at: float
+    message: Message
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+    @property
+    def kind(self) -> str:
+        return type(self.message).__name__
+
+
+#: One log row: (event, seq, src, dst, kind, sent_at, delivered_at).
+#: ``delivered_at`` is None for fates that never deliver (drops), keeping
+#: rows equality-comparable (NaN would break log comparison).
+LogEntry = Tuple[str, int, Address, Address, str, float, Optional[float]]
+
+
+class MessageLog:
+    """Append-only record of every message fate, in event order.
+
+    ``record_entries=False`` keeps only the fate counters — the 10⁴-device
+    benchmark would otherwise retain millions of tuples.
+    """
+
+    def __init__(self, record_entries: bool = True):
+        self.record_entries = record_entries
+        self.entries: List[LogEntry] = []
+        self.counts: Counter = Counter()
+
+    def record(self, event: str, envelope: Envelope,
+               delivered: bool = True) -> None:
+        self.counts[event] += 1
+        if self.record_entries:
+            self.entries.append((
+                event, envelope.seq, envelope.src, envelope.dst,
+                envelope.kind, envelope.sent_at,
+                envelope.delivered_at if delivered else None,
+            ))
+
+    def count(self, event: str) -> int:
+        return self.counts.get(event, 0)
+
+    @property
+    def attempted(self) -> int:
+        """Messages handed to the transport, whatever their fate.
+
+        Drops never reach the inner transport's "sent" accounting, so the
+        attempt count is sent + dropped + partitioned.
+        """
+        return (self.count("sent") + self.count("dropped")
+                + self.count("partitioned"))
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered / attempted (1.0 on an empty log)."""
+        attempted = self.attempted
+        return self.count("delivered") / attempted if attempted else 1.0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, MessageLog):
+            return NotImplemented
+        return self.entries == other.entries and self.counts == other.counts
+
+    def __repr__(self) -> str:
+        stats = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"MessageLog({stats})"

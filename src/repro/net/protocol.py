@@ -1,0 +1,260 @@
+"""Wire the actors together: configuration, runner, and result types.
+
+:func:`run_net_dtu` is the network-runtime analogue of
+:func:`repro.core.dtu.run_dtu`: it builds a deterministic
+:class:`~repro.net.clock.Runtime`, a :class:`~repro.net.transport.LocalTransport`
+(optionally wrapped in a :class:`~repro.net.transport.FaultyTransport`),
+one :class:`~repro.net.actors.DeviceAgent` per user of a
+:class:`~repro.population.sampler.Population`, and an
+:class:`~repro.net.actors.EdgeCoordinator`, then drives the whole fleet to
+convergence (or the horizon) in virtual time.
+
+Two contracts, both pinned by ``tests/test_net.py``:
+
+* with no faults, no churn, and a synchronous schedule the γ̂ trajectory
+  equals the one from ``run_dtu`` with the analytic ``J1`` oracle **to the
+  bit**;
+* the same ``NetConfig`` (including ``seed``) yields a bit-identical
+  message log on every rerun — fault draws, churn timelines, and delivery
+  order are all functions of the seed alone.
+
+Seeds for the fault process and the churn process are derived from
+``NetConfig.seed`` via :func:`repro.runtime.task.derive_seeds`, so the two
+random streams stay independent however many draws each consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.net.actors import EDGE_ADDRESS, DeviceAgent, EdgeCoordinator, NetTrace
+from repro.net.churn import ChurnConfig, ChurnModel
+from repro.net.clock import Runtime
+from repro.net.messages import MessageLog
+from repro.net.transport import FaultConfig, FaultyTransport, LocalTransport
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
+from repro.population.sampler import Population
+from repro.runtime.task import derive_seeds
+from repro.utils.rng import SeedLike
+from repro.utils.validation import (
+    check_int_positive,
+    check_positive,
+    check_unit_interval,
+)
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Everything that parameterises a network DTU run.
+
+    The DTU hyperparameters (``initial_step``, ``tolerance``,
+    ``initial_estimate``) mean exactly what they do in
+    :class:`repro.core.dtu.DtuConfig`; the rest governs timing, fault
+    injection, and churn.  All times are virtual-clock units.
+    """
+
+    # -- Algorithm 1 hyperparameters --
+    initial_step: float = 0.1
+    tolerance: float = 1e-2
+    initial_estimate: float = 0.0
+    max_rounds: int = 500            # broadcast budget (incl. retries)
+
+    # -- coordinator timing --
+    report_timeout: float = 1.0      # wait after a broadcast before measuring
+    report_window: float = 3.0       # sliding window for usable reports
+    liveness_timeout: Optional[float] = 10.0   # silence ⇒ presumed dead
+    heartbeat_interval: float = 0.0  # 0 disables device heartbeats
+    silence_decay: float = 0.5       # η multiplier on a fully-silent round
+    backoff: float = 2.0             # wait multiplier after silence
+    max_backoff: float = 8.0         # wait ceiling
+
+    # -- environment --
+    faults: Optional[FaultConfig] = None
+    churn: Optional[ChurnConfig] = None
+    seed: SeedLike = 0               # pins fault draws and churn timelines
+    log_messages: bool = True        # False keeps only counters (big runs)
+    horizon: Optional[float] = None  # None → derived from the round budget
+
+    def __post_init__(self) -> None:
+        check_unit_interval("initial_step", self.initial_step, open_left=True)
+        check_unit_interval("tolerance", self.tolerance,
+                            open_left=True, open_right=True)
+        check_unit_interval("initial_estimate", self.initial_estimate)
+        check_int_positive("max_rounds", self.max_rounds)
+        check_positive("report_timeout", self.report_timeout)
+        check_positive("report_window", self.report_window)
+        if self.liveness_timeout is not None:
+            check_positive("liveness_timeout", self.liveness_timeout)
+        check_unit_interval("silence_decay", self.silence_decay)
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        check_positive("max_backoff", self.max_backoff)
+
+    def resolved_horizon(self) -> float:
+        """The run's hard virtual-time limit.
+
+        Every coordinator round waits at most ``max(report_timeout,
+        max_backoff)``, so the budgeted rounds fit under this horizon with
+        one round of slack for in-flight deliveries.
+        """
+        if self.horizon is not None:
+            return self.horizon
+        per_round = max(self.report_timeout, self.max_backoff)
+        return per_round * (self.max_rounds + 1)
+
+
+@dataclass(frozen=True)
+class NetDtuResult:
+    """Final state of a network DTU run."""
+
+    estimated_utilization: float     # final γ̂ at the coordinator
+    measured_utilization: float      # last windowed measurement (NaN if none)
+    iterations: int                  # Eq. 4 updates applied
+    rounds: int                      # broadcasts sent (incl. retries)
+    silent_rounds: int               # rounds degraded for lack of reports
+    converged: bool
+    trace: NetTrace
+    log: MessageLog
+    events_fired: int                # virtual-clock events processed
+    virtual_time: float              # clock value when the run ended
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.log.delivered_fraction
+
+
+def build_devices(
+    population: Population,
+    delay_model: EdgeDelayModel,
+    runtime: Runtime,
+    transport,
+    heartbeat_interval: float = 0.0,
+    churn_model: Optional[ChurnModel] = None,
+) -> List[DeviceAgent]:
+    """One :class:`DeviceAgent` per user, in index order."""
+    devices = []
+    for index in range(population.size):
+        report_delay = churn_model.report_delay(index) if churn_model else 0.0
+        devices.append(DeviceAgent(
+            index=index,
+            arrival_rate=float(population.arrival_rates[index]),
+            service_rate=float(population.service_rates[index]),
+            offload_latency=float(population.offload_latencies[index]),
+            energy_local=float(population.energy_local[index]),
+            energy_offload=float(population.energy_offload[index]),
+            weight=float(population.weights[index]),
+            delay_model=delay_model,
+            runtime=runtime,
+            transport=transport,
+            heartbeat_interval=heartbeat_interval,
+            report_delay=report_delay,
+        ))
+    return devices
+
+
+def run_net_dtu(
+    population: Population,
+    config: Optional[NetConfig] = None,
+    delay_model: Optional[EdgeDelayModel] = None,
+    recorder: Optional[Recorder] = None,
+) -> NetDtuResult:
+    """Run the message-passing DTU protocol over ``population``.
+
+    Parameters
+    ----------
+    population:
+        The heterogeneous fleet; device ``n`` gets user ``n``'s parameters.
+    config:
+        Timing, fault, and churn settings; defaults are fault-free and
+        synchronous, which reproduces :func:`repro.core.dtu.run_dtu`.
+    delay_model:
+        The edge delay ``g(γ)``; defaults to the paper's ``1/(1.1 − γ)``.
+    recorder:
+        Observability sink (see :mod:`repro.obs`); defaults to the ambient
+        recorder.
+    """
+    config = config or NetConfig()
+    delay_model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
+    obs = resolve_recorder(recorder)
+    fault_seed, churn_seed = derive_seeds(config.seed, 2)
+
+    runtime = Runtime()
+    local = LocalTransport(runtime, record_log=config.log_messages,
+                           recorder=recorder)
+    transport = local
+    if config.faults is not None and not config.faults.faultless:
+        transport = FaultyTransport(local, config.faults, seed=fault_seed,
+                                    recorder=recorder)
+
+    horizon = config.resolved_horizon()
+    churn_model = None
+    if config.churn is not None and not config.churn.static:
+        churn_model = ChurnModel(config.churn, population.size, horizon,
+                                 seed=churn_seed)
+
+    devices = build_devices(
+        population, delay_model, runtime, transport,
+        heartbeat_interval=config.heartbeat_interval,
+        churn_model=churn_model,
+    )
+    coordinator = EdgeCoordinator(
+        runtime=runtime,
+        transport=transport,
+        devices=range(population.size),
+        capacity=population.capacity,
+        config=config,
+        recorder=recorder,
+    )
+    if churn_model is not None:
+        for device, timeline in zip(devices, churn_model.timelines):
+            for when, alive_after in timeline:
+                runtime.clock.call_at(
+                    when,
+                    lambda d=device, a=alive_after: d.set_alive(a),
+                )
+
+    if obs.enabled:
+        obs.event(
+            "net.start", n_devices=population.size,
+            seed=str(config.seed), horizon=horizon,
+            faulty=transport is not local,
+            churning=churn_model is not None,
+        )
+
+    runtime.run(
+        [coordinator.run()] + [device.run() for device in devices],
+        until=horizon,
+    )
+
+    measured = (coordinator.final_measured
+                if coordinator.final_measured is not None else float("nan"))
+    if obs.enabled:
+        obs.event(
+            "net.done", converged=coordinator.converged,
+            iterations=coordinator.iterations, rounds=coordinator.round,
+            gamma_hat=coordinator.stepper.estimate,
+            virtual_time=runtime.now, events=runtime.events_fired,
+        )
+    return NetDtuResult(
+        estimated_utilization=coordinator.stepper.estimate,
+        measured_utilization=measured,
+        iterations=coordinator.iterations,
+        rounds=coordinator.round,
+        silent_rounds=coordinator.silent_rounds,
+        converged=coordinator.converged,
+        trace=coordinator.trace,
+        log=transport.log,
+        events_fired=runtime.events_fired,
+        virtual_time=runtime.now,
+    )
+
+
+def with_faults(config: NetConfig, **fault_kwargs) -> NetConfig:
+    """Convenience: a copy of ``config`` with the given fault parameters."""
+    base = config.faults or FaultConfig()
+    return replace(config, faults=replace(base, **fault_kwargs))

@@ -1,0 +1,183 @@
+"""Message transports: reliable local delivery and composable faults.
+
+:class:`LocalTransport` is the ground truth: every ``send`` schedules a
+delivery event on the runtime's virtual clock (plus any latency the caller
+or a wrapper adds) into the destination :class:`~repro.net.clock.Mailbox`,
+and records the fate in a :class:`~repro.net.messages.MessageLog`.
+
+:class:`FaultyTransport` wraps any transport and injects, from one seeded
+generator, the failure modes a real radio/backhaul exhibits:
+
+* **loss** — each message is independently dropped with probability
+  ``loss``;
+* **latency + jitter** — a base delay plus an exponential jitter term;
+  because jitter is per-message, later sends can overtake earlier ones,
+  which is exactly message **reordering**;
+* **duplication** — with probability ``duplicate`` a second copy is
+  delivered with its own independent delay;
+* **partitions** — time windows during which a set of devices is cut off
+  from everyone else, both directions.
+
+Fault draws happen in send order, and send order is fixed by the
+deterministic runtime, so a seed pins the entire fault schedule — rerunning
+yields an identical message log.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Tuple
+
+from repro.net.clock import Mailbox, Runtime
+from repro.net.messages import Address, Envelope, Message, MessageLog
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_non_negative, check_probability
+
+
+class Transport(Protocol):
+    """Anything that can carry a message toward an address."""
+
+    log: MessageLog
+
+    def send(self, src: Address, dst: Address, message: Message,
+             delay: float = 0.0) -> None:
+        """Hand ``message`` to the network (fire and forget)."""
+
+
+class LocalTransport:
+    """In-process delivery over the virtual clock — reliable and ordered
+    (ties broken by send sequence)."""
+
+    def __init__(self, runtime: Runtime, record_log: bool = True,
+                 recorder: Optional[Recorder] = None):
+        self.runtime = runtime
+        self.log = MessageLog(record_entries=record_log)
+        self._mailboxes: dict = {}
+        self._seq = itertools.count()
+        self._obs = resolve_recorder(recorder)
+
+    def register(self, address: Address) -> Mailbox:
+        """Create (or return) the inbox for ``address``."""
+        if address not in self._mailboxes:
+            self._mailboxes[address] = Mailbox()
+        return self._mailboxes[address]
+
+    def send(self, src: Address, dst: Address, message: Message,
+             delay: float = 0.0) -> None:
+        now = self.runtime.clock.now
+        envelope = Envelope(
+            seq=next(self._seq), src=src, dst=dst,
+            sent_at=now, delivered_at=now + delay, message=message,
+        )
+        self.log.record("sent", envelope)
+        if self._obs.enabled:
+            self._obs.count("net.messages_sent")
+        self.runtime.clock.call_at(
+            envelope.delivered_at, lambda: self._deliver(envelope)
+        )
+
+    def _deliver(self, envelope: Envelope) -> None:
+        mailbox = self._mailboxes.get(envelope.dst)
+        if mailbox is None:
+            self.log.record("unroutable", envelope, delivered=False)
+            return
+        self.log.record("delivered", envelope)
+        if self._obs.enabled:
+            self._obs.count("net.messages_delivered")
+            self._obs.observe("net.delivery_latency", envelope.latency)
+        mailbox.put(envelope)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """During ``[start, end)`` the ``devices`` set is unreachable —
+    messages between a partitioned and a non-partitioned address are
+    dropped in both directions (traffic within either side still flows)."""
+
+    start: float
+    end: float
+    devices: frozenset = field(default_factory=frozenset)
+
+    def blocks(self, src: Address, dst: Address, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return (src in self.devices) != (dst in self.devices)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded fault model for :class:`FaultyTransport`."""
+
+    loss: float = 0.0            # P(message dropped)
+    duplicate: float = 0.0       # P(one extra delivery)
+    latency: float = 0.0         # base one-way delay
+    jitter: float = 0.0          # mean of the exponential jitter term
+    partitions: Tuple[Partition, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_probability("loss", self.loss)
+        check_probability("duplicate", self.duplicate)
+        check_non_negative("latency", self.latency)
+        check_non_negative("jitter", self.jitter)
+
+    @property
+    def faultless(self) -> bool:
+        return (self.loss == 0.0 and self.duplicate == 0.0
+                and self.latency == 0.0 and self.jitter == 0.0
+                and not self.partitions)
+
+
+class FaultyTransport:
+    """A transport wrapper injecting seeded loss/delay/duplication/partitions."""
+
+    def __init__(self, inner: Transport, faults: FaultConfig,
+                 seed: SeedLike = 0, recorder: Optional[Recorder] = None):
+        self.inner = inner
+        self.faults = faults
+        self.rng = as_generator(seed)
+        self._obs = resolve_recorder(recorder)
+
+    @property
+    def log(self) -> MessageLog:
+        return self.inner.log
+
+    @property
+    def runtime(self) -> Runtime:
+        return self.inner.runtime
+
+    def register(self, address: Address) -> Mailbox:
+        return self.inner.register(address)
+
+    def send(self, src: Address, dst: Address, message: Message,
+             delay: float = 0.0) -> None:
+        faults = self.faults
+        now = self.runtime.clock.now
+        for partition in faults.partitions:
+            if partition.blocks(src, dst, now):
+                self._drop("partitioned", src, dst, message, now)
+                return
+        if faults.loss > 0.0 and self.rng.random() < faults.loss:
+            self._drop("dropped", src, dst, message, now)
+            return
+        self.inner.send(src, dst, message, delay + self._delay())
+        if faults.duplicate > 0.0 and self.rng.random() < faults.duplicate:
+            self.log.counts["duplicated"] += 1
+            if self._obs.enabled:
+                self._obs.count("net.messages_duplicated")
+            self.inner.send(src, dst, message, delay + self._delay())
+
+    def _delay(self) -> float:
+        jitter = self.faults.jitter
+        extra = float(self.rng.exponential(jitter)) if jitter > 0.0 else 0.0
+        return self.faults.latency + extra
+
+    def _drop(self, fate: str, src: Address, dst: Address,
+              message: Message, now: float) -> None:
+        envelope = Envelope(seq=-1, src=src, dst=dst, sent_at=now,
+                            delivered_at=now, message=message)
+        self.log.record(fate, envelope, delivered=False)
+        if self._obs.enabled:
+            self._obs.count("net.messages_dropped")

@@ -29,12 +29,48 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.best_response import optimal_threshold_from_surcharge
+from repro.core.dtu import DtuStepper
 from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
 from repro.population.sampler import Population
 from repro.simulation.engine import DiscreteEventSimulator
 from repro.simulation.measurement import ExponentialService, ServiceModel
 from repro.utils.rng import SeedLike, spawn_streams
 from repro.utils.validation import check_positive
+
+
+class WindowedRateEstimator:
+    """Sliding-window event-rate → utilisation estimator (the edge side).
+
+    Records offload timestamps and reports the utilisation over the
+    trailing ``window``: ``count / span / total_capacity``, capped at 1.
+    During warm-up (``now < window``) the span is the time actually
+    elapsed, so early estimates are not biased low by a mostly-empty
+    window; at ``now == 0`` the span falls back to the nominal window
+    (never a division by zero), and an empty window measures 0 — edge
+    cases the continuous run hits on its first broadcasts.
+    """
+
+    def __init__(self, window: float, total_capacity: float):
+        self.window = check_positive("window", window)
+        self.total_capacity = check_positive("total_capacity", total_capacity)
+        self._times: deque = deque()
+
+    def record(self, time: float) -> None:
+        """Log one offload event at ``time`` (times must be non-decreasing)."""
+        self._times.append(time)
+
+    @property
+    def count(self) -> int:
+        """Events currently retained (pruning happens on ``measure``)."""
+        return len(self._times)
+
+    def measure(self, now: float) -> float:
+        """Utilisation over ``(now − window, now]``, in ``[0, 1]``."""
+        cutoff = now - self.window
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+        span = min(self.window, now) or self.window
+        return min(1.0, len(self._times) / span / self.total_capacity)
 
 
 @dataclass
@@ -112,10 +148,11 @@ class OnlineSimulation:
         thresholds = np.zeros(n)          # devices start offloading all
         floors = np.zeros(n, dtype=np.int64)
         fractions = np.zeros(n)
-        offload_times: deque = deque()    # timestamps of recent offloads
-        broadcast = {"estimate": 0.0, "previous": 1.0, "step":
-                     self.initial_step, "counter": 1, "count": 0}
-        total_capacity = n * population.capacity
+        estimator = WindowedRateEstimator(
+            self.window, n * population.capacity
+        )
+        stepper = DtuStepper(initial_step=self.initial_step)
+        broadcasts = 0
         services = [
             self.service_model.distribution(float(population.service_rates[i]))
             for i in range(n)
@@ -150,7 +187,7 @@ class OnlineSimulation:
                         lambda: on_departure(i),
                     )
             else:
-                offload_times.append(sim.now)
+                estimator.record(sim.now)
             sim.schedule_after(
                 float(device_rngs[i].exponential(
                     1.0 / population.arrival_rates[i])),
@@ -158,7 +195,7 @@ class OnlineSimulation:
             )
 
         def on_threshold_update(i: int) -> None:
-            surcharge = (self.delay_model(broadcast["estimate"])
+            surcharge = (self.delay_model(stepper.estimate)
                          + population.offload_latencies[i]
                          + population.weights[i]
                          * (population.energy_offload[i]
@@ -175,30 +212,12 @@ class OnlineSimulation:
             )
 
         # --- edge process ---------------------------------------------------
-        def measure_window() -> float:
-            cutoff = sim.now - self.window
-            while offload_times and offload_times[0] < cutoff:
-                offload_times.popleft()
-            span = min(self.window, sim.now) or self.window
-            return min(1.0, len(offload_times) / span / total_capacity)
-
         def on_broadcast() -> None:
-            measured = measure_window()
-            estimate = broadcast["estimate"]
-            diff = measured - estimate
-            if abs(diff) > 1e-12:
-                new_estimate = min(1.0, max(
-                    0.0, estimate + broadcast["step"] * np.sign(diff)))
-            else:
-                new_estimate = estimate
-            # Oscillation rule (Algorithm 1, lines 9–14).
-            if broadcast["count"] >= 2 and \
-                    abs(new_estimate - broadcast["previous"]) <= 1e-12:
-                broadcast["counter"] += 1
-                broadcast["step"] = self.initial_step / broadcast["counter"]
-            broadcast["previous"] = estimate
-            broadcast["estimate"] = new_estimate
-            broadcast["count"] += 1
+            nonlocal broadcasts
+            measured = estimator.measure(sim.now)
+            # Eq. 4 sign step + oscillation rule (Algorithm 1, lines 9–14).
+            new_estimate = stepper.update(measured)
+            broadcasts += 1
             trace.times.append(sim.now)
             trace.estimated.append(new_estimate)
             trace.measured.append(measured)
@@ -221,7 +240,7 @@ class OnlineSimulation:
 
         return OnlineResult(
             trace=trace,
-            final_estimate=broadcast["estimate"],
+            final_estimate=stepper.estimate,
             final_measured=trace.measured[-1] if trace.measured else 0.0,
-            broadcasts=broadcast["count"],
+            broadcasts=broadcasts,
         )

@@ -33,6 +33,10 @@ def pytest_configure(config):
         "markers",
         "des: exercises the discrete-event/vectorized simulators "
         "(seconds-scale; skipped by `make test-fast`)")
+    config.addinivalue_line(
+        "markers",
+        "net: exercises the asynchronous message-passing runtime "
+        "(repro.net actors over the virtual clock)")
 
 
 def pytest_collection_modifyitems(config, items):

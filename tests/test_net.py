@@ -1,0 +1,529 @@
+"""Tests for repro.net — the asynchronous message-passing DTU runtime.
+
+The two load-bearing contracts:
+
+* **Equivalence** — fault-free, synchronous-schedule ``run_net_dtu``
+  reproduces the ``run_dtu`` γ̂/γ trajectory *to the bit* (the network
+  runtime is Algorithm 1, not an approximation of it);
+* **Determinism** — the same seed yields bit-identical message logs and
+  traces on every rerun, faults and churn included.
+
+Plus unit coverage of the virtual clock, mailbox, transports, fault
+injection, churn model, graceful degradation, and a hypothesis property:
+any seeded fault schedule with loss < 1 terminates with γ̂ ∈ [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.core.meanfield import MeanFieldMap
+from repro.net import (
+    ChurnConfig,
+    ChurnModel,
+    FaultConfig,
+    FaultyTransport,
+    GammaBroadcast,
+    LocalTransport,
+    Mailbox,
+    MessageLog,
+    NetConfig,
+    Partition,
+    Runtime,
+    ThresholdReport,
+    VirtualClock,
+    run_net_dtu,
+    with_faults,
+)
+from repro.population.distributions import Uniform
+from repro.population.sampler import PopulationConfig, sample_population
+
+pytestmark = pytest.mark.net
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """A 60-device heterogeneous fleet (Section IV-A style, scaled down)."""
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    return sample_population(config, 60, rng=7)
+
+
+# ---------------------------------------------------------------------------
+# Virtual clock and mailbox
+# ---------------------------------------------------------------------------
+
+
+class TestVirtualClock:
+    def test_events_fire_in_time_order_with_fifo_ties(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(2.0, lambda: fired.append("late"))
+        clock.call_at(1.0, lambda: fired.append("early"))
+        clock.call_at(1.0, lambda: fired.append("early-second"))
+        runtime = Runtime()
+        runtime.clock = clock
+
+        async def idle():
+            await runtime.sleep(10.0)
+
+        runtime.run([idle()], until=5.0)
+        assert fired == ["early", "early-second", "late"]
+
+    def test_rejects_past_and_nan(self):
+        clock = VirtualClock(start_time=5.0)
+        with pytest.raises(ValueError):
+            clock.call_at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            clock.call_at(float("nan"), lambda: None)
+        with pytest.raises(ValueError):
+            clock.call_later(-1.0, lambda: None)
+
+    def test_pending_counts_heap(self):
+        clock = VirtualClock()
+        assert clock.pending == 0
+        clock.call_later(1.0, lambda: None)
+        clock.call_later(2.0, lambda: None)
+        assert clock.pending == 2
+
+
+class TestMailbox:
+    def test_buffered_get_and_drain(self):
+        runtime = Runtime()
+        box = Mailbox()
+        seen = []
+
+        async def reader():
+            seen.append(await box.get())
+            seen.append(await box.get())
+            runtime.stop()
+
+        async def writer():
+            await runtime.sleep(1.0)
+            box.put("a")
+            box.put("b")
+
+        runtime.run([reader(), writer()])
+        assert seen == ["a", "b"]
+        box.put("c")
+        box.put("d")
+        assert box.drain() == ["c", "d"]
+        assert len(box) == 0
+
+    def test_single_reader_enforced(self):
+        runtime = Runtime()
+        box = Mailbox()
+        failures = []
+
+        async def reader():
+            try:
+                await box.get()
+            except RuntimeError as error:
+                failures.append(error)
+                runtime.stop()
+
+        async def tick():
+            await runtime.sleep(1.0)
+
+        runtime.run([reader(), reader(), tick()])
+        assert len(failures) == 1
+
+
+class TestRuntime:
+    def test_sleep_ordering(self):
+        runtime = Runtime()
+        order = []
+
+        async def actor(name, delay):
+            await runtime.sleep(delay)
+            order.append((name, runtime.now))
+
+        runtime.run([actor("b", 2.0), actor("a", 1.0)])
+        assert order == [("a", 1.0), ("b", 2.0)]
+        assert runtime.events_fired == 2
+
+    def test_until_caps_virtual_time(self):
+        runtime = Runtime()
+        reached = []
+
+        async def actor():
+            while True:
+                await runtime.sleep(1.0)
+                reached.append(runtime.now)
+
+        runtime.run([actor()], until=3.5)
+        assert reached == [1.0, 2.0, 3.0]
+
+    def test_actor_exception_propagates(self):
+        runtime = Runtime()
+
+        async def bomb():
+            await runtime.sleep(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            runtime.run([bomb()])
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+class TestLocalTransport:
+    def test_delivery_with_latency_and_log(self):
+        runtime = Runtime()
+        transport = LocalTransport(runtime)
+        box = transport.register(1)
+        received = []
+
+        async def reader():
+            envelope = await box.get()
+            received.append((runtime.now, envelope.latency, envelope.message))
+            runtime.stop()
+
+        async def sender():
+            await runtime.sleep(1.0)
+            transport.send("edge", 1, GammaBroadcast(1, 0.5, 0.1), delay=0.25)
+
+        runtime.run([reader(), sender()])
+        assert received == [(1.25, 0.25, GammaBroadcast(1, 0.5, 0.1))]
+        assert transport.log.count("sent") == 1
+        assert transport.log.count("delivered") == 1
+
+    def test_unroutable_destination_is_logged_not_fatal(self):
+        runtime = Runtime()
+        transport = LocalTransport(runtime)
+
+        async def sender():
+            transport.send("edge", 99, GammaBroadcast(1, 0.5, 0.1))
+            await runtime.sleep(1.0)
+
+        runtime.run([sender()])
+        assert transport.log.count("unroutable") == 1
+        assert transport.log.count("delivered") == 0
+
+
+class TestFaultyTransport:
+    def _net(self, faults, seed=0):
+        runtime = Runtime()
+        transport = FaultyTransport(LocalTransport(runtime), faults, seed=seed)
+        return runtime, transport
+
+    def test_total_loss_drops_everything(self):
+        runtime, transport = self._net(FaultConfig(loss=1.0))
+        transport.register(1)
+
+        async def sender():
+            for _ in range(10):
+                transport.send("edge", 1, GammaBroadcast(1, 0.5, 0.1))
+            await runtime.sleep(1.0)
+
+        runtime.run([sender()])
+        assert transport.log.count("dropped") == 10
+        assert transport.log.count("delivered") == 0
+        assert transport.log.delivered_fraction == 0.0
+
+    def test_partition_blocks_both_directions_inside_window(self):
+        faults = FaultConfig(partitions=(Partition(1.0, 3.0, frozenset({1})),))
+        runtime, transport = self._net(faults)
+        transport.register(1)
+        transport.register("edge")
+
+        async def sender():
+            transport.send("edge", 1, GammaBroadcast(1, 0.5, 0.1))   # t=0: flows
+            await runtime.sleep(2.0)
+            transport.send("edge", 1, GammaBroadcast(2, 0.5, 0.1))   # blocked
+            transport.send(1, "edge", ThresholdReport(1, 2, 0.0, 0.0))  # blocked
+            await runtime.sleep(2.0)
+            transport.send("edge", 1, GammaBroadcast(3, 0.5, 0.1))   # healed
+            await runtime.sleep(1.0)
+
+        runtime.run([sender()])
+        assert transport.log.count("partitioned") == 2
+        assert transport.log.count("delivered") == 2
+
+    def test_duplication_delivers_extra_copies(self):
+        runtime, transport = self._net(FaultConfig(duplicate=1.0), seed=5)
+        transport.register(1)
+
+        async def sender():
+            transport.send("edge", 1, GammaBroadcast(1, 0.5, 0.1))
+            await runtime.sleep(1.0)
+
+        runtime.run([sender()])
+        assert transport.log.count("duplicated") == 1
+        assert transport.log.count("delivered") == 2
+
+    def test_jitter_reorders_messages(self):
+        runtime, transport = self._net(FaultConfig(jitter=1.0), seed=2)
+        box = transport.register(1)
+        arrivals = []
+
+        async def reader():
+            while len(arrivals) < 20:
+                envelope = await box.get()
+                arrivals.append(envelope.message.round)
+            runtime.stop()
+
+        async def sender():
+            for round_number in range(20):
+                transport.send("edge", 1, GammaBroadcast(round_number, 0.5, 0.1))
+            await runtime.sleep(100.0)
+
+        runtime.run([reader(), sender()])
+        assert sorted(arrivals) == list(range(20))
+        assert arrivals != list(range(20))   # exponential jitter reordered
+
+    def test_same_seed_same_schedule(self):
+        for _ in range(2):
+            logs = []
+            for attempt in range(2):
+                runtime, transport = self._net(
+                    FaultConfig(loss=0.3, duplicate=0.2, jitter=0.5), seed=9)
+                transport.register(1)
+
+                async def sender():
+                    for round_number in range(50):
+                        transport.send("edge", 1,
+                                       GammaBroadcast(round_number, 0.5, 0.1))
+                    await runtime.sleep(100.0)
+
+                runtime.run([sender()])
+                logs.append(transport.log)
+            assert logs[0] == logs[1]
+
+
+class TestMessageLog:
+    def test_counts_only_mode_keeps_no_entries(self):
+        log = MessageLog(record_entries=False)
+        runtime = Runtime()
+        transport = LocalTransport(runtime, record_log=False)
+        transport.register(1)
+
+        async def sender():
+            transport.send("edge", 1, GammaBroadcast(1, 0.5, 0.1))
+            await runtime.sleep(1.0)
+
+        runtime.run([sender()])
+        assert transport.log.count("delivered") == 1
+        assert len(transport.log) == 0
+        assert len(log) == 0
+
+
+# ---------------------------------------------------------------------------
+# Churn
+# ---------------------------------------------------------------------------
+
+
+class TestChurnModel:
+    def test_static_config_is_empty(self):
+        model = ChurnModel(ChurnConfig(), 10, horizon=100.0, seed=3)
+        assert model.churn_events == 0
+        assert not model.stragglers.any()
+        assert model.report_delay(0) == 0.0
+
+    def test_timelines_alternate_and_stay_in_horizon(self):
+        config = ChurnConfig(leave_rate=0.1, mean_downtime=5.0)
+        model = ChurnModel(config, 20, horizon=200.0, seed=3)
+        assert model.churn_events > 0
+        for timeline in model.timelines:
+            times = [t for t, _ in timeline]
+            assert times == sorted(times)
+            assert all(0.0 < t < 200.0 for t in times)
+            # Strictly alternating leave / rejoin, starting with a leave.
+            expected = [i % 2 == 1 for i in range(len(timeline))]
+            assert [alive for _, alive in timeline] == expected
+
+    def test_zero_downtime_means_permanent_departure(self):
+        config = ChurnConfig(leave_rate=1.0, mean_downtime=0.0)
+        model = ChurnModel(config, 50, horizon=1000.0, seed=3)
+        for timeline in model.timelines:
+            assert len(timeline) <= 1
+            if timeline:
+                assert timeline[0][1] is False
+
+    def test_stragglers_get_the_delay(self):
+        config = ChurnConfig(straggler_fraction=1.0, straggler_delay=2.5)
+        model = ChurnModel(config, 5, horizon=10.0, seed=3)
+        assert model.stragglers.all()
+        assert model.report_delay(4) == 2.5
+
+
+# ---------------------------------------------------------------------------
+# End-to-end protocol
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalence:
+    """Acceptance: fault-free net == run_dtu, bit for bit."""
+
+    def test_fault_free_run_matches_run_dtu_exactly(self, fleet):
+        reference = run_dtu(
+            MeanFieldMap(fleet),
+            DtuConfig(initial_step=0.1, tolerance=1e-2),
+        )
+        result = run_net_dtu(
+            fleet, NetConfig(initial_step=0.1, tolerance=1e-2))
+        assert result.converged and reference.converged
+        assert result.iterations == reference.iterations
+        assert result.estimated_utilization == reference.estimated_utilization
+        ref_estimated = np.asarray(reference.trace.estimated_utilization)
+        ref_actual = np.asarray(reference.trace.actual_utilization)
+        net_estimated = np.asarray(result.trace.estimated)
+        net_measured = np.asarray(result.trace.measured)
+        assert np.array_equal(ref_estimated, net_estimated)
+        assert np.array_equal(ref_actual, net_measured)
+
+    def test_initial_estimate_above_equilibrium(self, fleet):
+        reference = run_dtu(MeanFieldMap(fleet), initial_estimate=1.0)
+        result = run_net_dtu(fleet, NetConfig(initial_estimate=1.0))
+        assert result.estimated_utilization == reference.estimated_utilization
+        assert result.iterations == reference.iterations
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical_logs_and_traces(self, fleet):
+        config = NetConfig(
+            faults=FaultConfig(loss=0.2, duplicate=0.05, latency=0.02,
+                               jitter=0.3),
+            churn=ChurnConfig(leave_rate=0.01, mean_downtime=4.0,
+                              straggler_fraction=0.1, straggler_delay=0.5),
+            heartbeat_interval=2.0, seed=42, max_rounds=80,
+        )
+        first = run_net_dtu(fleet, config)
+        second = run_net_dtu(fleet, config)
+        assert first.log == second.log
+        assert first.trace.estimated == second.trace.estimated
+        assert first.trace.measured == second.trace.measured
+        assert first.events_fired == second.events_fired
+        assert first.estimated_utilization == second.estimated_utilization
+
+    def test_different_seed_different_fault_schedule(self, fleet):
+        base = NetConfig(faults=FaultConfig(loss=0.3, jitter=0.5),
+                         seed=1, max_rounds=40)
+        other = NetConfig(faults=FaultConfig(loss=0.3, jitter=0.5),
+                          seed=2, max_rounds=40)
+        assert run_net_dtu(fleet, base).log != run_net_dtu(fleet, other).log
+
+
+class TestFaultTolerance:
+    def test_converges_near_reference_under_loss(self, fleet):
+        reference = run_dtu(MeanFieldMap(fleet))
+        result = run_net_dtu(
+            fleet,
+            NetConfig(faults=FaultConfig(loss=0.2, jitter=0.2), seed=5,
+                      max_rounds=200),
+        )
+        assert result.converged
+        # Loss biases the measurement but the sign-step still homes in on a
+        # neighbourhood of γ*; a few step-sizes is the right scale.
+        assert abs(result.estimated_utilization
+                   - reference.estimated_utilization) < 0.05
+
+    def test_blackout_degrades_gracefully(self, fleet):
+        config = NetConfig(faults=FaultConfig(loss=1.0), seed=1,
+                           max_rounds=25, initial_estimate=0.4)
+        result = run_net_dtu(fleet, config)
+        assert not result.converged
+        assert result.silent_rounds == 25
+        # γ̂ held, step decayed, no measurement ever recorded.
+        assert result.estimated_utilization == 0.4
+        assert np.isnan(result.measured_utilization)
+        assert len(result.trace.times) == 0
+        assert result.log.count("delivered") == 0
+
+    def test_partition_heals_and_run_converges(self, fleet):
+        config = NetConfig(
+            faults=FaultConfig(
+                partitions=(Partition(0.0, 6.0, frozenset(range(60))),)),
+            seed=3, max_rounds=100,
+        )
+        result = run_net_dtu(fleet, config)
+        assert result.silent_rounds > 0    # everyone unreachable at first
+        assert result.converged
+
+    def test_churned_fleet_still_converges(self, fleet):
+        config = NetConfig(
+            churn=ChurnConfig(leave_rate=0.02, mean_downtime=3.0,
+                              straggler_fraction=0.2, straggler_delay=0.4),
+            heartbeat_interval=2.0, seed=8, max_rounds=200,
+        )
+        result = run_net_dtu(fleet, config)
+        assert result.converged
+        assert 0.0 <= result.estimated_utilization <= 1.0
+        assert result.log.count("delivered") > 0
+
+
+class TestConfig:
+    def test_with_faults_helper(self):
+        config = with_faults(NetConfig(), loss=0.25)
+        assert config.faults.loss == 0.25
+        richer = with_faults(config, jitter=0.5)
+        assert richer.faults.loss == 0.25 and richer.faults.jitter == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            NetConfig(report_timeout=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(loss=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(straggler_fraction=-0.1)
+
+    def test_horizon_covers_round_budget(self):
+        config = NetConfig(max_rounds=10, report_timeout=1.0, max_backoff=8.0)
+        assert config.resolved_horizon() == pytest.approx(88.0)
+        assert NetConfig(horizon=42.0).resolved_horizon() == 42.0
+
+
+# ---------------------------------------------------------------------------
+# Property: any fault schedule with loss < 1 terminates with γ̂ ∈ [0, 1]
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def tiny_fleet():
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    return sample_population(config, 8, rng=11)
+
+
+class TestNetProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        loss=st.floats(min_value=0.0, max_value=0.95),
+        duplicate=st.floats(min_value=0.0, max_value=0.3),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_estimate_stays_in_unit_interval_and_run_terminates(
+            self, tiny_fleet, loss, duplicate, jitter, seed):
+        config = NetConfig(
+            faults=FaultConfig(loss=loss, duplicate=duplicate, jitter=jitter),
+            seed=seed, max_rounds=40, log_messages=False,
+        )
+        result = run_net_dtu(tiny_fleet, config)   # must return, not hang
+        assert 0.0 <= result.estimated_utilization <= 1.0
+        assert result.rounds <= 40
+        assert result.virtual_time <= config.resolved_horizon()
+        for estimate in result.trace.estimated:
+            assert 0.0 <= estimate <= 1.0

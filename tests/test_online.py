@@ -6,7 +6,7 @@ import pytest
 from repro.core.equilibrium import solve_mfne
 from repro.core.meanfield import MeanFieldMap
 from repro.population.sampler import sample_population
-from repro.simulation.online import OnlineSimulation
+from repro.simulation.online import OnlineSimulation, WindowedRateEstimator
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +77,64 @@ class TestOnlineSimulation:
         simulation = OnlineSimulation(online_population, seed=9)
         with pytest.raises(ValueError):
             simulation.run(duration=0.0)
+
+
+class TestWindowedRateEstimator:
+    def test_empty_window_measures_zero(self):
+        estimator = WindowedRateEstimator(window=10.0, total_capacity=5.0)
+        assert estimator.measure(now=0.0) == 0.0
+        assert estimator.measure(now=100.0) == 0.0
+        assert estimator.count == 0
+
+    def test_measure_at_time_zero_has_no_division_by_zero(self):
+        estimator = WindowedRateEstimator(window=10.0, total_capacity=5.0)
+        estimator.record(0.0)
+        # span falls back to the nominal window: 1 event / 10 / 5.
+        assert estimator.measure(now=0.0) == pytest.approx(0.02)
+
+    def test_warmup_uses_elapsed_time_not_nominal_window(self):
+        estimator = WindowedRateEstimator(window=10.0, total_capacity=1.0)
+        for t in (0.5, 1.0, 1.5, 2.0):
+            estimator.record(t)
+        # Only 2 time units have elapsed: 4 events / 2 / 1, capped at 1.
+        assert estimator.measure(now=2.0) == 1.0
+        # With the nominal window it would have been 4 / 10 = 0.4.
+
+    def test_events_leave_the_window(self):
+        estimator = WindowedRateEstimator(window=10.0, total_capacity=1.0)
+        for t in (1.0, 2.0, 12.0):
+            estimator.record(t)
+        # At t=13 the cutoff is 3: the first two events are pruned.
+        assert estimator.measure(now=13.0) == pytest.approx(0.1)
+        assert estimator.count == 1
+
+    def test_broadcast_interval_shorter_than_window_is_consistent(self):
+        # Measuring every 1 time unit with a 10-unit window must neither
+        # lose nor double-count events: each measurement sees exactly the
+        # events of the trailing window.
+        estimator = WindowedRateEstimator(window=10.0, total_capacity=1.0)
+        times = np.arange(0.5, 40.0, 0.5)     # steady 2 events/unit
+        recorded = 0
+        for now in np.arange(11.0, 40.0, 1.0):
+            while recorded < times.size and times[recorded] <= now:
+                estimator.record(float(times[recorded]))
+                recorded += 1
+            # 21 events land in the closed window [now−10, now] at 0.5
+            # spacing; 21/10/1 caps at 1.
+            assert estimator.measure(float(now)) == 1.0
+            assert estimator.count == 21
+
+    def test_cap_at_one(self):
+        estimator = WindowedRateEstimator(window=1.0, total_capacity=1.0)
+        for t in np.linspace(9.0, 10.0, 50):
+            estimator.record(float(t))
+        assert estimator.measure(now=10.0) == 1.0
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            WindowedRateEstimator(window=0.0, total_capacity=1.0)
+        with pytest.raises(ValueError):
+            WindowedRateEstimator(window=1.0, total_capacity=-2.0)
 
 
 class TestOnlineExperiment:
