@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net experiments experiments-full examples lint clean
+.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,9 @@ bench-fastpath:
 
 bench-net:
 	PYTHONPATH=src python benchmarks/bench_net.py
+
+bench-kernels:
+	PYTHONPATH=src python benchmarks/bench_kernels.py
 
 experiments:
 	python -m repro.experiments

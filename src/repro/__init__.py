@@ -25,6 +25,7 @@ True
 """
 
 from repro.core import (
+    CompiledMeanField,
     DpoEquilibrium,
     DtuConfig,
     DtuResult,
@@ -45,6 +46,7 @@ from repro.core import (
     solve_social_optimum,
     average_queue_length,
     best_response_thresholds,
+    compile_mean_field,
     dpo_population_cost,
     occupancy_distribution,
     offload_probability,
@@ -99,7 +101,8 @@ __all__ = [
     "user_cost", "user_cost_components", "population_average_cost",
     # best response / mean field / equilibrium
     "threshold_staircase", "optimal_threshold", "best_response_thresholds",
-    "MeanFieldMap", "MfneResult", "solve_mfne",
+    "MeanFieldMap", "CompiledMeanField", "compile_mean_field",
+    "MfneResult", "solve_mfne",
     # DTU
     "DtuConfig", "DtuResult", "DtuTrace", "run_dtu",
     # DPO baseline

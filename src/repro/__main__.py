@@ -20,6 +20,12 @@ uniformized-CTMC fast path, see :mod:`repro.simulation.fastpath`).
 duplication, churn, and stragglers — fault-free it reproduces ``dtu``
 exactly. (`python -m repro.experiments` separately regenerates the
 paper's tables and figures.)
+
+All analytical subcommands evaluate ``V(γ)`` through the compiled
+best-response kernel (:mod:`repro.core.kernels`) by default — precomputed
+staircase breakpoints probed in ``O(N log m_max)``, bit-identical to the
+uncompiled search; ``--no-compile`` falls back to the per-evaluation
+staircase sweep.
 """
 
 from __future__ import annotations
@@ -44,6 +50,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--users", type=int, default=5000,
                         help="population size (default 5000)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-compile", action="store_true",
+                        help="skip the compiled best-response kernel and "
+                             "re-run the staircase search per evaluation "
+                             "(results are bit-identical either way)")
 
 
 def _population(args):
@@ -58,10 +68,18 @@ def cmd_scenarios(_args) -> int:
     return 0
 
 
+def _mean_field(args, population) -> MeanFieldMap:
+    """The scenario's best-response map, compiled unless ``--no-compile``."""
+    mean_field = MeanFieldMap(population)
+    if not args.no_compile:
+        mean_field = mean_field.compile()
+    return mean_field
+
+
 def cmd_solve(args) -> int:
     population = _population(args)
-    mean_field = MeanFieldMap(population)
-    result = solve_mfne(mean_field)
+    mean_field = _mean_field(args, population)
+    result = solve_mfne(mean_field, compile_kernel=not args.no_compile)
     print(f"scenario: {args.scenario} (N={population.size}, "
           f"c={population.capacity:g})")
     print(f"MFNE γ* = {result.utilization:.6f} "
@@ -80,15 +98,17 @@ def cmd_solve(args) -> int:
 
 def cmd_dtu(args) -> int:
     population = _population(args)
-    mean_field = MeanFieldMap(population)
-    gamma_star = solve_mfne(mean_field).utilization
+    mean_field = _mean_field(args, population)
+    gamma_star = solve_mfne(
+        mean_field, compile_kernel=not args.no_compile).utilization
     config = DtuConfig(
         initial_step=args.step,
         tolerance=args.tolerance,
         update_probability=args.update_probability,
         seed=args.seed,
     )
-    result = run_dtu(mean_field, config)
+    result = run_dtu(mean_field, config,
+                     compile_kernel=not args.no_compile)
     print(f"scenario: {args.scenario} (N={population.size})")
     print(f"γ* = {gamma_star:.4f}; DTU converged={result.converged} in "
           f"{result.iterations} iterations; final γ = "
@@ -108,7 +128,9 @@ def cmd_net(args) -> int:
     from repro.net import ChurnConfig, FaultConfig, NetConfig, run_net_dtu
 
     population = _population(args)
-    gamma_star = solve_mfne(MeanFieldMap(population)).utilization
+    gamma_star = solve_mfne(
+        MeanFieldMap(population),
+        compile_kernel=not args.no_compile).utilization
     faults = None
     if args.loss or args.duplicate or args.latency or args.jitter:
         faults = FaultConfig(loss=args.loss, duplicate=args.duplicate,
@@ -125,7 +147,8 @@ def cmd_net(args) -> int:
         faults=faults, churn=churn, seed=args.seed,
         log_messages=False,    # CLI runs can be large; counters suffice
     )
-    result = run_net_dtu(population, config)
+    result = run_net_dtu(population, config,
+                         compile_kernel=not args.no_compile)
     log = result.log
     print(f"scenario: {args.scenario} (N={population.size}, "
           f"seed={args.seed})")
@@ -149,8 +172,8 @@ def cmd_net(args) -> int:
 
 def cmd_compare(args) -> int:
     population = _population(args)
-    mean_field = MeanFieldMap(population)
-    mfne = solve_mfne(mean_field)
+    mean_field = _mean_field(args, population)
+    mfne = solve_mfne(mean_field, compile_kernel=not args.no_compile)
     dtu_cost = mean_field.average_cost(mfne.utilization)
     dpo = solve_dpo_equilibrium(population)
     saving = 100 * (dpo.average_cost - dtu_cost) / dpo.average_cost
@@ -247,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sim-horizon", type=float, default=150.0,
                        help="simulated time units per --backend validation "
                             "run (default 150)")
+    sweep.add_argument("--no-compile", action="store_true",
+                       help="skip the compiled best-response kernel "
+                            "(bit-identical table, slower points)")
     sweep.set_defaults(func=cmd_sweep)
 
     return parser
@@ -257,7 +283,8 @@ def cmd_sweep(args) -> int:
     result = run_sweep(args.param, parse_values(args.values),
                        n_users=args.users, seed=args.seed,
                        jobs=args.jobs, cache=args.cache,
-                       backend=args.backend, sim_horizon=args.sim_horizon)
+                       backend=args.backend, sim_horizon=args.sim_horizon,
+                       compile_kernel=not args.no_compile)
     print(result)
     return 0
 

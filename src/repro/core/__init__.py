@@ -6,6 +6,8 @@
 * :mod:`repro.core.best_response` — Lemma 1: the staircase ``f(m|θ)`` and
   the optimal threshold ``x*``;
 * :mod:`repro.core.meanfield` — the best-response map ``V(γ)`` (Eq. 9);
+* :mod:`repro.core.kernels` — the compiled best-response kernel: staircase
+  breakpoints + Eq. 7/8 tables precomputed once, ``O(N log m_max)`` probes;
 * :mod:`repro.core.equilibrium` — Theorem 1: existence/uniqueness of the
   MFNE and its fixed-point solver;
 * :mod:`repro.core.dtu` — Algorithm 1: the Distributed Threshold Update
@@ -28,6 +30,7 @@ from repro.core.dpo import (
 )
 from repro.core.dtu import DtuConfig, DtuResult, DtuTrace, run_dtu
 from repro.core.equilibrium import MfneResult, solve_mfne
+from repro.core.kernels import CompiledMeanField, KernelStats, compile_mean_field
 from repro.core.finite import (
     FiniteEquilibrium,
     RegretReport,
@@ -73,6 +76,9 @@ __all__ = [
     "optimal_threshold",
     "best_response_thresholds",
     "MeanFieldMap",
+    "CompiledMeanField",
+    "KernelStats",
+    "compile_mean_field",
     "MfneResult",
     "solve_mfne",
     "DtuConfig",

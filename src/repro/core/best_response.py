@@ -44,7 +44,17 @@ def threshold_staircase(m: int, intensity: ArrayLike) -> ArrayLike:
 
     Closed form: for θ ≠ 1,
     ``f(m|θ) = [θ^{m+1} − (m+1)θ + m] · θ / (1−θ)²`` and for θ = 1,
-    ``f(m|1) = m(m+1)/2``.
+    ``f(m|1) = m(m+1)/2``. The θ > 1 branch is evaluated in the rescaled
+    form ``θ^m · [1 − (m+1)φ^m + m·φ^{m+1}] / (1−φ)²`` with ``φ = 1/θ``
+    (mirroring the θ > 1 handling in :mod:`repro.core.tro`): the naive
+    ``θ^{m+1}`` intermediate can overflow to ``inf`` even when ``f(m|θ)``
+    itself is representable, while ``θ^m ≤ f(m|θ)`` never does.
+
+    Near θ = 1 both closed forms divide a doubly-cancelled numerator by
+    ``(1−θ)²`` and can lose half their digits at large ``m``, so the band
+    ``|θ − 1| < 1e-4`` is summed by the exact incremental recurrence
+    instead — the same sweep :func:`_search_threshold` compares against,
+    which reproduces the triangular number ``m(m+1)/2`` exactly at θ = 1.
     """
     check_int_non_negative("m", m)
     theta = np.asarray(intensity, dtype=float)
@@ -53,14 +63,40 @@ def threshold_staircase(m: int, intensity: ArrayLike) -> ArrayLike:
     scalar = theta.ndim == 0
     theta = np.atleast_1d(theta)
     out = np.empty_like(theta)
-    near_one = np.abs(theta - 1.0) < 1e-9
-    out[near_one] = m * (m + 1) / 2.0
-    th = theta[~near_one]
+    near_one = np.abs(theta - 1.0) < 1e-4
+    below = (theta < 1.0) & ~near_one
+    above = (theta > 1.0) & ~near_one
+    th = theta[near_one]
+    if th.size:
+        if m == 0:
+            out[near_one] = 0.0
+        else:
+            power = th.copy()        # θ^i
+            geometric = th.copy()    # Σ_{i=1}^{m} θ^i
+            staircase = th.copy()    # f(m|θ)
+            for _ in range(1, m):
+                power *= th
+                geometric += power
+                staircase += geometric
+            out[near_one] = staircase
+    th = theta[below]
     if th.size:
         # f(m|θ) = (m+1)·Σ_{i=1..m} θ^i − Σ_{i=1..m} i θ^i, which telescopes
         # to θ(θ^{m+1} − (m+1)θ + m)/(1−θ)²; valid for m = 0 as well.
+        # θ < 1: θ^{m+1} only underflows (to 0), which is harmless.
         one_minus = 1.0 - th
-        out[~near_one] = th * (np.power(th, m + 1) - (m + 1) * th + m) / \
+        out[below] = th * (np.power(th, m + 1) - (m + 1) * th + m) / \
+            (one_minus * one_minus)
+    th = theta[above]
+    if th.size:
+        # Same telescoped form with θ^m factored out and the remainder
+        # written in φ = 1/θ < 1, so no intermediate exceeds f(m|θ):
+        #   f(m|θ) = θ^m · (1 − (m+1)φ^m + m·φ^{m+1}) / (1−φ)².
+        phi = 1.0 / th
+        phi_m = np.power(phi, m)
+        one_minus = 1.0 - phi
+        out[above] = np.power(th, m) * \
+            (1.0 - (m + 1) * phi_m + m * phi_m * phi) / \
             (one_minus * one_minus)
     return float(out[0]) if scalar else out
 

@@ -19,7 +19,7 @@ code stays independent of the edge-delay model (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -64,17 +64,24 @@ def user_cost_components(
 
 
 def population_costs(
-    population: Population, thresholds: ArrayLike, edge_delay: float
+    population: Population, thresholds: ArrayLike, edge_delay: float,
+    *, queue_alpha: "Optional[Tuple[np.ndarray, np.ndarray]]" = None,
 ) -> np.ndarray:
     """Vector of per-user costs (Eq. 1) for the whole population.
 
     ``thresholds`` may be a scalar (same threshold for everyone) or an array
-    with one entry per user.
+    with one entry per user. ``queue_alpha`` lets a caller that already
+    holds the exact per-user ``(Q_n, α_n)`` at these thresholds (the
+    compiled kernel's tables) skip the closed-form re-derivation; the cost
+    combination below is shared either way.
     """
     check_non_negative("edge_delay", edge_delay)
-    x = np.broadcast_to(np.asarray(thresholds, dtype=float),
-                        (population.size,))
-    q, alpha = queue_and_offload(x, population.intensities)
+    if queue_alpha is None:
+        x = np.broadcast_to(np.asarray(thresholds, dtype=float),
+                            (population.size,))
+        q, alpha = queue_and_offload(x, population.intensities)
+    else:
+        q, alpha = queue_alpha
     local_energy = population.weights * population.energy_local * (1.0 - alpha)
     local_delay = q / population.arrival_rates
     offload = (population.weights * population.energy_offload + edge_delay
@@ -83,7 +90,9 @@ def population_costs(
 
 
 def population_average_cost(
-    population: Population, thresholds: ArrayLike, edge_delay: float
+    population: Population, thresholds: ArrayLike, edge_delay: float,
+    *, queue_alpha: "Optional[Tuple[np.ndarray, np.ndarray]]" = None,
 ) -> float:
     """Population-mean of Eq. (1) — the quantity Table III compares."""
-    return float(population_costs(population, thresholds, edge_delay).mean())
+    return float(population_costs(
+        population, thresholds, edge_delay, queue_alpha=queue_alpha).mean())

@@ -47,6 +47,7 @@ def solve_mfne(
     method: str = "bisection",
     damping: float = 0.5,
     recorder: Optional[Recorder] = None,
+    compile_kernel: bool = True,
 ) -> MfneResult:
     """Solve ``V(γ) = γ`` for the unique MFNE of Theorem 1.
 
@@ -62,9 +63,19 @@ def solve_mfne(
     recorder:
         Observability sink (see :mod:`repro.obs`); defaults to the ambient
         recorder. Convergence traces are emitted as ``mfne.*`` events.
+    compile_kernel:
+        Compile ``mean_field`` into a
+        :class:`repro.core.kernels.CompiledMeanField` before iterating
+        (bit-identical results; the solver evaluates ``V`` dozens of
+        times, so the one-off build pays for itself immediately). Only a
+        plain :class:`MeanFieldMap` is compiled — already-compiled kernels
+        are reused as-is and subclasses with their own best-response
+        semantics are left untouched.
     """
     check_positive("tolerance", tolerance)
     check_int_positive("max_iterations", max_iterations)
+    if compile_kernel and type(mean_field) is MeanFieldMap:
+        mean_field = mean_field.compile()
     obs = resolve_recorder(recorder)
     if method == "bisection":
         result = _solve_bisection(mean_field, tolerance, max_iterations, obs)
@@ -91,9 +102,10 @@ def _solve_bisection(
         # Nobody offloads even at an idle edge; the equilibrium is γ* = v0
         # (0 up to tolerance). The paper's setting has γ* ∈ (0, 1) because
         # some users always offload, but the solver handles the corner.
+        value_v0 = mean_field.value(v0)
         return MfneResult(
-            utilization=v0, value=mean_field.value(v0),
-            residual=abs(mean_field.value(v0) - v0), iterations=1,
+            utilization=v0, value=value_v0,
+            residual=abs(value_v0 - v0), iterations=1,
             converged=True, method="bisection", history=tuple(history),
         )
     low, high = 0.0, 1.0
@@ -145,7 +157,6 @@ def _solve_damped(
     history: List[float] = [gamma]
     converged = False
     iterations = 0
-    value = mean_field.value(gamma)
     for iterations in range(1, max_iterations + 1):
         value = mean_field.value(gamma)
         new_gamma = (1.0 - damping) * gamma + damping * value

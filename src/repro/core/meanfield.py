@@ -103,6 +103,18 @@ class MeanFieldMap:
         gamma = check_probability("utilization", utilization)
         return population_costs(self.population, thresholds, self.edge_delay(gamma))
 
+    def compile(self) -> "MeanFieldMap":
+        """Compile this map into a :class:`repro.core.kernels.CompiledMeanField`.
+
+        The compiled map precomputes the Lemma-1 staircase breakpoints and
+        the Eq. 7/8 tables once, making every subsequent ``value`` /
+        ``best_response`` probe ``O(N log m_max)`` instead of
+        ``O(N·m_max)`` — bit-identical results, same API.
+        """
+        from repro.core.kernels import CompiledMeanField
+
+        return CompiledMeanField(self.population, self.delay_model)
+
     def __repr__(self) -> str:
         return (f"MeanFieldMap(n={self.population.size}, "
                 f"c={self.population.capacity:g}, delay={self.delay_model!r})")
@@ -147,10 +159,14 @@ def _mc_value_point(
     n_users: int,
     delay_model: Optional[EdgeDelayModel],
     seed: SeedLike,
+    compile_kernel: bool = False,
 ) -> float:
     """One Monte-Carlo sample of the empirical ``V(γ)`` (a runtime task)."""
     population = sample_population(config, n_users, rng=seed)
-    return MeanFieldMap(population, delay_model).value(utilization)
+    mean_field = MeanFieldMap(population, delay_model)
+    if compile_kernel:
+        mean_field = mean_field.compile()
+    return mean_field.value(utilization)
 
 
 def monte_carlo_value(
@@ -163,6 +179,7 @@ def monte_carlo_value(
     jobs: int = 1,
     cache: Optional[object] = None,
     timeout: Optional[float] = None,
+    compile_kernel: bool = False,
 ) -> MonteCarloValue:
     """Evaluate ``V(γ)`` over ``samples`` independently drawn populations.
 
@@ -171,7 +188,9 @@ def monte_carlo_value(
     :func:`repro.runtime.derive_seeds`), so the returned values are
     bit-identical for any ``jobs`` count; ``cache`` makes repeated
     evaluations (e.g. plotting ``V`` on a γ grid, convergence studies in
-    ``N``) incremental.
+    ``N``) incremental. ``compile_kernel`` evaluates each sample through a
+    :class:`repro.core.kernels.CompiledMeanField` — bit-identical values;
+    worth it when a driver evaluates several γ per sampled population.
     """
     from repro.runtime import TaskRunner, TaskSpec, derive_seeds
 
@@ -182,7 +201,8 @@ def monte_carlo_value(
         TaskSpec(
             fn=_mc_value_point,
             kwargs=dict(config=config, utilization=gamma, n_users=n_users,
-                        delay_model=delay_model),
+                        delay_model=delay_model,
+                        compile_kernel=compile_kernel),
             seed=child,
             name=f"meanfield.mc[{index}]",
         )

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.best_response import optimal_threshold_from_surcharge
 from repro.core.dtu import DtuStepper
 from repro.core.edge_delay import EdgeDelayModel
+from repro.core.kernels import CompiledMeanField
 from repro.core.tro import offload_probability
 from repro.net.clock import Runtime
 from repro.net.messages import (
@@ -62,6 +63,7 @@ class DeviceAgent:
         transport: Transport,
         heartbeat_interval: float = 0.0,
         report_delay: float = 0.0,
+        kernel: Optional[CompiledMeanField] = None,
     ):
         self.address = index
         self.arrival_rate = float(arrival_rate)
@@ -76,6 +78,10 @@ class DeviceAgent:
         self.transport = transport
         self.heartbeat_interval = heartbeat_interval
         self.report_delay = report_delay
+        # A fleet-shared compiled kernel (row ``index``); the broadcast
+        # handler then probes precompiled breakpoints/tables instead of
+        # re-running the scalar staircase search. Bit-identical responses.
+        self.kernel = kernel
         self.mailbox = transport.register(index)
         # Thresholds start at 0 (offload everything); the first received
         # broadcast replaces this with the Lemma-1 response, exactly like
@@ -108,16 +114,24 @@ class DeviceAgent:
 
     def _respond(self, broadcast: GammaBroadcast) -> None:
         """Lemma 1 best response + report (Algorithm 1, device side)."""
-        surcharge = (self.delay_model(broadcast.estimate)
-                     + self.offload_latency
-                     + self.weight * (self.energy_offload - self.energy_local))
-        best = float(optimal_threshold_from_surcharge(
-            self.arrival_rate, self.intensity, surcharge,
-        ))
-        self.threshold = best
-        self.offload_rate = self.arrival_rate * offload_probability(
-            best, self.intensity,
-        )
+        if self.kernel is not None:
+            level = self.kernel.user_threshold(self.address,
+                                               broadcast.estimate)
+            self.threshold = float(level)
+            self.offload_rate = self.arrival_rate * \
+                self.kernel.user_alpha(self.address, level)
+        else:
+            surcharge = (self.delay_model(broadcast.estimate)
+                         + self.offload_latency
+                         + self.weight
+                         * (self.energy_offload - self.energy_local))
+            best = float(optimal_threshold_from_surcharge(
+                self.arrival_rate, self.intensity, surcharge,
+            ))
+            self.threshold = best
+            self.offload_rate = self.arrival_rate * offload_probability(
+                best, self.intensity,
+            )
         self.reports_sent += 1
         self.transport.send(
             self.address, EDGE_ADDRESS,

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
 from repro.net.actors import EDGE_ADDRESS, DeviceAgent, EdgeCoordinator, NetTrace
+from repro.core.kernels import CompiledMeanField, compile_mean_field
 from repro.net.churn import ChurnConfig, ChurnModel
 from repro.net.clock import Runtime
 from repro.net.messages import MessageLog
@@ -135,8 +136,15 @@ def build_devices(
     transport,
     heartbeat_interval: float = 0.0,
     churn_model: Optional[ChurnModel] = None,
+    kernel: Optional[CompiledMeanField] = None,
 ) -> List[DeviceAgent]:
-    """One :class:`DeviceAgent` per user, in index order."""
+    """One :class:`DeviceAgent` per user, in index order.
+
+    ``kernel`` (a :class:`repro.core.kernels.CompiledMeanField` built for
+    ``population`` + ``delay_model``) is shared by the whole fleet: each
+    agent answers broadcasts with an ``O(log M_n)`` probe into the
+    precompiled staircase instead of its own scalar search.
+    """
     devices = []
     for index in range(population.size):
         report_delay = churn_model.report_delay(index) if churn_model else 0.0
@@ -153,6 +161,7 @@ def build_devices(
             transport=transport,
             heartbeat_interval=heartbeat_interval,
             report_delay=report_delay,
+            kernel=kernel,
         ))
     return devices
 
@@ -162,6 +171,7 @@ def run_net_dtu(
     config: Optional[NetConfig] = None,
     delay_model: Optional[EdgeDelayModel] = None,
     recorder: Optional[Recorder] = None,
+    compile_kernel: bool = True,
 ) -> NetDtuResult:
     """Run the message-passing DTU protocol over ``population``.
 
@@ -177,6 +187,11 @@ def run_net_dtu(
     recorder:
         Observability sink (see :mod:`repro.obs`); defaults to the ambient
         recorder.
+    compile_kernel:
+        Build one shared :class:`repro.core.kernels.CompiledMeanField` for
+        the fleet, so every broadcast is answered by N ``O(log M_n)``
+        probes instead of N staircase searches. Responses are
+        bit-identical either way.
     """
     config = config or NetConfig()
     delay_model = delay_model if delay_model is not None else PAPER_DELAY_MODEL
@@ -197,10 +212,13 @@ def run_net_dtu(
         churn_model = ChurnModel(config.churn, population.size, horizon,
                                  seed=churn_seed)
 
+    kernel = compile_mean_field(population, delay_model) \
+        if compile_kernel else None
     devices = build_devices(
         population, delay_model, runtime, transport,
         heartbeat_interval=config.heartbeat_interval,
         churn_model=churn_model,
+        kernel=kernel,
     )
     coordinator = EdgeCoordinator(
         runtime=runtime,

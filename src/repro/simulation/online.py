@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.best_response import optimal_threshold_from_surcharge
 from repro.core.dtu import DtuStepper
 from repro.core.edge_delay import PAPER_DELAY_MODEL, EdgeDelayModel
+from repro.core.kernels import CompiledMeanField, compile_mean_field
 from repro.population.sampler import Population
 from repro.simulation.engine import DiscreteEventSimulator
 from repro.simulation.measurement import ExponentialService, ServiceModel
@@ -117,10 +118,18 @@ class OnlineSimulation:
         window: float = 20.0,
         initial_step: float = 0.1,
         seed: SeedLike = None,
+        kernel: Optional[CompiledMeanField] = None,
+        compile_kernel: bool = True,
     ):
         self.population = population
         self.delay_model = delay_model if delay_model is not None \
             else PAPER_DELAY_MODEL
+        if kernel is not None and kernel.population is not population:
+            raise ValueError(
+                "kernel was compiled for a different population"
+            )
+        self.kernel = kernel
+        self.compile_kernel = compile_kernel
         self.service_model = service_model or ExponentialService()
         self.broadcast_interval = check_positive("broadcast_interval",
                                                  broadcast_interval)
@@ -153,6 +162,12 @@ class OnlineSimulation:
         )
         stepper = DtuStepper(initial_step=self.initial_step)
         broadcasts = 0
+        # One shared compiled kernel replaces the per-tick scalar staircase
+        # searches: each device update becomes an O(log M_n) probe into the
+        # precompiled breakpoints (bit-identical thresholds either way).
+        kernel = self.kernel
+        if kernel is None and self.compile_kernel:
+            kernel = compile_mean_field(population, self.delay_model)
         services = [
             self.service_model.distribution(float(population.service_rates[i]))
             for i in range(n)
@@ -195,16 +210,19 @@ class OnlineSimulation:
             )
 
         def on_threshold_update(i: int) -> None:
-            surcharge = (self.delay_model(stepper.estimate)
-                         + population.offload_latencies[i]
-                         + population.weights[i]
-                         * (population.energy_offload[i]
-                            - population.energy_local[i]))
-            best = float(optimal_threshold_from_surcharge(
-                float(population.arrival_rates[i]),
-                float(population.intensities[i]),
-                float(surcharge),
-            ))
+            if kernel is not None:
+                best = float(kernel.user_threshold(i, stepper.estimate))
+            else:
+                surcharge = (self.delay_model(stepper.estimate)
+                             + population.offload_latencies[i]
+                             + population.weights[i]
+                             * (population.energy_offload[i]
+                                - population.energy_local[i]))
+                best = float(optimal_threshold_from_surcharge(
+                    float(population.arrival_rates[i]),
+                    float(population.intensities[i]),
+                    float(surcharge),
+                ))
             set_threshold(i, best)
             sim.schedule_after(
                 float(update_rng.exponential(self.update_interval)),

@@ -81,6 +81,7 @@ def _sweep_point(
     seed: SeedLike,
     backend: Optional[str] = None,
     sim_horizon: float = 150.0,
+    compile_kernel: bool = True,
 ) -> tuple:
     """Solve one sweep point (a pure, seeded :mod:`repro.runtime` task).
 
@@ -88,12 +89,19 @@ def _sweep_point(
     actually simulating the sampled population at its best-response
     thresholds (``"vectorized"`` keeps this cheap even for large sweeps)
     and the measured γ̂ is appended to the row.
+
+    The point's best-response map is compiled once
+    (:meth:`~repro.core.meanfield.MeanFieldMap.compile`) and shared by the
+    MFNE solve, the threshold/α/cost readout, and the DTU cross-run —
+    bit-identical rows, one staircase precomputation per point.
     """
     key = PARAMETERS[parameter]
     config, delay_model = _config(**{key: float(value)})
     gen = as_generator(seed)
     population = sample_population(config, n_users, rng=gen)
     mean_field = MeanFieldMap(population, delay_model)
+    if compile_kernel:
+        mean_field = mean_field.compile()
     equilibrium = solve_mfne(mean_field)
     thresholds = mean_field.best_response(equilibrium.utilization)
     alpha = mean_field.offload_probabilities(thresholds)
@@ -136,6 +144,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     backend: Optional[str] = None,
     sim_horizon: float = 150.0,
+    compile_kernel: bool = True,
 ) -> SeriesResult:
     """Sweep one knob over ``values``; solve the equilibrium at each point.
 
@@ -163,7 +172,8 @@ def run_sweep(
             fn=_sweep_point,
             kwargs=dict(parameter=parameter, value=float(value),
                         n_users=n_users, include_dtu=include_dtu,
-                        backend=backend, sim_horizon=sim_horizon),
+                        backend=backend, sim_horizon=sim_horizon,
+                        compile_kernel=compile_kernel),
             seed=seed,
             name=f"sweep[{parameter}={value:g}]",
         )

@@ -37,6 +37,10 @@ def pytest_configure(config):
         "markers",
         "net: exercises the asynchronous message-passing runtime "
         "(repro.net actors over the virtual clock)")
+    config.addinivalue_line(
+        "markers",
+        "kernels: exercises the compiled best-response kernel "
+        "(repro.core.kernels bit-identity contracts)")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -63,6 +63,63 @@ class TestThresholdStaircase:
             threshold_staircase(-1, 1.0)
 
 
+def _staircase_recurrence(m: int, theta: float) -> float:
+    """The exact incremental recurrence :func:`_search_threshold` sweeps.
+
+    power *= θ; geometric += power; staircase += geometric — the reference
+    the closed form must agree with, since ties against *these* floats are
+    what decide every threshold.
+    """
+    if m == 0:
+        return 0.0
+    power = geometric = staircase = theta
+    for _ in range(1, m):
+        power *= theta
+        geometric += power
+        staircase += geometric
+    return staircase
+
+
+class TestStaircaseNumerics:
+    def test_theta_above_one_overflow_regression(self):
+        """θ = 10, m = 308: f ≈ 1.23e308 is representable but the naive
+        closed form's θ^{m+1} = 1e309 intermediate is not."""
+        theta, m = 10.0, 308
+        with np.errstate(over="ignore"):
+            # the intermediate the un-rescaled closed form would build
+            assert not np.isfinite(np.power(np.float64(theta), m + 1))
+        value = threshold_staircase(m, theta)
+        assert np.isfinite(value)
+        reference = _staircase_recurrence(m, theta)
+        assert value == pytest.approx(reference, rel=1e-12)
+
+    def test_theta_above_one_vectorized_mixed(self):
+        """Rescaled and plain branches coexist in one vector call."""
+        thetas = np.array([0.5, 1.0, 10.0])
+        values = threshold_staircase(308, thetas)
+        assert np.all(np.isfinite(values))
+        for value, theta in zip(values, thetas):
+            assert value == pytest.approx(
+                _staircase_recurrence(308, float(theta)), rel=1e-9)
+
+    @given(theta=st.floats(0.05, 40.0), m=st.integers(0, 300))
+    @settings(max_examples=200, deadline=None)
+    def test_closed_form_matches_search_recurrence(self, theta, m):
+        """The closed form must track the incremental recurrence that
+        ``_search_threshold`` / ``best_response_thresholds`` actually
+        compare against, across both the θ<1 and rescaled θ>1 branches.
+
+        (Near θ = 1 the closed form switches to the triangular limit; the
+        recurrence drifts from it by O(m²·|θ−1|), hence the tolerance.)
+        """
+        with np.errstate(over="ignore"):   # θ^m → inf when f itself is inf
+            closed = threshold_staircase(m, theta)
+            reference = _staircase_recurrence(m, theta)
+        assert np.isfinite(closed) == np.isfinite(reference)
+        if np.isfinite(reference):
+            assert closed == pytest.approx(reference, rel=1e-6, abs=1e-12)
+
+
 class TestOptimalThreshold:
     def test_lemma1_bracket(self, example_user):
         """f(x*|θ) ≤ U < f(x*+1|θ) must hold at the returned threshold."""

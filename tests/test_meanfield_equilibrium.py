@@ -139,3 +139,55 @@ class TestSolveMfne:
             pop = sample_population(theoretical_config_small, 3000, rng=seed)
             values.append(solve_mfne(MeanFieldMap(pop, paper_delay)).utilization)
         assert values[0] == pytest.approx(values[1], abs=0.02)
+
+
+class TestValueEvaluationBudget:
+    """Pin the exact number of V(γ) evaluations each solver path spends.
+
+    ``MeanFieldMap.value`` (and the compiled kernel, for accounting
+    parity) bumps the ``meanfield.value_evaluations`` counter, so these
+    tests fail on any reintroduced redundant evaluation — the solver used
+    to evaluate ``V(v0)`` twice in the γ*≈0 corner and once more than
+    needed before the damped loop.
+    """
+
+    @staticmethod
+    def _solve_counting(mean_field, **kwargs):
+        from repro.obs import MetricsRegistry, ObsRecorder, use_recorder
+
+        registry = MetricsRegistry()
+        with use_recorder(ObsRecorder(registry)):
+            result = solve_mfne(mean_field, **kwargs)
+        return result, registry.counter("meanfield.value_evaluations").value
+
+    def test_bisection_budget(self, mean_field):
+        """V(0), V(1), one per bisection step, one final readout."""
+        result, evaluations = self._solve_counting(
+            mean_field, compile_kernel=False)
+        assert result.converged
+        assert evaluations == result.iterations + 3
+
+    def test_bisection_budget_compiled(self, mean_field):
+        """The compiled kernel spends the identical budget."""
+        result, evaluations = self._solve_counting(mean_field)
+        assert evaluations == result.iterations + 3
+
+    def test_damped_budget(self, mean_field):
+        """One evaluation per iteration plus the final readout."""
+        result, evaluations = self._solve_counting(
+            mean_field, method="damped", tolerance=1e-8,
+            compile_kernel=False)
+        assert result.converged
+        assert evaluations == result.iterations + 1
+
+    def test_corner_budget(self, mean_field):
+        """The γ* ≈ 0 corner exits after exactly two evaluations.
+
+        The corner triggers whenever V(0) ≤ tolerance; a generous
+        tolerance reaches it with the standard fixture.
+        """
+        result, evaluations = self._solve_counting(
+            mean_field, tolerance=0.99, compile_kernel=False)
+        assert result.converged
+        assert result.iterations == 1
+        assert evaluations == 2
