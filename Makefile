@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels experiments experiments-full examples lint clean
+.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels bench-compare experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,14 @@ bench-net:
 
 bench-kernels:
 	PYTHONPATH=src python benchmarks/bench_kernels.py
+
+# Compare fresh quick-mode benchmarks against the committed baselines
+# (exit non-zero on regression). OLD/NEW are overridable:
+#   make bench-compare OLD=BENCH_net.json NEW=out/bench_net.json
+OLD ?= BENCH_net.json
+NEW ?= BENCH_net.json
+bench-compare:
+	PYTHONPATH=src python -m repro.obs.bench compare $(OLD) $(NEW) --tolerance 0.5
 
 experiments:
 	python -m repro.experiments

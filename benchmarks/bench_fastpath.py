@@ -115,9 +115,10 @@ def main(argv=None) -> int:
     return 0
 
 
-def test_fastpath_benchmark(once):
+def test_fastpath_benchmark(once, regression_check):
     """One quick measured pass under ``pytest benchmarks/``."""
     report = once(run_benchmark, quick=True)
+    regression_check(report, "BENCH_fastpath.json")
     for point in report["points"]:
         # The two backends simulate the same system; γ̂ must agree closely.
         assert point["utilization_gap"] < 0.05

@@ -200,9 +200,10 @@ def main(argv=None) -> int:
     return 0
 
 
-def test_kernels_benchmark(once):
+def test_kernels_benchmark(once, regression_check):
     """One quick measured pass under ``pytest benchmarks/``."""
     report = once(run_benchmark, quick=True)
+    regression_check(report, "BENCH_kernels.json")
     # Bit-identity is asserted inside every point; here pin the speed
     # claim at the largest quick size (the full bar lives in the
     # standalone run at N = 10⁵).

@@ -99,9 +99,10 @@ def main(argv=None) -> int:
     return 0
 
 
-def test_net_benchmark(once):
+def test_net_benchmark(once, regression_check):
     """One quick measured pass under ``pytest benchmarks/``."""
     report = once(run_benchmark, quick=True)
+    regression_check(report, "BENCH_net.json")
     for entry in report["workloads"]:
         assert entry["converged"]
         assert entry["messages_per_second"] > 0

@@ -9,11 +9,27 @@ rounds.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+The suite-level JSON benchmarks (``bench_runtime`` / ``bench_net`` /
+``bench_kernels`` / ``bench_fastpath``) additionally check their fresh
+report against the committed ``BENCH_*.json`` baseline through the
+:mod:`repro.obs.bench` regression harness via the ``regression_check``
+fixture. Metrics whose cases exist on both sides are compared
+direction-aware with a generous tolerance; cases that only exist at one
+scale (quick vs full) are skipped, so quick CI runs stay meaningful
+without false alarms.
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def run_once(benchmark, func, *args, **kwargs):
@@ -28,3 +44,28 @@ def once(benchmark):
     def _run(func, *args, **kwargs):
         return run_once(benchmark, func, *args, **kwargs)
     return _run
+
+
+@pytest.fixture
+def regression_check():
+    """``regression_check(report, "BENCH_x.json", tolerance=2.0)``.
+
+    Normalizes a fresh benchmark report and compares it against the
+    committed baseline at the repo root, failing the test on any metric
+    regressed beyond the tolerance band. The default band is deliberately
+    wide (3× slowdown) — shared CI runners are noisy; the check exists to
+    catch order-of-magnitude accidents, not 10% drift.
+    """
+    from repro.obs.bench import compare, render_comparison
+
+    def _check(report: dict, baseline_name: str, tolerance: float = 2.0):
+        baseline = REPO_ROOT / baseline_name
+        if not baseline.exists():
+            pytest.skip(f"no committed baseline {baseline_name}")
+        result = compare(baseline, report, tolerance=tolerance)
+        if result["regressions"]:
+            pytest.fail(f"benchmark regression vs {baseline_name}:\n"
+                        f"{render_comparison(result)}")
+        return result
+
+    return _check

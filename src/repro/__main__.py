@@ -147,8 +147,48 @@ def cmd_net(args) -> int:
         faults=faults, churn=churn, seed=args.seed,
         log_messages=False,    # CLI runs can be large; counters suffice
     )
-    result = run_net_dtu(population, config,
-                         compile_kernel=not args.no_compile)
+
+    # Opt-in observability: --trace writes manifest/events/spans/metrics,
+    # --serve-metrics exposes the live registry while the run lasts.
+    recorder = None
+    tracer = spans = server = trace_dir = None
+    if args.trace is not None or args.serve_metrics is not None:
+        from pathlib import Path
+
+        from repro.obs import MetricsRegistry, ObsRecorder, RunManifest, Tracer
+        registry = MetricsRegistry()
+        if args.trace is not None:
+            from repro.obs.spans import SpanCollector
+            trace_dir = Path(args.trace)
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            manifest = RunManifest.capture(
+                seed=args.seed,
+                config={"scenario": args.scenario, "users": args.users,
+                        "loss": args.loss, "max_rounds": args.max_rounds},
+            )
+            manifest.save(trace_dir / "manifest.json")
+            tracer = Tracer(trace_dir / "events.jsonl",
+                            run_id=manifest.run_id)
+            spans = SpanCollector(trace_dir / "spans.jsonl")
+        recorder = ObsRecorder(registry, tracer, spans=spans)
+        if args.serve_metrics is not None:
+            from repro.obs.serve import MetricsServer
+            server = MetricsServer(registry.snapshot,
+                                   port=args.serve_metrics).start()
+            print(f"serving live metrics at {server.url}")
+
+    try:
+        result = run_net_dtu(population, config, recorder=recorder,
+                             compile_kernel=not args.no_compile)
+    finally:
+        if server is not None:
+            server.stop()
+        if spans is not None:
+            spans.finish()
+            spans.close()
+        if tracer is not None:
+            recorder.registry.save(trace_dir / "metrics.json")
+            tracer.close()
     log = result.log
     print(f"scenario: {args.scenario} (N={population.size}, "
           f"seed={args.seed})")
@@ -167,6 +207,9 @@ def cmd_net(args) -> int:
         print()
         print(convergence_plot(result.trace.estimated,
                                result.trace.measured, gamma_star))
+    if trace_dir is not None:
+        print(f"trace written to {trace_dir} (span trees: "
+              f"python -m repro.obs.spans {trace_dir})")
     return 0
 
 
@@ -239,6 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="extra report delay for stragglers")
     net.add_argument("--heartbeat", type=float, default=0.0,
                      help="device heartbeat interval (0: disabled)")
+    net.add_argument("--trace", type=str, default=None, metavar="DIR",
+                     help="write manifest/events/spans/metrics to DIR "
+                          "(per-round causal span trees: "
+                          "python -m repro.obs.spans DIR)")
+    net.add_argument("--serve-metrics", type=int, default=None,
+                     metavar="PORT",
+                     help="serve a live Prometheus /metrics endpoint on "
+                          "localhost:PORT while the run lasts")
     net.add_argument("--plot", action="store_true",
                      help="draw the convergence trace")
     net.set_defaults(func=cmd_net)

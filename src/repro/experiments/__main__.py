@@ -21,10 +21,17 @@ uniformized-CTMC fast path (:mod:`repro.simulation.fastpath`): the
 DTU-cost cross-check next to the closed-form number.
 
 ``--trace DIR`` turns the whole run into an observed run: a
-:class:`~repro.obs.manifest.RunManifest`, an ``events.jsonl`` event trace
-and a ``metrics.json`` snapshot land in DIR, summarisable afterwards with
-``python -m repro.obs.report DIR``. ``--metrics`` prints the metrics table
-at the end without writing files; ``--quiet`` silences the human output.
+:class:`~repro.obs.manifest.RunManifest`, an ``events.jsonl`` event trace,
+a ``spans.jsonl`` causal-span log and a ``metrics.json`` snapshot land in
+DIR, summarisable afterwards with ``python -m repro.obs.report DIR`` (span
+trees: ``python -m repro.obs.spans DIR``; live tail:
+``python -m repro.obs.watch DIR --follow``). ``--metrics`` prints the
+metrics table at the end without writing files; ``--serve-metrics PORT``
+additionally exposes the live registry as a Prometheus ``/metrics``
+endpoint for the duration of the run; ``--profile`` wraps each artifact in
+cProfile and prints a hotspot table (plus flamegraph-ready
+``profile.collapsed`` under ``--trace``); ``--quiet`` silences the human
+output.
 
 The ``benchmarks/`` directory runs the same experiments under
 pytest-benchmark with per-artifact timing.
@@ -91,6 +98,15 @@ def main(argv=None) -> int:
                              "metrics.json to DIR (see repro.obs.report)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect metrics and print the table at the end")
+    parser.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT",
+                        help="serve a live Prometheus /metrics endpoint on "
+                             "localhost:PORT for the duration of the run "
+                             "(implies in-memory metrics collection)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the run with cProfile; prints a "
+                             "hotspot table and, with --trace, writes "
+                             "profile.pstats/.collapsed into the trace dir")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress human-readable stdout output")
     parser.add_argument("--jobs", type=int, default=1,
@@ -192,8 +208,11 @@ def main(argv=None) -> int:
     recorder = NULL_RECORDER
     tracer = None
     trace_dir = None
+    spans = None
     if args.trace is not None:
         from pathlib import Path
+
+        from repro.obs.spans import SpanCollector
         trace_dir = Path(args.trace)
         trace_dir.mkdir(parents=True, exist_ok=True)
         manifest = RunManifest.capture(
@@ -202,16 +221,36 @@ def main(argv=None) -> int:
         )
         manifest.save(trace_dir / "manifest.json")
         tracer = Tracer(trace_dir / "events.jsonl", run_id=manifest.run_id)
-        recorder = ObsRecorder(MetricsRegistry(), tracer)
-    elif args.metrics:
+        spans = SpanCollector(trace_dir / "spans.jsonl")
+        recorder = ObsRecorder(MetricsRegistry(), tracer, spans=spans)
+    elif args.metrics or args.serve_metrics is not None:
         recorder = ObsRecorder(MetricsRegistry())
+
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs.serve import MetricsServer
+        server = MetricsServer(recorder.registry.snapshot,
+                               port=args.serve_metrics).start()
+        if not args.quiet:
+            print(f"serving live metrics at {server.url}")
+
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import Profiler
+        profiler = Profiler()
 
     log = StructuredLogger(quiet=args.quiet, recorder=recorder)
     try:
         with use_recorder(recorder):
             for name in selected:
                 started = time.perf_counter()
-                result = jobs[name]()
+                if profiler is not None:
+                    profiler.start()
+                try:
+                    result = jobs[name]()
+                finally:
+                    if profiler is not None:
+                        profiler.stop()
                 elapsed = time.perf_counter() - started
                 if recorder.enabled:
                     recorder.observe("experiments.artifact_seconds", elapsed)
@@ -222,6 +261,11 @@ def main(argv=None) -> int:
                 if export_dir is not None:
                     _export(result, name, export_dir)
     finally:
+        if server is not None:
+            server.stop()
+        if spans is not None:
+            spans.finish()
+            spans.close()
         if tracer is not None:
             recorder.registry.save(trace_dir / "metrics.json")
             tracer.close()
@@ -229,9 +273,14 @@ def main(argv=None) -> int:
         rendered = recorder.registry.render()
         if rendered:
             print(f"\n{rendered}")
+    if profiler is not None:
+        print(f"\n{profiler.render()}")
+        if trace_dir is not None:
+            profiler.save(trace_dir)
     if trace_dir is not None and not args.quiet:
         print(f"\ntrace written to {trace_dir} "
-              f"(summarise with: python -m repro.obs.report {trace_dir})")
+              f"(summarise with: python -m repro.obs.report {trace_dir}; "
+              f"span trees with: python -m repro.obs.spans {trace_dir})")
     return 0
 
 

@@ -64,6 +64,7 @@ class DeviceAgent:
         heartbeat_interval: float = 0.0,
         report_delay: float = 0.0,
         kernel: Optional[CompiledMeanField] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.address = index
         self.arrival_rate = float(arrival_rate)
@@ -82,6 +83,7 @@ class DeviceAgent:
         # handler then probes precompiled breakpoints/tables instead of
         # re-running the scalar staircase search. Bit-identical responses.
         self.kernel = kernel
+        self._obs = resolve_recorder(recorder)
         self.mailbox = transport.register(index)
         # Thresholds start at 0 (offload everything); the first received
         # broadcast replaces this with the Lemma-1 response, exactly like
@@ -110,9 +112,22 @@ class DeviceAgent:
                     message.round > self.last_round:
                 self.last_round = message.round
                 self.broadcasts_handled += 1
-                self._respond(message)
+                span = None
+                if self._obs.enabled:
+                    span = self._obs.span_start(
+                        "device.best_response", parent=envelope.span,
+                        virtual_time=self.runtime.now,
+                        device=self.address, round=message.round,
+                    )
+                self._respond(message, parent=span)
+                if span is not None:
+                    self._obs.span_end(
+                        span, virtual_time=self.runtime.now,
+                        threshold=self.threshold,
+                    )
 
-    def _respond(self, broadcast: GammaBroadcast) -> None:
+    def _respond(self, broadcast: GammaBroadcast,
+                 parent: Optional[int] = None) -> None:
         """Lemma 1 best response + report (Algorithm 1, device side)."""
         if self.kernel is not None:
             level = self.kernel.user_threshold(self.address,
@@ -138,6 +153,7 @@ class DeviceAgent:
             ThresholdReport(self.address, broadcast.round,
                             self.threshold, self.offload_rate),
             delay=self.report_delay,
+            parent=parent,
         )
 
     def _heartbeat(self) -> None:
@@ -216,6 +232,7 @@ class EdgeCoordinator:
         self._reports: Dict[int, Tuple[float, int, float, float]] = {}
         self.trace = NetTrace()
         self.round = 0               # broadcast sequence number
+        self._round_span: Optional[int] = None
         self.iterations = 0          # Eq. 4 updates applied
         self.silent_rounds = 0
         self.converged = False
@@ -238,9 +255,11 @@ class EdgeCoordinator:
                     self._obs.count("net.silent_rounds")
                     self._obs.event("net.silence", round=self.round,
                                     next_wait=wait, eta=self.stepper.step)
+                self._close_round_span("silent")
             else:
                 self.final_measured = measured
                 self._record(measured)
+                self._close_round_span("measured", measured=measured)
                 if self.stepper.converged:
                     self.converged = True
                     break
@@ -253,17 +272,42 @@ class EdgeCoordinator:
 
     def _broadcast(self) -> None:
         self.round += 1
+        if self._obs.enabled:
+            # Root of this round's causal tree; trace = round number, so
+            # every message/response span downstream carries the round.
+            self._round_span = self._obs.span_start(
+                "coordinator.broadcast", trace=self.round,
+                virtual_time=self.runtime.now,
+                round=self.round, estimate=self.stepper.estimate,
+            )
         message = GammaBroadcast(self.round, self.stepper.estimate,
                                  self.stepper.step)
         for device in self.known:     # sorted → deterministic fault draws
-            self.transport.send(EDGE_ADDRESS, device, message)
+            self.transport.send(EDGE_ADDRESS, device, message,
+                                parent=self._round_span)
         if self._obs.enabled:
             self._obs.count("net.broadcasts")
+
+    def _close_round_span(self, status: str, **tags) -> None:
+        if self._round_span is not None:
+            self._obs.span_end(self._round_span, status=status,
+                               virtual_time=self.runtime.now, **tags)
+            self._round_span = None
 
     def _drain(self) -> None:
         for envelope in self.mailbox.drain():
             message = envelope.message
             if isinstance(message, ThresholdReport):
+                if self._obs.enabled:
+                    # Instant leaf completing the causal chain
+                    # broadcast → deliver → best_response → report.receive.
+                    span = self._obs.span_start(
+                        "report.receive", parent=envelope.span,
+                        virtual_time=envelope.delivered_at,
+                        device=message.device, round=message.round,
+                    )
+                    self._obs.span_end(span,
+                                       virtual_time=envelope.delivered_at)
                 self._last_heard[message.device] = envelope.delivered_at
                 stored = self._reports.get(message.device)
                 if stored is None or message.round >= stored[1]:

@@ -66,7 +66,14 @@ Message = Union[GammaBroadcast, ThresholdReport, Heartbeat, JoinLeave]
 
 @dataclass(frozen=True)
 class Envelope:
-    """A message in flight, stamped by the transport."""
+    """A message in flight, stamped by the transport.
+
+    ``span`` is the id of the causal span the transport opened for this
+    delivery (see :mod:`repro.obs.spans`); ``None`` when span tracing is
+    off.  It rides in the envelope because the receiving actor runs in a
+    different synchronous segment of the event loop — an ambient
+    "current span" would not survive the hop, the envelope does.
+    """
 
     seq: int
     src: Address
@@ -74,6 +81,7 @@ class Envelope:
     sent_at: float
     delivered_at: float
     message: Message
+    span: Optional[int] = None
 
     @property
     def latency(self) -> float:

@@ -137,6 +137,7 @@ def build_devices(
     heartbeat_interval: float = 0.0,
     churn_model: Optional[ChurnModel] = None,
     kernel: Optional[CompiledMeanField] = None,
+    recorder: Optional[Recorder] = None,
 ) -> List[DeviceAgent]:
     """One :class:`DeviceAgent` per user, in index order.
 
@@ -162,6 +163,7 @@ def build_devices(
             heartbeat_interval=heartbeat_interval,
             report_delay=report_delay,
             kernel=kernel,
+            recorder=recorder,
         ))
     return devices
 
@@ -219,6 +221,7 @@ def run_net_dtu(
         heartbeat_interval=config.heartbeat_interval,
         churn_model=churn_model,
         kernel=kernel,
+        recorder=recorder,
     )
     coordinator = EdgeCoordinator(
         runtime=runtime,
@@ -248,6 +251,15 @@ def run_net_dtu(
         [coordinator.run()] + [device.run() for device in devices],
         until=horizon,
     )
+
+    # Messages still in flight at the horizon left their spans open —
+    # close them all with a "cancelled" fault status so span logs always
+    # balance (pinned by tests/test_net_spans.py).
+    spans = getattr(obs, "spans", None)
+    if spans is not None and spans.open_count:
+        cancelled = spans.finish(virtual_time=runtime.now)
+        obs.count("spans.closed", cancelled)
+        obs.count("spans.faulted", cancelled)
 
     measured = (coordinator.final_measured
                 if coordinator.final_measured is not None else float("nan"))

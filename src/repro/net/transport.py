@@ -43,8 +43,13 @@ class Transport(Protocol):
     log: MessageLog
 
     def send(self, src: Address, dst: Address, message: Message,
-             delay: float = 0.0) -> None:
-        """Hand ``message`` to the network (fire and forget)."""
+             delay: float = 0.0, parent: Optional[int] = None) -> None:
+        """Hand ``message`` to the network (fire and forget).
+
+        ``parent`` is the sender's open span id (or None): the transport
+        opens a per-message child span under it so deliveries, drops, and
+        partitions all appear in the causal tree.
+        """
 
 
 class LocalTransport:
@@ -66,11 +71,19 @@ class LocalTransport:
         return self._mailboxes[address]
 
     def send(self, src: Address, dst: Address, message: Message,
-             delay: float = 0.0) -> None:
+             delay: float = 0.0, parent: Optional[int] = None) -> None:
         now = self.runtime.clock.now
+        seq = next(self._seq)
+        span = None
+        if self._obs.enabled:
+            span = self._obs.span_start(
+                f"msg.{type(message).__name__}", parent=parent,
+                virtual_time=now, src=str(src), dst=str(dst), seq=seq,
+            )
         envelope = Envelope(
-            seq=next(self._seq), src=src, dst=dst,
+            seq=seq, src=src, dst=dst,
             sent_at=now, delivered_at=now + delay, message=message,
+            span=span,
         )
         self.log.record("sent", envelope)
         if self._obs.enabled:
@@ -83,11 +96,17 @@ class LocalTransport:
         mailbox = self._mailboxes.get(envelope.dst)
         if mailbox is None:
             self.log.record("unroutable", envelope, delivered=False)
+            if envelope.span is not None:
+                self._obs.span_end(envelope.span, status="unroutable",
+                                   virtual_time=envelope.delivered_at)
             return
         self.log.record("delivered", envelope)
         if self._obs.enabled:
             self._obs.count("net.messages_delivered")
             self._obs.observe("net.delivery_latency", envelope.latency)
+        if envelope.span is not None:
+            self._obs.span_end(envelope.span, status="delivered",
+                               virtual_time=envelope.delivered_at)
         mailbox.put(envelope)
 
 
@@ -152,22 +171,24 @@ class FaultyTransport:
         return self.inner.register(address)
 
     def send(self, src: Address, dst: Address, message: Message,
-             delay: float = 0.0) -> None:
+             delay: float = 0.0, parent: Optional[int] = None) -> None:
         faults = self.faults
         now = self.runtime.clock.now
         for partition in faults.partitions:
             if partition.blocks(src, dst, now):
-                self._drop("partitioned", src, dst, message, now)
+                self._drop("partitioned", src, dst, message, now, parent)
                 return
         if faults.loss > 0.0 and self.rng.random() < faults.loss:
-            self._drop("dropped", src, dst, message, now)
+            self._drop("dropped", src, dst, message, now, parent)
             return
-        self.inner.send(src, dst, message, delay + self._delay())
+        self.inner.send(src, dst, message, delay + self._delay(),
+                        parent=parent)
         if faults.duplicate > 0.0 and self.rng.random() < faults.duplicate:
             self.log.counts["duplicated"] += 1
             if self._obs.enabled:
                 self._obs.count("net.messages_duplicated")
-            self.inner.send(src, dst, message, delay + self._delay())
+            self.inner.send(src, dst, message, delay + self._delay(),
+                            parent=parent)
 
     def _delay(self) -> float:
         jitter = self.faults.jitter
@@ -175,9 +196,18 @@ class FaultyTransport:
         return self.faults.latency + extra
 
     def _drop(self, fate: str, src: Address, dst: Address,
-              message: Message, now: float) -> None:
+              message: Message, now: float,
+              parent: Optional[int] = None) -> None:
         envelope = Envelope(seq=-1, src=src, dst=dst, sent_at=now,
                             delivered_at=now, message=message)
         self.log.record(fate, envelope, delivered=False)
         if self._obs.enabled:
             self._obs.count("net.messages_dropped")
+            # The message never enters the inner transport, so the fault
+            # span is opened and closed here — a zero-duration leaf whose
+            # status records the fate.
+            span = self._obs.span_start(
+                f"msg.{type(message).__name__}", parent=parent,
+                virtual_time=now, src=str(src), dst=str(dst),
+            )
+            self._obs.span_end(span, status=fate, virtual_time=now)

@@ -16,6 +16,21 @@ The subsystem has four layers:
   ``python -m repro.obs.report DIR``) renders a trace directory back into
   ASCII tables.
 
+Version 2 adds four live-telemetry layers on the same facade:
+
+* **spans** — :class:`~repro.obs.spans.SpanCollector` records causal
+  span trees (``coordinator.broadcast → msg.* → device.best_response →
+  report.receive``) with deterministic ids and virtual-time bounds;
+  ``python -m repro.obs.spans DIR`` renders per-round critical paths;
+* **export** — :class:`~repro.obs.serve.MetricsServer` serves the live
+  registry in Prometheus text format (``--serve-metrics PORT``), and
+  ``python -m repro.obs.watch DIR`` tail-follows a trace directory;
+* **profiling** — :class:`~repro.obs.profile.Profiler` wraps cProfile
+  and emits hotspot tables plus flamegraph-ready collapsed stacks;
+* **benchmarks** — :mod:`repro.obs.bench` normalizes every
+  ``BENCH_*.json`` shape into one schema and compares runs for
+  regressions (``python -m repro.obs.bench compare OLD NEW``).
+
 Instrumentation is opt-in everywhere: with the null recorder installed,
 solver and simulator outputs are bit-identical to uninstrumented code.
 """
@@ -30,8 +45,27 @@ from repro.obs.metrics import (
     MetricsRegistry,
     render_snapshot,
 )
+from repro.obs.profile import Profiler, render_hotspots
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, ObsRecorder, Recorder
+from repro.obs.serve import MetricsServer, prometheus_text
 from repro.obs.tracer import Tracer, new_run_id, read_events
+
+#: Lazily resolved (PEP 562) so that importing the package — which every
+#: ``python -m repro.obs.<tool>`` invocation does first — leaves the CLI
+#: submodules out of ``sys.modules`` and runpy warning-free.
+_LAZY = {"Span": "spans", "SpanCollector": "spans",
+         "critical_path": "spans", "read_spans": "spans"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.obs.{_LAZY[name]}")
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def summarize(trace_dir):
@@ -48,17 +82,25 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_RECORDER",
     "NullRecorder",
     "ObsRecorder",
+    "Profiler",
     "Recorder",
     "RunManifest",
+    "Span",
+    "SpanCollector",
     "StructuredLogger",
     "Tracer",
+    "critical_path",
     "get_recorder",
     "git_revision",
     "new_run_id",
+    "prometheus_text",
     "read_events",
+    "read_spans",
+    "render_hotspots",
     "render_snapshot",
     "resolve_recorder",
     "summarize",

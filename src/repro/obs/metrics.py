@@ -51,14 +51,19 @@ class Gauge:
 class Histogram:
     """Streaming summary statistics of an observed quantity.
 
-    Keeps count/sum/min/max plus the sum of squares, which is enough for
-    the mean and standard deviation without storing every sample.
+    Keeps count/sum/min/max plus Welford's running mean and sum of
+    squared deviations (``M2``) — enough for the mean and standard
+    deviation without storing every sample. The naive
+    ``Σx² − (Σx)²/n`` form cancels catastrophically when samples share a
+    large magnitude (e.g. Unix-epoch timestamps ~1e9 differing by
+    microseconds); Welford's update keeps full precision there.
     """
 
     name: str
     count: int = 0
     total: float = 0.0
-    total_sq: float = 0.0
+    running_mean: float = 0.0
+    m2: float = 0.0               # Σ (x − mean)², updated online
     min: float = math.inf
     max: float = -math.inf
 
@@ -66,7 +71,9 @@ class Histogram:
         value = float(value)
         self.count += 1
         self.total += value
-        self.total_sq += value * value
+        delta = value - self.running_mean
+        self.running_mean += delta / self.count
+        self.m2 += delta * (value - self.running_mean)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -74,16 +81,13 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else math.nan
+        return self.running_mean if self.count else math.nan
 
     @property
     def stddev(self) -> float:
         if self.count < 2:
             return math.nan
-        variance = (self.total_sq - self.total * self.total / self.count) / (
-            self.count - 1
-        )
-        return math.sqrt(max(variance, 0.0))
+        return math.sqrt(max(self.m2 / (self.count - 1), 0.0))
 
 
 class _Timer:

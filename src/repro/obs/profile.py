@@ -1,0 +1,182 @@
+"""Opt-in profiling hooks: cProfile plus collapsed-stack export.
+
+:class:`Profiler` wraps the stdlib deterministic profiler behind the same
+start/stop/context-manager shape the rest of :mod:`repro.obs` uses, and
+turns the raw stats into the two artefacts people actually consume:
+
+* a **hotspot table** — top functions by cumulative time, rendered with
+  the shared ASCII table helper and embeddable in
+  ``python -m repro.obs.report`` output;
+* a **collapsed-stack file** (``profile.collapsed``) in the
+  ``frame;frame;frame count`` format flamegraph tooling eats
+  (``flamegraph.pl``, speedscope, inferno). cProfile records a caller
+  *graph*, not full stacks, so each function is attributed to its single
+  hottest caller chain — an approximation that preserves where the time
+  went, which is what a flamegraph is for.
+
+Wiring is one flag: ``--profile`` on the experiment CLIs activates a
+profiler around the run, prints the hotspot table, and — when ``--trace
+DIR`` is also given — saves ``profile.pstats`` (for ``snakeviz`` /
+``pstats``), ``profile.collapsed``, and ``profile_hotspots.json`` into
+the trace directory, where the report summariser picks the hotspots up.
+
+The profiler observes wall time, never results: solver outputs are
+bit-identical with and without ``--profile``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.utils.tables import format_table
+
+PROFILE_STATS_FILE = "profile.pstats"
+PROFILE_COLLAPSED_FILE = "profile.collapsed"
+PROFILE_HOTSPOTS_FILE = "profile_hotspots.json"
+
+#: (filename, line, funcname) — how cProfile keys a code location.
+_Func = Tuple[str, int, str]
+
+
+def _frame_label(func: _Func) -> str:
+    """A compact human frame label: ``module.function:line``."""
+    filename, line, name = func
+    if filename.startswith("~") or filename == "<built-in>":
+        return name                      # C builtins have no file/line
+    stem = Path(filename).stem
+    return f"{stem}.{name}:{line}"
+
+
+class Profiler:
+    """cProfile with hotspot tables and collapsed-stack output."""
+
+    def __init__(self):
+        self._profile = cProfile.Profile()
+        self._running = False
+        self._stats: Optional[dict] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Profiler":
+        if self._running:
+            raise RuntimeError("profiler already running")
+        self._stats = None
+        self._running = True
+        self._profile.enable()
+        return self
+
+    def stop(self) -> None:
+        if self._running:
+            self._profile.disable()
+            self._running = False
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- raw stats -----------------------------------------------------
+    def _collect(self) -> dict:
+        """``{func: (cc, nc, tottime, cumtime, callers)}`` from pstats."""
+        if self._running:
+            raise RuntimeError("stop the profiler before reading stats")
+        if self._stats is None:
+            stats = pstats.Stats(self._profile)
+            stats.calc_callees()
+            self._stats = stats.stats  # type: ignore[attr-defined]
+        return self._stats
+
+    # -- hotspots ------------------------------------------------------
+    def hotspots(self, limit: int = 15) -> List[dict]:
+        """Top functions by cumulative time, as plain dicts."""
+        rows = []
+        for func, (_, ncalls, tottime, cumtime, _) in self._collect().items():
+            rows.append({
+                "function": _frame_label(func),
+                "file": func[0],
+                "line": func[1],
+                "calls": ncalls,
+                "tottime": tottime,
+                "cumtime": cumtime,
+            })
+        rows.sort(key=lambda row: (-row["cumtime"], row["function"]))
+        return rows[:limit]
+
+    def render(self, limit: int = 15) -> str:
+        """The hotspot table as aligned ASCII."""
+        return render_hotspots(self.hotspots(limit))
+
+    # -- collapsed stacks ----------------------------------------------
+    def collapsed(self) -> str:
+        """Collapsed-stack lines (``a;b;c microseconds``) for flamegraphs.
+
+        cProfile keeps only a caller *graph*; each function's own time is
+        attributed to the chain of hottest callers back to a root, which
+        keeps totals exact per function while approximating the split
+        across stacks.
+        """
+        stats = self._collect()
+        chains: Dict[_Func, Tuple[_Func, ...]] = {}
+
+        def chain(func: _Func, guard: frozenset) -> Tuple[_Func, ...]:
+            cached = chains.get(func)
+            if cached is not None:
+                return cached
+            callers = stats.get(func, (0, 0, 0.0, 0.0, {}))[4]
+            callers = {c: v for c, v in callers.items()
+                       if c not in guard and c != func}
+            if not callers:
+                result: Tuple[_Func, ...] = (func,)
+            else:
+                # The hottest caller by cumulative attribution.
+                best = max(callers.items(), key=lambda kv: kv[1][3])[0]
+                result = chain(best, guard | {func}) + (func,)
+            chains[func] = result
+            return result
+
+        lines = []
+        for func, (_, _, tottime, _, _) in sorted(stats.items()):
+            micros = int(round(tottime * 1e6))
+            if micros <= 0:
+                continue
+            frames = ";".join(_frame_label(f) for f in chain(func, frozenset()))
+            lines.append(f"{frames} {micros}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- persistence ---------------------------------------------------
+    def save(self, directory: Union[str, Path],
+             limit: int = 30) -> Dict[str, Path]:
+        """Write pstats + collapsed + hotspot JSON into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "pstats": directory / PROFILE_STATS_FILE,
+            "collapsed": directory / PROFILE_COLLAPSED_FILE,
+            "hotspots": directory / PROFILE_HOTSPOTS_FILE,
+        }
+        pstats.Stats(self._profile).dump_stats(str(paths["pstats"]))
+        paths["collapsed"].write_text(self.collapsed())
+        paths["hotspots"].write_text(json.dumps(
+            {"hotspots": self.hotspots(limit)}, indent=2))
+        return paths
+
+
+def render_hotspots(hotspots: List[dict], title: str = "Profile hotspots "
+                    "(cumulative seconds)") -> str:
+    """Render hotspot dicts (from :meth:`Profiler.hotspots` or the saved
+    ``profile_hotspots.json``) as an aligned ASCII table."""
+    if not hotspots:
+        return "no profile samples recorded"
+    rows = [
+        (row["function"], row["calls"],
+         f"{row['tottime']:.4f}", f"{row['cumtime']:.4f}")
+        for row in hotspots
+    ]
+    return format_table(
+        headers=("function", "calls", "tottime [s]", "cumtime [s]"),
+        rows=rows, title=title,
+    )

@@ -16,13 +16,23 @@ registry or a tracer directly — they call a :class:`Recorder`:
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 
+if TYPE_CHECKING:  # pragma: no cover — annotation only, avoids an eager
+    from repro.obs.spans import SpanCollector  # import of the spans CLI module
+
 #: Shared reusable no-op context manager for the null timer.
 _NULL_CONTEXT = nullcontext()
+
+#: Span statuses that count as faults (``spans.faulted``). Defined here —
+#: not in :mod:`repro.obs.spans`, which re-exports it — so importing the
+#: recorder facade does not pull in the spans module: ``python -m
+#: repro.obs.spans`` would otherwise find it pre-imported and warn.
+FAULT_STATUSES = frozenset(
+    {"dropped", "partitioned", "unroutable", "cancelled", "silent"})
 
 
 @runtime_checkable
@@ -46,6 +56,14 @@ class Recorder(Protocol):
     def timer(self, name: str):
         """Context manager timing a block into a histogram."""
 
+    def span_start(self, name: str, parent=None, trace=None,
+                   virtual_time: float = 0.0, **tags):
+        """Open a causal span; returns its id (None when spans are off)."""
+
+    def span_end(self, span_id, status: str = "ok",
+                 virtual_time=None, **tags) -> None:
+        """Close a span opened by :meth:`span_start` (None id: no-op)."""
+
 
 class NullRecorder:
     """The zero-overhead disabled recorder."""
@@ -67,6 +85,14 @@ class NullRecorder:
     def timer(self, name: str):
         return _NULL_CONTEXT
 
+    def span_start(self, name: str, parent=None, trace=None,
+                   virtual_time: float = 0.0, **tags):
+        return None
+
+    def span_end(self, span_id, status: str = "ok",
+                 virtual_time=None, **tags) -> None:
+        pass
+
     def __repr__(self) -> str:
         return "NullRecorder()"
 
@@ -76,7 +102,8 @@ NULL_RECORDER = NullRecorder()
 
 
 class ObsRecorder:
-    """An enabled recorder backed by a registry and an optional tracer."""
+    """An enabled recorder backed by a registry, an optional tracer, and
+    an optional span collector."""
 
     enabled = True
 
@@ -84,9 +111,11 @@ class ObsRecorder:
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        spans: Optional[SpanCollector] = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        self.spans = spans
 
     def event(self, kind: str, **payload) -> None:
         self.registry.inc(f"events.{kind}")
@@ -104,6 +133,24 @@ class ObsRecorder:
 
     def timer(self, name: str):
         return self.registry.timer(name)
+
+    def span_start(self, name: str, parent=None, trace=None,
+                   virtual_time: float = 0.0, **tags):
+        if self.spans is None:
+            return None
+        self.registry.inc("spans.opened")
+        return self.spans.start(name, parent=parent, trace=trace,
+                                virtual_time=virtual_time, **tags)
+
+    def span_end(self, span_id, status: str = "ok",
+                 virtual_time=None, **tags) -> None:
+        if self.spans is None or span_id is None:
+            return
+        self.registry.inc("spans.closed")
+        if status in FAULT_STATUSES:
+            self.registry.inc("spans.faulted")
+        self.spans.end(span_id, status=status,
+                       virtual_time=virtual_time, **tags)
 
     def __repr__(self) -> str:
         traced = self.tracer.path if self.tracer is not None else None

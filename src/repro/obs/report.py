@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.obs.metrics import render_snapshot
+from repro.obs.profile import PROFILE_HOTSPOTS_FILE, render_hotspots
 from repro.obs.tracer import read_events
 from repro.utils.tables import format_table
 
@@ -81,6 +82,10 @@ def summarize(trace_dir: Union[str, Path]) -> str:
         rendered = render_snapshot(json.loads(metrics.read_text()))
         if rendered:
             blocks.append(rendered)
+    hotspots = trace_dir / PROFILE_HOTSPOTS_FILE
+    if hotspots.exists():
+        data = json.loads(hotspots.read_text())
+        blocks.append(render_hotspots(data.get("hotspots") or []))
     if not blocks:
         return (f"{trace_dir}: no {MANIFEST_FILE}, {EVENTS_FILE} or "
                 f"{METRICS_FILE} found — nothing to summarise")
@@ -96,8 +101,11 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         print(summarize(args.trace_dir))
-    except FileNotFoundError as error:
-        parser.error(str(error))
+    except (FileNotFoundError, NotADirectoryError, PermissionError) as error:
+        # One clear line, non-zero exit, no traceback — report/spans/watch
+        # all fail the same way on missing or half-written trace dirs.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -263,10 +263,12 @@ class TaskRunner:
                 obs.event("task.scheduled", task=spec.label, index=index,
                           backend=self.backend)
 
-        if self.backend == "inline":
-            self._run_inline(pending, results, obs)
-        else:
-            self._run_pool(pending, results, obs)
+        # timer() is the shared null context when obs is off — free here.
+        with obs.timer("runtime.run_seconds"):
+            if self.backend == "inline":
+                self._run_inline(pending, results, obs)
+            else:
+                self._run_pool(pending, results, obs)
         return results  # type: ignore[return-value] - every slot filled
 
     # ------------------------------------------------------------- inline --

@@ -1,0 +1,178 @@
+"""Span tracing across the net runtime — determinism and balance.
+
+The contracts pinned here:
+
+* **Determinism** — two same-seed ``FaultyTransport`` runs produce
+  bit-identical span logs (canonical form: ids, names, parents, virtual
+  times, statuses, tags — wall-clock excluded by construction);
+* **Balance** — every opened span is closed, including the loss,
+  partition, and in-flight-at-horizon paths;
+* **Non-interference** — a fault-free ``run_net_dtu`` with spans and
+  metrics enabled still reproduces the ``run_dtu`` γ̂ trajectory bit for
+  bit, and leaves the message log identical to an uninstrumented run;
+* **Causality** — the expected round tree
+  ``coordinator.broadcast → msg.GammaBroadcast → device.best_response →
+  msg.ThresholdReport → report.receive`` is the per-round critical path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.core.meanfield import MeanFieldMap
+from repro.net import (
+    ChurnConfig,
+    FaultConfig,
+    NetConfig,
+    Partition,
+    run_net_dtu,
+)
+from repro.obs import ObsRecorder, SpanCollector, critical_path
+from repro.obs.spans import FAULT_STATUSES
+from repro.population.distributions import Uniform
+from repro.population.sampler import PopulationConfig, sample_population
+
+pytestmark = pytest.mark.net
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    config = PopulationConfig(
+        arrival=Uniform(0.0, 4.0),
+        service=Uniform(1.0, 5.0),
+        latency=Uniform(0.0, 1.0),
+        energy_local=Uniform(0.0, 3.0),
+        energy_offload=Uniform(0.0, 1.0),
+        capacity=10.0,
+    )
+    return sample_population(config, 40, rng=7)
+
+
+def traced_run(fleet, config):
+    """(spans, recorder, result) for one instrumented run."""
+    spans = SpanCollector()
+    recorder = ObsRecorder(spans=spans)
+    result = run_net_dtu(fleet, config, recorder=recorder)
+    return spans, recorder, result
+
+
+FAULTY = NetConfig(
+    faults=FaultConfig(loss=0.25, duplicate=0.1, latency=0.05, jitter=0.2),
+    seed=42, max_rounds=60,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_faulty_runs_bit_identical_span_logs(self, fleet):
+        first, _, _ = traced_run(fleet, FAULTY)
+        second, _, _ = traced_run(fleet, FAULTY)
+        assert len(first.spans) > 0
+        assert first.canonical() == second.canonical()
+
+    def test_different_seed_different_span_log(self, fleet):
+        base, _, _ = traced_run(fleet, FAULTY)
+        other, _, _ = traced_run(
+            fleet, NetConfig(faults=FAULTY.faults, seed=43, max_rounds=60))
+        assert base.canonical() != other.canonical()
+
+
+class TestBalance:
+    def test_every_span_closed_fault_free(self, fleet):
+        spans, recorder, _ = traced_run(fleet, NetConfig())
+        assert spans.open_count == 0
+        counters = recorder.registry.counters
+        assert counters["spans.opened"].value == \
+            counters["spans.closed"].value == len(spans.spans)
+
+    def test_every_span_closed_under_loss_and_duplication(self, fleet):
+        spans, recorder, _ = traced_run(fleet, FAULTY)
+        assert spans.open_count == 0
+        statuses = {span.status for span in spans.spans}
+        assert "dropped" in statuses          # loss path closes with fault
+        assert recorder.registry.counters["spans.faulted"].value > 0
+
+    def test_every_span_closed_under_partition(self, fleet):
+        config = NetConfig(
+            faults=FaultConfig(partitions=(
+                Partition(start=0.0, end=5.0,
+                          devices=frozenset(range(fleet.size))),
+            )),
+            max_rounds=12, seed=3,
+        )
+        spans, _, result = traced_run(fleet, config)
+        assert result.silent_rounds > 0
+        assert spans.open_count == 0
+        assert any(span.status == "partitioned" for span in spans.spans)
+        # Fully partitioned rounds close their root as "silent".
+        assert any(span.name == "coordinator.broadcast"
+                   and span.status == "silent" for span in spans.spans)
+
+    def test_in_flight_messages_cancelled_at_horizon(self, fleet):
+        # A huge fixed latency keeps every message in flight past the
+        # horizon; the runner must cancel those spans, not leak them.
+        config = NetConfig(
+            faults=FaultConfig(latency=100.0),
+            max_rounds=2, horizon=1.5, seed=0,
+        )
+        spans, _, _ = traced_run(fleet, config)
+        assert spans.open_count == 0
+        assert any(span.status == "cancelled" for span in spans.spans)
+
+    def test_fault_statuses_marked_faulted(self, fleet):
+        spans, _, _ = traced_run(fleet, FAULTY)
+        for span in spans.spans:
+            assert not span.open
+            assert span.faulted == (span.status in FAULT_STATUSES)
+
+
+class TestNonInterference:
+    def test_instrumented_fault_free_run_matches_run_dtu(self, fleet):
+        reference = run_dtu(MeanFieldMap(fleet), DtuConfig())
+        spans, _, result = traced_run(fleet, NetConfig())
+        assert result.converged and reference.converged
+        assert result.estimated_utilization == \
+            reference.estimated_utilization
+        assert np.array_equal(
+            np.asarray(result.trace.estimated),
+            np.asarray(reference.trace.estimated_utilization))
+        assert np.array_equal(
+            np.asarray(result.trace.measured),
+            np.asarray(reference.trace.actual_utilization))
+        assert len(spans.spans) > 0
+
+    def test_instrumented_log_equals_uninstrumented_log(self, fleet):
+        plain = run_net_dtu(fleet, FAULTY)
+        _, _, traced = traced_run(fleet, FAULTY)
+        assert plain.log == traced.log
+        assert plain.estimated_utilization == traced.estimated_utilization
+
+
+class TestCausality:
+    def test_round_critical_path_is_the_protocol_chain(self, fleet):
+        spans, _, _ = traced_run(fleet, NetConfig())
+        round_one = [span for span in spans.spans if span.trace == 1]
+        chain = [span.name for span in critical_path(round_one)]
+        assert chain == [
+            "coordinator.broadcast", "msg.GammaBroadcast",
+            "device.best_response", "msg.ThresholdReport", "report.receive",
+        ]
+
+    def test_parents_always_precede_children(self, fleet):
+        spans, _, _ = traced_run(fleet, FAULTY)
+        by_id = {span.id: span for span in spans.spans}
+        for span in spans.spans:
+            if span.parent is None:
+                continue
+            parent = by_id[span.parent]
+            assert parent.id < span.id
+            assert parent.t_start <= span.t_start
+            assert span.trace == parent.trace   # trace inherited
+
+    def test_round_trace_groups_every_kind(self, fleet):
+        spans, _, _ = traced_run(fleet, NetConfig())
+        names = {span.name for span in spans.spans if span.trace == 2}
+        assert {"coordinator.broadcast", "msg.GammaBroadcast",
+                "device.best_response", "msg.ThresholdReport",
+                "report.receive"} <= names
