@@ -1,13 +1,23 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows without writing any Python::
+The subcommands cover the common workflows without writing any Python
+(``python -m repro --help`` lists them all, generated from the parser
+registry)::
 
     python -m repro solve    --scenario paper-theoretical --users 10000
     python -m repro dtu      --scenario vision-fleet --plot
     python -m repro net      --scenario paper-theoretical --loss 0.2
+    python -m repro serve    --scenario paper-theoretical --port 8080
+    python -m repro replay   --url http://127.0.0.1:8080 --requests 10000
     python -m repro compare  --scenario paper-practical
     python -m repro sweep    --param capacity --values 9,10,12,16 --jobs 4
     python -m repro scenarios
+
+``serve`` boots the wall-clock decision daemon (:mod:`repro.serve`):
+DTU's edge coordinator as a long-lived HTTP service answering batched
+``POST /decide`` queries from the compiled kernel at the current γ̂;
+``replay`` load-tests it with seeded open- or closed-loop traffic and
+can write a ``BENCH_serve.json``.
 
 ``sweep`` accepts ``--jobs N`` (solve points on N worker processes) and
 ``--cache DIR`` (content-addressed result cache; re-running a point is a
@@ -213,6 +223,109 @@ def cmd_net(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import time as _time
+
+    from repro.serve import DecisionServer, DecisionService, ServeConfig
+
+    population = _population(args)
+    config = ServeConfig(
+        round_period=args.round_period,
+        initial_step=args.step,
+        tolerance=args.tolerance,
+        watermark=args.watermark,
+    )
+
+    recorder = spans = tracer = trace_dir = None
+    if args.trace is not None:
+        from pathlib import Path
+
+        from repro.obs import MetricsRegistry, ObsRecorder, RunManifest, \
+            Tracer
+        from repro.obs.spans import SpanCollector
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest.capture(
+            seed=args.seed,
+            config={"scenario": args.scenario, "users": args.users,
+                    "round_period": args.round_period,
+                    "watermark": args.watermark},
+        )
+        manifest.save(trace_dir / "manifest.json")
+        tracer = Tracer(trace_dir / "events.jsonl", run_id=manifest.run_id)
+        # The coordinator's recorder carries the tracer but NOT the span
+        # collector: spans are shared across HTTP handler threads, so
+        # the DecisionServer owns them behind its lock.
+        recorder = ObsRecorder(MetricsRegistry(), tracer)
+        spans = SpanCollector(trace_dir / "spans.jsonl")
+
+    service = DecisionService(population, config, recorder=recorder)
+    server = DecisionServer(service, port=args.port, host=args.host,
+                            spans=spans)
+    print(f"scenario: {args.scenario} (N={population.size}, "
+          f"c={population.capacity:g})")
+    try:
+        with server:
+            print(f"serving decisions at {server.url} "
+                  f"(round period {config.round_period:g}s, "
+                  f"watermark {config.watermark})")
+            if args.duration > 0:
+                _time.sleep(args.duration)
+            else:
+                while service.healthy:
+                    _time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\ninterrupted, shutting down")
+    finally:
+        if tracer is not None:
+            recorder.registry.save(trace_dir / "metrics.json")
+            tracer.close()
+    state = service.state()
+    print(f"served {state['admitted_total']} requests "
+          f"({state['shed_total']} shed) over {state['round']} rounds; "
+          f"final γ̂ = {state['gamma']:.4f}, converged={state['converged']}")
+    if trace_dir is not None:
+        print(f"trace written to {trace_dir}")
+    if service.driver.failure is not None:
+        print(f"coordinator failed: {service.driver.failure!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_replay(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.replay import ReplayConfig, bench_document, run_replay
+
+    config = ReplayConfig(
+        url=args.url, requests=args.requests, batch=args.batch,
+        rate=args.rate, workers=args.workers, devices=args.devices,
+        seed=args.seed, timeout=args.timeout, wait_secs=args.wait,
+    )
+    report = run_replay(config)
+    print(f"{report.mode}-loop replay of {report.requests} requests "
+          f"x batch {report.batch} against {args.url}")
+    print(f"ok={report.ok} shed={report.shed} errors={report.errors} "
+          f"({100 * report.shed_rate:.1f}% shed)")
+    print(f"{report.decisions_per_second:,.0f} decisions/s "
+          f"({report.requests_per_second:,.0f} req/s) over "
+          f"{report.wall_seconds:.2f}s")
+    print(f"latency p50={1e3 * report.p50_seconds:.2f}ms "
+          f"p99={1e3 * report.p99_seconds:.2f}ms "
+          f"p99.9={1e3 * report.p999_seconds:.2f}ms")
+    if args.output is not None:
+        document = bench_document([report.workload(args.workload)])
+        Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.fail_on_errors and (report.errors or report.shed):
+        print(f"FAIL: {report.errors} errors, {report.shed} shed "
+              "(--fail-on-errors)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_compare(args) -> int:
     population = _population(args)
     mean_field = _mean_field(args, population)
@@ -236,18 +349,24 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     scenarios = subparsers.add_parser(
-        "scenarios", help="list the named population scenarios")
+        "scenarios", help="list the named population scenarios",
+        description="List the named population scenarios with their "
+                    "sampling distributions.")
     scenarios.set_defaults(func=cmd_scenarios)
 
     solve = subparsers.add_parser(
-        "solve", help="solve the MFNE for a scenario")
+        "solve", help="solve the MFNE for a scenario",
+        description="Solve the mean-field Nash equilibrium (bisection on "
+                    "V(γ) − γ) and report γ*, residual, and cost.")
     _add_common(solve)
     solve.add_argument("--social", action="store_true",
                        help="also compute the social optimum / PoA")
     solve.set_defaults(func=cmd_solve)
 
     dtu = subparsers.add_parser(
-        "dtu", help="run the DTU algorithm on a scenario")
+        "dtu", help="run the DTU algorithm on a scenario",
+        description="Run Algorithm 1 (distributed threshold update) "
+                    "against the analytical best-response map.")
     _add_common(dtu)
     dtu.add_argument("--step", type=float, default=0.1, help="η₀")
     dtu.add_argument("--tolerance", type=float, default=0.01, help="ε")
@@ -258,7 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
     dtu.set_defaults(func=cmd_dtu)
 
     net = subparsers.add_parser(
-        "net", help="run DTU as a message-passing protocol (repro.net)")
+        "net", help="run DTU as a message-passing protocol (repro.net)",
+        description="Run DTU over the asynchronous actor runtime with "
+                    "seeded faults, churn, and stragglers; fault-free it "
+                    "reproduces `dtu` exactly.")
     _add_common(net)
     net.add_argument("--step", type=float, default=0.1, help="η₀")
     net.add_argument("--tolerance", type=float, default=0.01, help="ε")
@@ -294,13 +416,81 @@ def build_parser() -> argparse.ArgumentParser:
                      help="draw the convergence trace")
     net.set_defaults(func=cmd_net)
 
+    serve = subparsers.add_parser(
+        "serve", help="run DTU as a wall-clock HTTP decision daemon",
+        description="Boot the repro.serve daemon: the edge coordinator "
+                    "on a wall-clock round period, answering batched "
+                    "POST /decide queries from the compiled kernel at "
+                    "the current γ̂, with admission control and "
+                    "/state, /healthz, /metrics endpoints.")
+    serve.add_argument("--scenario", default="paper-theoretical",
+                       help="named scenario (see `scenarios` subcommand)")
+    serve.add_argument("--users", type=int, default=5000,
+                       help="population size (default 5000)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0: ephemeral, default 8080)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--round-period", type=float, default=1.0,
+                       help="wall seconds between re-estimation rounds")
+    serve.add_argument("--step", type=float, default=0.1, help="η₀")
+    serve.add_argument("--tolerance", type=float, default=0.01, help="ε")
+    serve.add_argument("--watermark", type=int, default=64,
+                       help="max in-flight /decide requests before "
+                            "shedding with 503 (default 64)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve for N seconds then exit "
+                            "(default 0: until interrupted)")
+    serve.add_argument("--trace", type=str, default=None, metavar="DIR",
+                       help="write manifest/events/spans/metrics to DIR")
+    serve.set_defaults(func=cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay", help="load-test a running decision daemon",
+        description="Replay seeded decision traffic against a live "
+                    "`serve` daemon (open-loop Poisson arrivals or "
+                    "closed loop), report throughput / latency "
+                    "percentiles / shed rate, and optionally write a "
+                    "BENCH_serve.json.")
+    replay.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="server base URL")
+    replay.add_argument("--requests", type=int, default=1000)
+    replay.add_argument("--batch", type=int, default=1,
+                        help="devices per /decide request")
+    replay.add_argument("--rate", type=float, default=0.0,
+                        help="open-loop arrival rate in req/s "
+                             "(default 0: closed loop)")
+    replay.add_argument("--workers", type=int, default=4,
+                        help="concurrent client connections")
+    replay.add_argument("--devices", type=int, default=None,
+                        help="device id space (default: ask /state)")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request socket timeout (seconds)")
+    replay.add_argument("--wait", type=float, default=10.0,
+                        help="readiness budget polling /healthz")
+    replay.add_argument("--workload", default="replay",
+                        help="workload label in the --output document")
+    replay.add_argument("--output", type=str, default=None, metavar="FILE",
+                        help="write a BENCH_serve.json-shaped report")
+    replay.add_argument("--fail-on-errors", action="store_true",
+                        help="exit 1 if any request errored or was shed "
+                             "(CI smoke: zero 5xx at sub-watermark load)")
+    replay.set_defaults(func=cmd_replay)
+
     compare = subparsers.add_parser(
-        "compare", help="DTU vs DPO on a scenario")
+        "compare", help="DTU vs DPO on a scenario",
+        description="Equilibrium utilisation and population cost of the "
+                    "threshold policy (DTU) versus the probabilistic "
+                    "baseline (DPO).")
     _add_common(compare)
     compare.set_defaults(func=cmd_compare)
 
     sweep = subparsers.add_parser(
-        "sweep", help="sweep one model knob against the equilibrium")
+        "sweep", help="sweep one model knob against the equilibrium",
+        description="Sweep one model knob across values and tabulate the "
+                    "equilibrium response, optionally validated by "
+                    "simulation (--backend).")
     sweep.add_argument("--param", required=True,
                        help="knob to sweep (see repro.sweep.PARAMETERS)")
     sweep.add_argument("--values", required=True,
@@ -326,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bit-identical table, slower points)")
     sweep.set_defaults(func=cmd_sweep)
 
+    # The epilog is generated from the registry, not maintained as
+    # prose: adding a subcommand above is all it takes to document it.
+    parser.formatter_class = argparse.RawDescriptionHelpFormatter
+    width = max(len(name) for name in subparsers.choices)
+    parser.epilog = "subcommands:\n" + "\n".join(
+        f"  {name:<{width}}  {sub.description}"
+        for name, sub in subparsers.choices.items())
     return parser
 
 

@@ -262,7 +262,12 @@ class EdgeCoordinator:
                 self._close_round_span("measured", measured=measured)
                 if self.stepper.converged:
                     self.converged = True
-                    break
+                    # A long-lived serving coordinator (repro.serve) keeps
+                    # re-estimating after convergence so γ̂ tracks a
+                    # changing population; the virtual-time runs stop, as
+                    # Algorithm 1 specifies.
+                    if getattr(config, "stop_on_convergence", True):
+                        break
                 self.iterations += 1
                 self.stepper.update(measured)
                 wait = config.report_timeout

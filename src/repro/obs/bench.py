@@ -3,7 +3,8 @@
 The repo's benchmark suites each grew their own JSON shape
 (``BENCH_runtime.json`` has ``workloads`` keyed by a label,
 ``BENCH_fastpath.json``/``BENCH_kernels.json`` have ``points`` keyed by
-size, ``BENCH_net.json`` mixes both). This module gives them a single
+size, ``BENCH_net.json`` mixes both, ``BENCH_serve.json`` adds per-mode
+latency percentiles). This module gives them a single
 normalized form — ``repro.bench/v1`` — and a direction-aware comparator
 so CI can fail on a real slowdown without anyone eyeballing tables::
 
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -38,21 +40,30 @@ from repro.utils.tables import format_table
 SCHEMA = "repro.bench/v1"
 
 #: Row fields that identify a case (in label order), not measure it.
-_CASE_FIELDS = ("workload", "scenario", "n_devices", "n_users", "loss")
+#: ``mode``/``batch`` come from ``BENCH_serve.json`` (open vs closed
+#: loop, devices per request) — different cases, not different values.
+_CASE_FIELDS = ("workload", "scenario", "n_devices", "n_users", "loss",
+                "mode", "batch")
 
 #: Environment fields copied verbatim from the legacy top level.
 _ENV_FIELDS = ("repro_version", "python", "platform", "cpu_count", "quick")
+
+#: Latency-percentile metrics (``p50``, ``p99_seconds``, ``latency_p999``
+#: ...): tail latencies regress upward, whatever suffix they carry.
+_PERCENTILE = re.compile(r"(^|_)p\d+(_seconds)?$")
 
 
 def metric_direction(name: str) -> Optional[str]:
     """``"lower"``/``"higher"`` for performance fields, None for config.
 
-    Timings (``*_seconds``) regress upward; throughput and speedup
-    ratios (``*speedup*``, ``*_per_second``) regress downward.
+    Timings (``*_seconds``) and latency percentiles (``p50`` / ``p99`` /
+    ``p999``, with or without a ``_seconds`` suffix) regress upward;
+    throughput and speedup ratios (``*speedup*``, ``*_per_second``)
+    regress downward.
     """
     if "speedup" in name or name.endswith("_per_second"):
         return "higher"
-    if name.endswith("_seconds"):
+    if name.endswith("_seconds") or _PERCENTILE.search(name) is not None:
         return "lower"
     return None
 

@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import math
 import re
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
+
+from repro.utils.httpd import HttpDaemon, QuietHandler
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -80,7 +80,7 @@ def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
     return "\n".join(lines) + "\n" if lines else "\n"
 
 
-class _Handler(BaseHTTPRequestHandler):
+class _Handler(QuietHandler):
     server_version = "repro-obs/1.0"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -96,24 +96,21 @@ class _Handler(BaseHTTPRequestHandler):
             except RuntimeError:
                 self.send_error(503, "registry busy, retry the scrape")
                 return
-        payload = body.encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type",
-                         "text/plain; version=0.0.4; charset=utf-8")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        self.send_text(200, body,
+                       content_type="text/plain; version=0.0.4; "
+                                    "charset=utf-8")
 
     def _render(self) -> str:
         return prometheus_text(self.server.snapshot_fn(),  # type: ignore[attr-defined]
                                prefix=self.server.prefix)  # type: ignore[attr-defined]
 
-    def log_message(self, *args) -> None:
-        """Silence per-request stderr chatter (scrapes are periodic)."""
-
 
 class MetricsServer:
     """A ``/metrics`` endpoint on a daemon thread.
+
+    A thin wrapper over :class:`repro.utils.httpd.HttpDaemon` (the shared
+    stdlib-HTTP plumbing) that injects the snapshot callable and prefix
+    into the handler.
 
     Parameters
     ----------
@@ -130,43 +127,28 @@ class MetricsServer:
 
     def __init__(self, snapshot_fn: Callable[[], dict], port: int = 0,
                  host: str = "127.0.0.1", prefix: str = "repro"):
-        self._snapshot_fn = snapshot_fn
-        self._requested = (host, int(port))
-        self._prefix = prefix
-        self._server: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
+        self._daemon = HttpDaemon(
+            _Handler, port=port, host=host, name="repro-metrics-server",
+            snapshot_fn=snapshot_fn, prefix=prefix,
+        )
 
     @property
     def port(self) -> int:
         """The bound port (resolves ephemeral requests after start)."""
-        if self._server is not None:
-            return self._server.server_address[1]
-        return self._requested[1]
+        return self._daemon.port
 
     @property
     def url(self) -> str:
-        return f"http://{self._requested[0]}:{self.port}/metrics"
+        return f"{self._daemon.url}/metrics"
 
     def start(self) -> "MetricsServer":
-        if self._server is not None:
+        if self._daemon.running:
             raise RuntimeError("metrics server already started")
-        self._server = ThreadingHTTPServer(self._requested, _Handler)
-        self._server.daemon_threads = True
-        self._server.snapshot_fn = self._snapshot_fn  # type: ignore[attr-defined]
-        self._server.prefix = self._prefix            # type: ignore[attr-defined]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name="repro-metrics-server", daemon=True,
-        )
-        self._thread.start()
+        self._daemon.start()
         return self
 
     def stop(self) -> None:
-        if self._server is not None:
-            self._server.shutdown()
-            self._server.server_close()
-            self._server = None
-            self._thread = None
+        self._daemon.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()
@@ -175,5 +157,5 @@ class MetricsServer:
         self.stop()
 
     def __repr__(self) -> str:
-        state = "serving" if self._server is not None else "stopped"
+        state = "serving" if self._daemon.running else "stopped"
         return f"MetricsServer({self.url!r}, {state})"

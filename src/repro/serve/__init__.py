@@ -1,0 +1,50 @@
+"""DTU as a long-lived offloading decision service.
+
+Every other execution path in this repository terminates at a fixed
+point in *virtual* time.  This package bridges the :mod:`repro.net`
+coordinator to the wall clock and exposes it as a persistent daemon
+serving threshold decisions over HTTP:
+
+* :class:`~repro.serve.wallclock.WallClockDriver` — the
+  :class:`repro.net.clock.Runtime` contract (``now`` / ``sleep`` /
+  ``clock.call_later`` / ``stop``) adapted to real time, so the
+  :class:`~repro.net.actors.EdgeCoordinator` coroutine runs unmodified
+  as a daemon;
+* :class:`~repro.serve.service.DecisionService` — the coordinator +
+  compiled kernel pair behind a thread-safe facade: batched ``decide``
+  queries answered by one vectorised probe, ``join``/``leave`` mapped
+  onto the :class:`~repro.net.messages.JoinLeave` protocol messages,
+  admission control past a queue-depth watermark;
+* :class:`~repro.serve.httpd.DecisionServer` — the HTTP surface
+  (``POST /decide``, ``POST /join``, ``POST /leave``, ``GET /state``,
+  ``GET /healthz``, ``GET /metrics``) on the shared
+  :mod:`repro.utils.httpd` plumbing;
+* :mod:`repro.serve.replay` — a seeded open-loop load-test client that
+  replays synthetic decision traffic and writes ``BENCH_serve.json``.
+
+``python -m repro serve`` boots the daemon; ``python -m repro replay``
+drives it.
+"""
+
+from repro.serve.httpd import DecisionServer
+from repro.serve.replay import ReplayConfig, ReplayReport, run_replay
+from repro.serve.service import (
+    AdmissionController,
+    DecisionService,
+    ServeConfig,
+    ServingCoordinator,
+)
+from repro.serve.wallclock import WallClockDriver, WallClockTransport
+
+__all__ = [
+    "AdmissionController",
+    "DecisionServer",
+    "DecisionService",
+    "ReplayConfig",
+    "ReplayReport",
+    "run_replay",
+    "ServeConfig",
+    "ServingCoordinator",
+    "WallClockDriver",
+    "WallClockTransport",
+]

@@ -41,6 +41,10 @@ def pytest_configure(config):
         "markers",
         "kernels: exercises the compiled best-response kernel "
         "(repro.core.kernels bit-identity contracts)")
+    config.addinivalue_line(
+        "markers",
+        "serve: boots the wall-clock decision daemon "
+        "(repro.serve over real threads and loopback HTTP)")
 
 
 def pytest_collection_modifyitems(config, items):

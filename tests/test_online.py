@@ -136,6 +136,72 @@ class TestWindowedRateEstimator:
         with pytest.raises(ValueError):
             WindowedRateEstimator(window=1.0, total_capacity=-2.0)
 
+    # -- irregular window boundaries ----------------------------------
+    # The virtual-clock runs measure on a fixed cadence; the wall-clock
+    # serving layer (repro.serve) measures whenever /state is asked and
+    # records whenever a request happens to land, so boundaries are
+    # jittered, sparse, and sometimes empty mid-stream.
+
+    def test_jittered_report_times_match_exact_window_count(self):
+        # Arrivals at irregular offsets, measurements at irregular nows:
+        # every measurement must equal the brute-force count over the
+        # trailing window, never a cadence-dependent approximation.
+        rng = np.random.default_rng(42)
+        times = np.sort(rng.uniform(0.0, 60.0, size=300))
+        nows = np.sort(rng.uniform(15.0, 60.0, size=40))
+        estimator = WindowedRateEstimator(window=7.0, total_capacity=3.0)
+        recorded = 0
+        for now in nows:
+            while recorded < times.size and times[recorded] <= now:
+                estimator.record(float(times[recorded]))
+                recorded += 1
+            expected = np.sum((times >= now - 7.0) & (times <= now))
+            assert estimator.measure(float(now)) == pytest.approx(
+                min(1.0, expected / 7.0 / 3.0))
+
+    def test_zero_report_window_mid_stream_measures_zero_then_recovers(self):
+        estimator = WindowedRateEstimator(window=2.0, total_capacity=1.0)
+        for t in (3.0, 3.5, 4.0):
+            estimator.record(t)
+        assert estimator.measure(now=4.0) > 0.0
+        # Traffic stops; once the window has slid past the burst the
+        # estimate is exactly zero (stale events must not linger).
+        assert estimator.measure(now=7.0) == 0.0
+        assert estimator.count == 0
+        # ... and a later burst is measured afresh, unpolluted.
+        estimator.record(10.0)
+        assert estimator.measure(now=10.5) == pytest.approx(0.5)
+
+    def test_measure_without_new_records_is_idempotent(self):
+        # Polling /state repeatedly between arrivals must not change the
+        # estimate: measure() prunes, it does not consume.
+        estimator = WindowedRateEstimator(window=5.0, total_capacity=2.0)
+        for t in (6.0, 6.2, 7.7):
+            estimator.record(t)
+        first = estimator.measure(now=8.0)
+        for _ in range(5):
+            assert estimator.measure(now=8.0) == first
+
+    def test_warmup_boundary_is_continuous(self):
+        # Crossing now == window must not jump: at the boundary the
+        # elapsed span and the nominal window coincide.
+        estimator = WindowedRateEstimator(window=4.0, total_capacity=1.0)
+        for t in (1.0, 2.0, 3.0):
+            estimator.record(t)
+        before = estimator.measure(now=4.0 - 1e-9)
+        after = estimator.measure(now=4.0)
+        assert before == pytest.approx(after, rel=1e-6)
+
+    def test_burst_straddling_the_warmup_boundary(self):
+        # Events recorded during warm-up age out on the same cutoff rule
+        # as steady-state events.
+        estimator = WindowedRateEstimator(window=3.0, total_capacity=1.0)
+        for t in (0.5, 1.0, 2.5, 4.0):
+            estimator.record(t)
+        # At now=5 the cutoff is 2: the first two events are gone.
+        assert estimator.measure(now=5.0) == pytest.approx(2 / 3.0)
+        assert estimator.count == 2
+
 
 class TestOnlineExperiment:
     def test_run_reports_settling(self):
