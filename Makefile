@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels bench-serve bench-compare experiments experiments-full examples lint clean
+.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels bench-multiedge bench-serve bench-compare experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,9 @@ bench-net:
 
 bench-kernels:
 	PYTHONPATH=src python benchmarks/bench_kernels.py
+
+bench-multiedge:
+	PYTHONPATH=src python benchmarks/bench_multiedge.py
 
 bench-serve:
 	PYTHONPATH=src python benchmarks/bench_serve.py

@@ -44,6 +44,7 @@ from repro.core import (
     run_multiedge_dtu,
     solve_multiedge_equilibrium,
     solve_social_optimum,
+    tiered_sites,
     average_queue_length,
     best_response_thresholds,
     compile_mean_field,
@@ -114,7 +115,7 @@ __all__ = [
     # general-service best response & multi-edge (extensions)
     "GeneralServiceMeanFieldMap",
     "EdgeSite", "MultiEdgeSystem", "MultiEdgeEquilibrium",
-    "solve_multiedge_equilibrium", "run_multiedge_dtu",
+    "solve_multiedge_equilibrium", "run_multiedge_dtu", "tiered_sites",
     # edge delay models
     "EdgeDelayModel", "ReciprocalDelay", "LinearDelay", "PowerDelay",
     "PAPER_DELAY_MODEL",

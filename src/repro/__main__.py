@@ -223,6 +223,110 @@ def cmd_net(args) -> int:
     return 0
 
 
+def cmd_sharded(args) -> int:
+    import numpy as np
+
+    from repro.core.multiedge import (
+        MultiEdgeSystem,
+        solve_multiedge_equilibrium,
+        tiered_sites,
+    )
+    from repro.net import ChurnConfig, FaultConfig, ShardedNetConfig, \
+        run_sharded_dtu
+
+    population = _population(args)
+    sites = tiered_sites(args.sites, total_capacity=args.total_capacity)
+    system = MultiEdgeSystem(population, sites, rng=args.seed,
+                             compile_kernels=not args.no_compile)
+    eq = solve_multiedge_equilibrium(system)
+    faults = None
+    if args.loss or args.duplicate or args.latency or args.jitter:
+        faults = FaultConfig(loss=args.loss, duplicate=args.duplicate,
+                             latency=args.latency, jitter=args.jitter)
+    churn = None
+    if args.leave_rate or args.stragglers:
+        churn = ChurnConfig(leave_rate=args.leave_rate,
+                            mean_downtime=args.mean_downtime,
+                            straggler_fraction=args.stragglers,
+                            straggler_delay=args.straggler_delay)
+    config = ShardedNetConfig(
+        initial_step=args.step, tolerance=args.tolerance,
+        max_rounds=args.max_rounds, faults=faults, churn=churn,
+        seed=args.seed, log_messages=False,
+        gossip_staleness=args.gossip_staleness,
+        probe_interval=args.probe_interval,
+        migrate=not args.no_migrate,
+    )
+
+    recorder = None
+    tracer = spans = server = trace_dir = None
+    if args.trace is not None or args.serve_metrics is not None:
+        from pathlib import Path
+
+        from repro.obs import MetricsRegistry, ObsRecorder, RunManifest, Tracer
+        registry = MetricsRegistry()
+        if args.trace is not None:
+            from repro.obs.spans import SpanCollector
+            trace_dir = Path(args.trace)
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            manifest = RunManifest.capture(
+                seed=args.seed,
+                config={"scenario": args.scenario, "users": args.users,
+                        "sites": args.sites, "loss": args.loss,
+                        "max_rounds": args.max_rounds},
+            )
+            manifest.save(trace_dir / "manifest.json")
+            tracer = Tracer(trace_dir / "events.jsonl",
+                            run_id=manifest.run_id)
+            spans = SpanCollector(trace_dir / "spans.jsonl")
+        recorder = ObsRecorder(registry, tracer, spans=spans)
+        if args.serve_metrics is not None:
+            from repro.obs.serve import MetricsServer
+            server = MetricsServer(registry.snapshot,
+                                   port=args.serve_metrics).start()
+            print(f"serving live metrics at {server.url}")
+
+    try:
+        result = run_sharded_dtu(system, config, recorder=recorder,
+                                 compile_kernels=not args.no_compile)
+    finally:
+        if server is not None:
+            server.stop()
+        if spans is not None:
+            spans.finish()
+            spans.close()
+        if tracer is not None:
+            recorder.registry.save(trace_dir / "metrics.json")
+            tracer.close()
+
+    log = result.log
+    print(f"scenario: {args.scenario} (N={population.size}, "
+          f"m={system.n_sites}, seed={args.seed})")
+    print(f"sharded DTU converged={result.converged} in "
+          f"{int(result.iterations.max())} updates / "
+          f"{int(result.rounds.max())} rounds "
+          f"({int(result.silent_rounds.sum())} silent); "
+          f"{result.migrations} migrations")
+    shares = np.bincount(result.final_homes, minlength=system.n_sites) \
+        / population.size
+    print(f"{'site':<12s} {'γ*':>8s} {'γ̂':>8s} {'share':>7s} "
+          f"{'members':>8s}")
+    for j, site in enumerate(system.sites):
+        print(f"{site.name:<12s} {eq.utilizations[j]:8.4f} "
+              f"{result.estimated_utilizations[j]:8.4f} "
+              f"{shares[j]:6.1%} {int(result.site_members[j]):8d}")
+    print(f"virtual time {result.virtual_time:.1f}, "
+          f"{result.events_fired} events; messages: "
+          f"{log.attempted} attempted, {log.count('delivered')} delivered "
+          f"({100 * log.delivered_fraction:.1f}%), "
+          f"{log.count('dropped') + log.count('partitioned')} lost, "
+          f"{log.count('duplicated')} duplicated")
+    if trace_dir is not None:
+        print(f"trace written to {trace_dir} (span trees: "
+              f"python -m repro.obs.spans {trace_dir})")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import time as _time
 
@@ -415,6 +519,55 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--plot", action="store_true",
                      help="draw the convergence trace")
     net.set_defaults(func=cmd_net)
+
+    sharded = subparsers.add_parser(
+        "sharded", help="run multi-site DTU with per-site coordinators",
+        description="Run the sharded multi-edge protocol (repro.net."
+                    "sharded): one coordinator per tiered site on a "
+                    "shared virtual clock, inter-site γ̂ gossip and delay "
+                    "probes, and devices migrating to the argmin site — "
+                    "with the same seeded fault/churn machinery as `net`.")
+    _add_common(sharded)
+    sharded.add_argument("--sites", type=int, default=3,
+                         help="edge site count (tiered deployment)")
+    sharded.add_argument("--total-capacity", type=float, default=15.0,
+                         help="aggregate per-user capacity split across "
+                              "the tiers (default 15)")
+    sharded.add_argument("--step", type=float, default=0.1, help="η₀")
+    sharded.add_argument("--tolerance", type=float, default=0.01, help="ε")
+    sharded.add_argument("--max-rounds", type=int, default=500,
+                         help="per-site broadcast budget")
+    sharded.add_argument("--loss", type=float, default=0.0,
+                         help="P(message dropped)")
+    sharded.add_argument("--duplicate", type=float, default=0.0,
+                         help="P(message duplicated)")
+    sharded.add_argument("--latency", type=float, default=0.0,
+                         help="base one-way delay (virtual time)")
+    sharded.add_argument("--jitter", type=float, default=0.0,
+                         help="mean exponential extra delay")
+    sharded.add_argument("--leave-rate", type=float, default=0.0,
+                         help="per-device churn rate (exponential)")
+    sharded.add_argument("--mean-downtime", type=float, default=0.0,
+                         help="mean off-time before rejoining")
+    sharded.add_argument("--stragglers", type=float, default=0.0,
+                         help="fraction of devices with slow reports")
+    sharded.add_argument("--straggler-delay", type=float, default=1.0,
+                         help="extra report delay for stragglers")
+    sharded.add_argument("--gossip-staleness", type=float, default=None,
+                         help="age after which a peer's gossiped γ̂ is "
+                              "relayed as the pessimistic 1.0")
+    sharded.add_argument("--probe-interval", type=int, default=1,
+                         help="rounds between inter-site delay probes "
+                              "(0: disabled)")
+    sharded.add_argument("--no-migrate", action="store_true",
+                         help="freeze the initial device→site assignment")
+    sharded.add_argument("--trace", type=str, default=None, metavar="DIR",
+                         help="write manifest/events/spans/metrics to DIR")
+    sharded.add_argument("--serve-metrics", type=int, default=None,
+                         metavar="PORT",
+                         help="serve a live Prometheus /metrics endpoint "
+                              "on localhost:PORT while the run lasts")
+    sharded.set_defaults(func=cmd_sharded)
 
     serve = subparsers.add_parser(
         "serve", help="run DTU as a wall-clock HTTP decision daemon",

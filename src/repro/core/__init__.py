@@ -47,6 +47,7 @@ from repro.core.multiedge import (
     MultiEdgeSystem,
     run_multiedge_dtu,
     solve_multiedge_equilibrium,
+    tiered_sites,
 )
 from repro.core.planning import (
     CapacityPlan,
@@ -102,6 +103,7 @@ __all__ = [
     "MultiEdgeEquilibrium",
     "solve_multiedge_equilibrium",
     "run_multiedge_dtu",
+    "tiered_sites",
     "CapacityPlan",
     "capacity_for_cost",
     "capacity_for_utilization",

@@ -20,19 +20,46 @@ solver uses damped fixed-point iteration with a residual certificate
 rather than bisection; a DTU-style distributed algorithm with per-site
 estimated utilisations is provided as well and converges in the same ~20
 iterations as the paper's single-site version.
+
+Compiled evaluation
+-------------------
+Each site gets its own :class:`~repro.core.kernels.CompiledMeanField`,
+but the sites share one population — their shadow deployments differ only
+in the latency vector ``τ_{·j}`` and the congestion curve ``g_j``. The
+system therefore builds a single *envelope* base kernel (per-user latency
+``max_j (τ_{ij} + g_j(1))`` under a zero delay model, so every site's
+reachable staircase is covered by construction) and shares its
+breakpoint/α/Q tables across all ``m`` site kernels via
+:meth:`CompiledMeanField.with_shared_tables` — compile cost is O(unique
+profiles), not O(m · N · m_max). The vector best response then runs as
+``m`` batched ``user_thresholds``/``user_alphas`` probes, bit-identical
+to the uncompiled per-price scalar scan (pinned by
+``tests/test_multiedge.py``); pass ``compile_kernels=False`` to keep the
+scalar path.
+
+With a single site the system degenerates to the paper's model: when the
+lone site can stand alone (``a_n < c_1`` for every user),
+:func:`solve_multiedge_equilibrium` and :func:`run_multiedge_dtu`
+delegate to the scalar :func:`~repro.core.equilibrium.solve_mfne` /
+:func:`~repro.core.dtu.run_dtu` and reproduce their γ̂ bit-identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.best_response import best_response_thresholds
-from repro.core.edge_delay import EdgeDelayModel
+from repro.core.dtu import DtuConfig, run_dtu
+from repro.core.edge_delay import EdgeDelayModel, LinearDelay, ReciprocalDelay
+from repro.core.equilibrium import solve_mfne
+from repro.core.kernels import CompiledMeanField
+from repro.core.meanfield import MeanFieldMap
 from repro.core.tro import queue_and_offload
-from repro.population.distributions import Distribution
+from repro.obs.context import get_recorder
+from repro.population.distributions import Distribution, Uniform
 from repro.population.sampler import Population
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_int_positive, check_positive
@@ -51,11 +78,80 @@ class EdgeSite:
         check_positive("capacity_per_user", self.capacity_per_user)
 
 
+#: The capacity split and congestion curves of the three-tier deployment
+#: (near/fast WiFi rack, mid 5G MEC, far/big regional cloud) that
+#: :func:`tiered_sites` cycles through. Weights follow the 3:4:8 capacity
+#: ratio of the canonical three-site example.
+_TIER_TEMPLATES = (
+    ("wifi-mec", 3.0, ReciprocalDelay(1.1, 0.5), (0.0, 0.2)),
+    ("5g-mec", 4.0, ReciprocalDelay(1.2, 1.0), (0.1, 0.5)),
+    ("cloud", 8.0, ReciprocalDelay(1.5, 2.0), (0.3, 0.9)),
+)
+
+
+def tiered_sites(
+    n_sites: int,
+    total_capacity: float = 15.0,
+    latency_step: float = 0.05,
+) -> List[EdgeSite]:
+    """A deterministic ``m``-site deployment cycling the three tiers.
+
+    Capacities are the tier weights renormalised so ``Σ c_j`` equals
+    ``total_capacity`` whatever ``n_sites`` is — scaling rows with
+    different site counts then face the same aggregate capacity and stay
+    comparable. Each extra cycle through the tiers sits ``latency_step``
+    farther away (replica racks are progressively more remote), so sites
+    are never interchangeable and the argmin has real work to do.
+    """
+    check_int_positive("n_sites", n_sites)
+    check_positive("total_capacity", total_capacity)
+    weights = [_TIER_TEMPLATES[j % len(_TIER_TEMPLATES)][1]
+               for j in range(n_sites)]
+    scale = total_capacity / sum(weights)
+    sites = []
+    for j in range(n_sites):
+        name, weight, delay_model, (lo, hi) = \
+            _TIER_TEMPLATES[j % len(_TIER_TEMPLATES)]
+        shift = latency_step * (j // len(_TIER_TEMPLATES))
+        sites.append(EdgeSite(
+            name=f"{name}-{j}",
+            capacity_per_user=weight * scale,
+            delay_model=delay_model,
+            latency=Uniform(lo + shift, hi + shift),
+        ))
+    return sites
+
+
+def _shadow_population(
+    population: Population,
+    latencies: np.ndarray,
+    capacity: Optional[float] = None,
+) -> Population:
+    """The population with ``offload_latencies`` (and optionally ``c``)
+    replaced — every other profile array is shared by reference, which is
+    what lets the site kernels share tables."""
+    return Population(
+        arrival_rates=population.arrival_rates,
+        service_rates=population.service_rates,
+        offload_latencies=latencies,
+        energy_local=population.energy_local,
+        energy_offload=population.energy_offload,
+        weights=population.weights,
+        capacity=population.capacity if capacity is None else capacity,
+    )
+
+
 class MultiEdgeSystem:
     """A population facing several edge sites.
 
     Per-user per-site latencies are drawn once at construction (they model
-    geography, which does not change between DTU iterations).
+    geography, which does not change between DTU iterations); pass
+    ``latencies`` explicitly to pin the matrix instead of sampling it.
+
+    With ``compile_kernels=True`` (the default) the constructor builds one
+    envelope :class:`CompiledMeanField` plus ``m`` shared-table site
+    kernels, and ``best_response``/``utilizations`` run off batched probes
+    and α-table gathers — bit-identical to the uncompiled scalar scan.
     """
 
     def __init__(
@@ -63,16 +159,27 @@ class MultiEdgeSystem:
         population: Population,
         sites: Sequence[EdgeSite],
         rng: SeedLike = None,
+        latencies: Optional[np.ndarray] = None,
+        compile_kernels: bool = True,
     ):
         if not sites:
             raise ValueError("need at least one edge site")
         self.population = population
         self.sites = list(sites)
-        gen = as_generator(rng)
-        self.latencies = np.column_stack([
-            site.latency.sample_array(gen, population.size)
-            for site in self.sites
-        ])
+        if latencies is None:
+            gen = as_generator(rng)
+            latencies = np.column_stack([
+                site.latency.sample_array(gen, population.size)
+                for site in self.sites
+            ])
+        else:
+            latencies = np.asarray(latencies, dtype=float)
+            if latencies.shape != (population.size, len(self.sites)):
+                raise ValueError(
+                    f"latencies must have shape "
+                    f"({population.size}, {len(self.sites)}), "
+                    f"got {latencies.shape}")
+        self.latencies = latencies
         if np.any(self.latencies < 0):
             raise ValueError("site latencies must be non-negative")
         total_arrival = float(population.arrival_rates.mean())
@@ -82,10 +189,77 @@ class MultiEdgeSystem:
                 "aggregate capacity must exceed mean offered load "
                 f"(E[a]={total_arrival:.3g} >= Σc_j={total_capacity:.3g})"
             )
+        self.base_kernel: Optional[CompiledMeanField] = None
+        self.kernels: Optional[List[CompiledMeanField]] = None
+        if compile_kernels:
+            self.compile()
 
     @property
     def n_sites(self) -> int:
         return len(self.sites)
+
+    # -- compiled kernels --------------------------------------------------
+
+    def compile(self) -> "MultiEdgeSystem":
+        """Build the envelope base kernel and the shared-table site kernels.
+
+        Idempotent; returns ``self``. One full ``O(N·m_max)`` build (the
+        envelope deployment, whose per-user latency ``max_j (τ_{ij} +
+        g_j(1))`` dominates every site's reachable comparison value) plus
+        ``m`` O(N) shares.
+        """
+        if self.kernels is not None:
+            return self
+        g_at_one = np.array([site.delay_model(1.0) for site in self.sites])
+        envelope = (self.latencies + g_at_one[None, :]).max(axis=1)
+        self.base_kernel = CompiledMeanField(
+            _shadow_population(self.population, envelope),
+            LinearDelay(0.0, 0.0))
+        self.kernels = [
+            CompiledMeanField.with_shared_tables(
+                self.base_kernel,
+                _shadow_population(
+                    self.population,
+                    np.ascontiguousarray(self.latencies[:, j])),
+                site.delay_model)
+            for j, site in enumerate(self.sites)
+        ]
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("multiedge.compiles")
+            obs.event("multiedge.compiled", n_sites=self.n_sites,
+                      n_users=self.population.size,
+                      breakpoints=int(self.base_kernel.stats.breakpoints_total))
+        return self
+
+    def site_population(self, j: int) -> Population:
+        """The shadow population site ``j``'s kernel evaluates (original
+        aggregate capacity, site latency column)."""
+        return _shadow_population(
+            self.population, np.ascontiguousarray(self.latencies[:, j]))
+
+    def as_single_site(self) -> Optional[MeanFieldMap]:
+        """The scalar mean-field map when ``m == 1`` and it is well posed.
+
+        The paper's model needs ``a_n < c`` for every user; a lone site
+        whose ``capacity_per_user`` violates that cannot be expressed as a
+        scalar :class:`Population`, so the method returns ``None`` and the
+        solvers fall back to the vector path.
+        """
+        if self.n_sites != 1:
+            return None
+        site = self.sites[0]
+        if np.any(self.population.arrival_rates >= site.capacity_per_user):
+            return None
+        shadow = _shadow_population(
+            self.population, np.ascontiguousarray(self.latencies[:, 0]),
+            capacity=site.capacity_per_user)
+        if self.base_kernel is not None:
+            return CompiledMeanField.with_shared_tables(
+                self.base_kernel, shadow, site.delay_model)
+        return MeanFieldMap(shadow, site.delay_model)
+
+    # -- the vector best-response map --------------------------------------
 
     def offload_prices(self, utilizations: np.ndarray) -> np.ndarray:
         """``g_j(γ_j) + τ_{ij}`` for every user/site pair (n × m)."""
@@ -98,29 +272,80 @@ class MultiEdgeSystem:
     def best_response(self, utilizations: np.ndarray):
         """Per-user (site choice, threshold) given the utilisation vector.
 
-        Returns ``(site_indices, thresholds)``.
+        Returns ``(site_indices, thresholds)``. Compiled systems answer
+        with ``m`` batched ``user_thresholds`` probes over the per-site
+        cohorts; the result is bit-identical to the uncompiled per-price
+        scalar scan — the probe forms ``a·((g_j(γ_j) + τ_{ij}) + w·Δp)``,
+        the scan ``a·((0 + price) + w·Δp)`` with ``price = τ_{ij} +
+        g_j(γ_j)``, the same floats in either order.
         """
-        prices = self.offload_prices(utilizations)
+        gammas = self._check_gammas(utilizations)
+        prices = self.offload_prices(gammas)
         site_indices = np.argmin(prices, axis=1)
-        best_prices = prices[np.arange(self.population.size), site_indices]
-        # Lemma 1 with each user's chosen offload price: reuse the scalar
-        # machinery by treating the price as (edge delay + latency) with a
-        # per-user effective latency equal to best_price and edge delay 0.
-        thresholds = _thresholds_for_prices(self.population, best_prices)
+        if self.kernels is None:
+            best_prices = prices[np.arange(self.population.size),
+                                 site_indices]
+            # Lemma 1 with each user's chosen offload price: reuse the
+            # scalar machinery by treating the price as (edge delay +
+            # latency) with a per-user effective latency equal to
+            # best_price and edge delay 0.
+            thresholds = _thresholds_for_prices(self.population, best_prices)
+        else:
+            thresholds = np.zeros(self.population.size, dtype=np.int64)
+            for j, kernel in enumerate(self.kernels):
+                chosen = np.flatnonzero(site_indices == j)
+                if chosen.size:
+                    thresholds[chosen] = kernel.user_thresholds(
+                        chosen, float(gammas[j]))
         return site_indices, thresholds
+
+    def _site_alphas(self, j: int, chosen: np.ndarray,
+                     x: np.ndarray) -> Optional[np.ndarray]:
+        """α-table gathers for site ``j``'s cohort, or ``None`` when the
+        thresholds are fractional/unreachable and the closed form must
+        run instead."""
+        if self.kernels is None:
+            return None
+        kernel = self.kernels[j]
+        levels = x[chosen]
+        t = levels.astype(np.int64)
+        if not np.array_equal(t.astype(float), levels) or np.any(t < 0) \
+                or np.any(t > kernel._max_thresholds[chosen]):
+            return None
+        return kernel.user_alphas(chosen, t)
+
+    def site_loads(self, site_indices: np.ndarray,
+                   thresholds: np.ndarray) -> np.ndarray:
+        """Raw offered load ``Σ_{i→j} a_i α_i`` at each site.
+
+        The conserved quantity: ``site_loads(...).sum()`` equals the
+        population's total offloaded traffic whatever the assignment, while
+        :meth:`utilizations` divides by ``N c_j`` and clips.
+        """
+        pop = self.population
+        x = np.asarray(thresholds, dtype=float)
+        loads = np.zeros(self.n_sites)
+        full_alpha: Optional[np.ndarray] = None
+        for j in range(self.n_sites):
+            chosen = np.flatnonzero(site_indices == j)
+            if chosen.size == 0:
+                continue
+            alpha = self._site_alphas(j, chosen, x)
+            if alpha is None:
+                if full_alpha is None:
+                    _, full_alpha = queue_and_offload(x, pop.intensities)
+                alpha = full_alpha[chosen]
+            loads[j] = (pop.arrival_rates[chosen] * alpha).sum()
+        return loads
 
     def utilizations(self, site_indices: np.ndarray,
                      thresholds: np.ndarray) -> np.ndarray:
         """The J1 analogue: per-site utilisation from the users' choices."""
-        pop = self.population
-        x = np.asarray(thresholds, dtype=float)
-        _, alpha = queue_and_offload(x, pop.intensities)
-        offered = pop.arrival_rates * alpha
+        loads = self.site_loads(site_indices, thresholds)
         gammas = np.zeros(self.n_sites)
         for j in range(self.n_sites):
-            mask = site_indices == j
-            gammas[j] = offered[mask].sum() / (
-                pop.size * self.sites[j].capacity_per_user
+            gammas[j] = loads[j] / (
+                self.population.size * self.sites[j].capacity_per_user
             )
         return np.clip(gammas, 0.0, 1.0)
 
@@ -155,15 +380,7 @@ class MultiEdgeSystem:
 def _thresholds_for_prices(population: Population,
                            prices: np.ndarray) -> np.ndarray:
     """Lemma-1 thresholds when each user faces its own offload price."""
-    shadow = Population(
-        arrival_rates=population.arrival_rates,
-        service_rates=population.service_rates,
-        offload_latencies=prices,              # price plays the role of τ
-        energy_local=population.energy_local,
-        energy_offload=population.energy_offload,
-        weights=population.weights,
-        capacity=population.capacity,
-    )
+    shadow = _shadow_population(population, prices)  # price plays the role of τ
     return best_response_thresholds(shadow, edge_delay=0.0)
 
 
@@ -185,6 +402,31 @@ class MultiEdgeEquilibrium:
             self.site_indices.size
 
 
+def _finish_equilibrium(system: MultiEdgeSystem, gammas: np.ndarray,
+                        iterations: int, converged: bool,
+                        method: str) -> MultiEdgeEquilibrium:
+    """Realise the best response at ``gammas`` and certify the residual."""
+    site_indices, thresholds = system.best_response(gammas)
+    realized = system.utilizations(site_indices, thresholds)
+    residual = float(np.abs(realized - gammas).max())
+    obs = get_recorder()
+    if obs.enabled:
+        obs.event("multiedge.solved", method=method, n_sites=system.n_sites,
+                  iterations=iterations, converged=converged,
+                  residual=residual)
+        for j in range(system.n_sites):
+            obs.gauge(f"multiedge.gamma.site{j}", float(gammas[j]))
+    return MultiEdgeEquilibrium(
+        utilizations=gammas,
+        site_indices=site_indices,
+        thresholds=thresholds.astype(float),
+        average_cost=system.average_cost(gammas, site_indices, thresholds),
+        residual=residual,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
 def solve_multiedge_equilibrium(
     system: MultiEdgeSystem,
     damping: float = 0.3,
@@ -202,11 +444,23 @@ def solve_multiedge_equilibrium(
     ``||V(γ) − γ||_∞``, and declares convergence once that residual drops
     below ``residual_tolerance`` (set it no tighter than the granularity
     of your population size).
+
+    A single-site system that is well posed as the scalar model delegates
+    to :func:`~repro.core.equilibrium.solve_mfne` (Theorem-1 bisection,
+    solver defaults) and reproduces its ``γ*`` bit-identically.
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
     check_positive("residual_tolerance", residual_tolerance)
     check_int_positive("max_iterations", max_iterations)
+
+    single = system.as_single_site()
+    if single is not None:
+        scalar = solve_mfne(single)
+        return _finish_equilibrium(
+            system, np.array([scalar.utilization]),
+            iterations=scalar.iterations, converged=scalar.converged,
+            method="mfne-bisection")
 
     gammas = np.zeros(system.n_sites)
     best_gammas = gammas.copy()
@@ -227,19 +481,8 @@ def solve_multiedge_equilibrium(
         if iterations % 200 == 0:
             current_damping = max(0.01, current_damping * 0.5)
 
-    gammas = best_gammas
-    site_indices, thresholds = system.best_response(gammas)
-    realized = system.utilizations(site_indices, thresholds)
-    residual = float(np.abs(realized - gammas).max())
-    return MultiEdgeEquilibrium(
-        utilizations=gammas,
-        site_indices=site_indices,
-        thresholds=thresholds.astype(float),
-        average_cost=system.average_cost(gammas, site_indices, thresholds),
-        residual=residual,
-        iterations=iterations,
-        converged=converged,
-    )
+    return _finish_equilibrium(system, best_gammas, iterations, converged,
+                               method="damped-annealed")
 
 
 @dataclass
@@ -278,9 +521,35 @@ def run_multiedge_dtu(
     same-direction moves a site's step is allowed to grow back (capped at
     ``initial_step``) — a trust-region-style escape that preserves the
     scalar behaviour when the target is static.
+
+    A single-site system that is well posed as the scalar model delegates
+    to :func:`~repro.core.dtu.run_dtu` and reproduces its γ̂ trajectory
+    bit-identically (the regrow escape never fires in the scalar
+    algorithm's place).
     """
     if not 0.0 < initial_step <= 1.0:
         raise ValueError("initial_step must be in (0, 1]")
+
+    single = system.as_single_site()
+    if single is not None:
+        scalar = run_dtu(single, DtuConfig(
+            initial_step=initial_step, tolerance=tolerance,
+            max_iterations=max_iterations))
+        trace = MultiEdgeDtuTrace(
+            estimated=[np.array([g])
+                       for g in scalar.trace.estimated_utilization],
+            actual=[np.array([g])
+                    for g in scalar.trace.actual_utilization])
+        return MultiEdgeDtuResult(
+            estimated_utilizations=np.array([scalar.estimated_utilization]),
+            actual_utilizations=np.array([scalar.actual_utilization]),
+            site_indices=np.zeros(system.population.size, dtype=np.int64),
+            thresholds=np.asarray(scalar.thresholds, dtype=float),
+            iterations=scalar.iterations,
+            converged=scalar.converged,
+            trace=trace,
+        )
+
     _REGROW_PATIENCE = 4
     m = system.n_sites
     trace = MultiEdgeDtuTrace()
@@ -333,6 +602,10 @@ def run_multiedge_dtu(
         trace.estimated.append(estimates.copy())
         trace.actual.append(actual.copy())
 
+    obs = get_recorder()
+    if obs.enabled:
+        obs.event("multiedge.dtu_done", n_sites=m, iterations=iterations,
+                  converged=converged)
     return MultiEdgeDtuResult(
         estimated_utilizations=estimates,
         actual_utilizations=actual,

@@ -12,8 +12,10 @@ jitter, duplication, reordering, partitions, churn, and stragglers —
 while the :class:`~repro.net.clock.Runtime` keeps every run bit-identical
 for a given seed.
 
-Entry point: :func:`~repro.net.protocol.run_net_dtu` (CLI:
-``python -m repro net``).
+Entry points: :func:`~repro.net.protocol.run_net_dtu` (single edge; CLI:
+``python -m repro net``) and :func:`~repro.net.sharded.run_sharded_dtu`
+(one coordinator per site with γ̂ gossip, delay probes, and device
+migration; CLI: ``python -m repro sharded``).
 """
 
 from repro.net.actors import EDGE_ADDRESS, DeviceAgent, EdgeCoordinator, NetTrace
@@ -21,20 +23,33 @@ from repro.net.churn import ChurnConfig, ChurnModel
 from repro.net.clock import Mailbox, Runtime, VirtualClock
 from repro.net.messages import (
     Address,
+    DelayProbe,
+    DelayProbeReply,
     Envelope,
     GammaBroadcast,
+    GammaGossip,
     Heartbeat,
     JoinLeave,
     Message,
     MessageLog,
+    ShardBroadcast,
     ThresholdReport,
 )
 from repro.net.protocol import (
     NetConfig,
     NetDtuResult,
     build_devices,
+    build_transport,
     run_net_dtu,
     with_faults,
+)
+from repro.net.sharded import (
+    ShardedDeviceAgent,
+    ShardedDtuResult,
+    ShardedNetConfig,
+    SiteCoordinator,
+    run_sharded_dtu,
+    site_address,
 )
 from repro.net.transport import (
     FaultConfig,
@@ -49,12 +64,15 @@ __all__ = [
     "Address",
     "ChurnConfig",
     "ChurnModel",
+    "DelayProbe",
+    "DelayProbeReply",
     "DeviceAgent",
     "EdgeCoordinator",
     "Envelope",
     "FaultConfig",
     "FaultyTransport",
     "GammaBroadcast",
+    "GammaGossip",
     "Heartbeat",
     "JoinLeave",
     "LocalTransport",
@@ -66,10 +84,18 @@ __all__ = [
     "NetTrace",
     "Partition",
     "Runtime",
+    "ShardBroadcast",
+    "ShardedDeviceAgent",
+    "ShardedDtuResult",
+    "ShardedNetConfig",
+    "SiteCoordinator",
     "ThresholdReport",
     "Transport",
     "VirtualClock",
     "build_devices",
+    "build_transport",
     "run_net_dtu",
+    "run_sharded_dtu",
+    "site_address",
     "with_faults",
 ]

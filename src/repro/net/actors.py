@@ -79,6 +79,10 @@ class DeviceAgent:
         self.transport = transport
         self.heartbeat_interval = heartbeat_interval
         self.report_delay = report_delay
+        # Where this device's coordinator lives. Single-site fleets talk
+        # to "edge"; sharded devices re-point this at their current home
+        # site when they migrate.
+        self.edge_address = EDGE_ADDRESS
         # A fleet-shared compiled kernel (row ``index``); the broadcast
         # handler then probes precompiled breakpoints/tables instead of
         # re-running the scalar staircase search. Bit-identical responses.
@@ -96,7 +100,7 @@ class DeviceAgent:
         self.reports_sent = 0
 
     async def run(self) -> None:
-        self.transport.send(self.address, EDGE_ADDRESS,
+        self.transport.send(self.address, self.edge_address,
                             JoinLeave(self.address, True))
         if self.heartbeat_interval > 0.0:
             self.runtime.clock.call_later(self.heartbeat_interval,
@@ -149,7 +153,7 @@ class DeviceAgent:
             )
         self.reports_sent += 1
         self.transport.send(
-            self.address, EDGE_ADDRESS,
+            self.address, self.edge_address,
             ThresholdReport(self.address, broadcast.round,
                             self.threshold, self.offload_rate),
             delay=self.report_delay,
@@ -160,7 +164,7 @@ class DeviceAgent:
         if self.runtime.stopping:
             return
         if self.alive:
-            self.transport.send(self.address, EDGE_ADDRESS,
+            self.transport.send(self.address, self.edge_address,
                                 Heartbeat(self.address, self.runtime.now))
         self.runtime.clock.call_later(self.heartbeat_interval,
                                       self._heartbeat)
@@ -175,7 +179,7 @@ class DeviceAgent:
         if alive == self.alive:
             return
         self.alive = alive
-        self.transport.send(self.address, EDGE_ADDRESS,
+        self.transport.send(self.address, self.edge_address,
                             JoinLeave(self.address, alive))
 
 
@@ -213,13 +217,15 @@ class EdgeCoordinator:
         capacity: float,
         config,
         recorder: Optional[Recorder] = None,
+        address: str = EDGE_ADDRESS,
     ):
         self.runtime = runtime
         self.transport = transport
         self.known = sorted(devices)         # provisioned fleet
         self.capacity = float(capacity)
         self.config = config
-        self.mailbox = transport.register(EDGE_ADDRESS)
+        self.address = address
+        self.mailbox = transport.register(address)
         self.stepper = DtuStepper(
             initial_step=config.initial_step,
             tolerance=config.tolerance,
@@ -285,13 +291,17 @@ class EdgeCoordinator:
                 virtual_time=self.runtime.now,
                 round=self.round, estimate=self.stepper.estimate,
             )
-        message = GammaBroadcast(self.round, self.stepper.estimate,
-                                 self.stepper.step)
+        message = self._broadcast_message()
         for device in self.known:     # sorted → deterministic fault draws
-            self.transport.send(EDGE_ADDRESS, device, message,
+            self.transport.send(self.address, device, message,
                                 parent=self._round_span)
         if self._obs.enabled:
             self._obs.count("net.broadcasts")
+
+    def _broadcast_message(self) -> GammaBroadcast:
+        """What a round's broadcast carries; sharded sites extend this."""
+        return GammaBroadcast(self.round, self.stepper.estimate,
+                              self.stepper.step)
 
     def _close_round_span(self, status: str, **tags) -> None:
         if self._round_span is not None:
@@ -301,34 +311,49 @@ class EdgeCoordinator:
 
     def _drain(self) -> None:
         for envelope in self.mailbox.drain():
-            message = envelope.message
-            if isinstance(message, ThresholdReport):
-                if self._obs.enabled:
-                    # Instant leaf completing the causal chain
-                    # broadcast → deliver → best_response → report.receive.
-                    span = self._obs.span_start(
-                        "report.receive", parent=envelope.span,
-                        virtual_time=envelope.delivered_at,
-                        device=message.device, round=message.round,
-                    )
-                    self._obs.span_end(span,
-                                       virtual_time=envelope.delivered_at)
-                self._last_heard[message.device] = envelope.delivered_at
-                stored = self._reports.get(message.device)
-                if stored is None or message.round >= stored[1]:
-                    self._reports[message.device] = (
-                        envelope.delivered_at, message.round,
-                        message.offload_rate, message.threshold,
-                    )
-            elif isinstance(message, Heartbeat):
-                self._last_heard[message.device] = envelope.delivered_at
-            elif isinstance(message, JoinLeave):
-                self._last_heard[message.device] = envelope.delivered_at
-                if message.joining:
-                    self._left.discard(message.device)
-                else:
-                    self._left.add(message.device)
-                    self._reports.pop(message.device, None)
+            self._handle(envelope)
+
+    def _handle(self, envelope) -> None:
+        """Apply one delivered message to the coordinator state.
+
+        Split out of :meth:`_drain` so subclasses (the sharded
+        :class:`~repro.net.sharded.SiteCoordinator`) can intercept their
+        extra message kinds and fall back to this for the common ones.
+        """
+        message = envelope.message
+        if isinstance(message, ThresholdReport):
+            if self._obs.enabled:
+                # Instant leaf completing the causal chain
+                # broadcast → deliver → best_response → report.receive.
+                span = self._obs.span_start(
+                    "report.receive", parent=envelope.span,
+                    virtual_time=envelope.delivered_at,
+                    device=message.device, round=message.round,
+                )
+                self._obs.span_end(span,
+                                   virtual_time=envelope.delivered_at)
+            self._last_heard[message.device] = envelope.delivered_at
+            stored = self._reports.get(message.device)
+            if stored is None or message.round >= stored[1]:
+                self._reports[message.device] = (
+                    envelope.delivered_at, message.round,
+                    message.offload_rate, message.threshold,
+                )
+        elif isinstance(message, Heartbeat):
+            self._last_heard[message.device] = envelope.delivered_at
+        elif isinstance(message, JoinLeave):
+            self._last_heard[message.device] = envelope.delivered_at
+            if message.joining:
+                self._left.discard(message.device)
+                self._on_join(message.device)
+            else:
+                self._left.add(message.device)
+                self._reports.pop(message.device, None)
+
+    def _on_join(self, device: int) -> None:
+        """Hook: a device announced itself. The static single-site fleet
+        is fully provisioned up front, so there is nothing to do; dynamic
+        (sharded) memberships insert newcomers here."""
 
     def _alive(self, device: int, now: float) -> bool:
         if device in self._left:

@@ -1,6 +1,6 @@
 """Typed protocol messages and the append-only message log.
 
-The DTU protocol needs exactly four message kinds:
+The single-site DTU protocol needs exactly four message kinds:
 
 * :class:`GammaBroadcast` — edge → devices: the estimate γ̂ for a round;
 * :class:`ThresholdReport` — device → edge: the Lemma-1 best response and
@@ -8,7 +8,18 @@ The DTU protocol needs exactly four message kinds:
   aggregates into its utilisation measurement);
 * :class:`Heartbeat` — device → edge: liveness, so silent devices can be
   pruned from the measurement denominator;
-* :class:`JoinLeave` — device → edge: graceful membership changes (churn).
+* :class:`JoinLeave` — device → edge: graceful membership changes (churn
+  *and* inter-site migration — leaving one site's fleet for another's).
+
+The sharded multi-edge protocol (:mod:`repro.net.sharded`) adds a
+coordinator↔coordinator backbone:
+
+* :class:`GammaGossip` — site → site: one site's γ̂ for its peers' views;
+* :class:`DelayProbe` / :class:`DelayProbeReply` — site → site: measured
+  inter-site link latency (RTT/2), the EINES-style probing loop;
+* :class:`ShardBroadcast` — site → devices: a :class:`GammaBroadcast`
+  carrying the whole gossiped γ̂ vector, so devices can price every site
+  from measured quantities.
 
 Messages travel inside :class:`Envelope` records stamped by the transport
 with a global sequence number, send time and delivery time.  The
@@ -23,7 +34,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple, Union
 
-Address = Union[int, str]   # devices are ints, the coordinator is "edge"
+Address = Union[int, str]   # devices are ints; coordinators are "edge"
+                            # (single-site) or "site/<j>" (sharded)
 
 
 @dataclass(frozen=True)
@@ -61,7 +73,51 @@ class JoinLeave:
     joining: bool
 
 
-Message = Union[GammaBroadcast, ThresholdReport, Heartbeat, JoinLeave]
+@dataclass(frozen=True)
+class GammaGossip:
+    """One site's γ̂ relayed to a peer coordinator (sharded backbone)."""
+
+    site: int           # the originating site index
+    round: int          # the origin's current broadcast round
+    estimate: float     # its γ̂_j
+    step: float         # its η (diagnostic)
+
+
+@dataclass(frozen=True)
+class DelayProbe:
+    """Inter-site latency probe; the receiver answers immediately."""
+
+    site: int           # the probing site (where the reply goes)
+    sent_at: float      # probe send time, echoed back for the RTT
+
+
+@dataclass(frozen=True)
+class DelayProbeReply:
+    """Echo of a :class:`DelayProbe`; RTT = delivered_at − probe_sent_at."""
+
+    site: int           # the replying site
+    probe_sent_at: float
+
+
+@dataclass(frozen=True)
+class ShardBroadcast(GammaBroadcast):
+    """A site's broadcast with the whole gossiped γ̂ vector attached.
+
+    ``estimate`` (inherited) is the sending site's own γ̂;
+    ``estimates[k]`` is its current belief about site ``k`` (own entry
+    live, peers from gossip, pessimistic 1.0 for stale peers), and
+    ``rounds[k]`` the round that belief answers — devices report to their
+    chosen site with that round number so the receiving coordinator's
+    staleness window works unchanged.
+    """
+
+    site: int
+    estimates: Tuple[float, ...]
+    rounds: Tuple[int, ...]
+
+
+Message = Union[GammaBroadcast, ThresholdReport, Heartbeat, JoinLeave,
+                GammaGossip, DelayProbe, DelayProbeReply, ShardBroadcast]
 
 
 @dataclass(frozen=True)

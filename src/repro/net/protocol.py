@@ -129,6 +129,28 @@ class NetDtuResult:
         return self.log.delivered_fraction
 
 
+def build_transport(
+    runtime: Runtime,
+    config: NetConfig,
+    fault_seed: SeedLike,
+    recorder: Optional[Recorder] = None,
+):
+    """``(transport, local)`` for a run: the local transport, wrapped in a
+    :class:`FaultyTransport` when the config injects faults.
+
+    ``transport`` is what actors send through; ``local`` is the underlying
+    :class:`LocalTransport` (``transport is local`` iff the run is
+    fault-free), whose message log both share.
+    """
+    local = LocalTransport(runtime, record_log=config.log_messages,
+                           recorder=recorder)
+    transport = local
+    if config.faults is not None and not config.faults.faultless:
+        transport = FaultyTransport(local, config.faults, seed=fault_seed,
+                                    recorder=recorder)
+    return transport, local
+
+
 def build_devices(
     population: Population,
     delay_model: EdgeDelayModel,
@@ -201,12 +223,8 @@ def run_net_dtu(
     fault_seed, churn_seed = derive_seeds(config.seed, 2)
 
     runtime = Runtime()
-    local = LocalTransport(runtime, record_log=config.log_messages,
-                           recorder=recorder)
-    transport = local
-    if config.faults is not None and not config.faults.faultless:
-        transport = FaultyTransport(local, config.faults, seed=fault_seed,
-                                    recorder=recorder)
+    transport, local = build_transport(runtime, config, fault_seed,
+                                       recorder=recorder)
 
     horizon = config.resolved_horizon()
     churn_model = None

@@ -1,0 +1,666 @@
+"""Sharded multi-edge DTU: one coordinator per site, gossip in between.
+
+:func:`run_sharded_dtu` is the network-runtime analogue of
+:func:`repro.core.multiedge.run_multiedge_dtu`: ``m``
+:class:`SiteCoordinator` actors (one per :class:`~repro.core.multiedge.EdgeSite`)
+share a single :class:`~repro.net.clock.Runtime` and transport with the
+device fleet, and the vector fixed point emerges from message passing
+alone:
+
+* **per-site DTU** — each site runs the single-site protocol unchanged:
+  broadcast γ̂_j, collect :class:`~repro.net.messages.ThresholdReport`\\ s,
+  apply the Eq. 4 sign step, degrade gracefully on silence;
+* **γ̂ gossip** — every round a site sends its γ̂_j to every peer
+  (:class:`~repro.net.messages.GammaGossip`) and folds the peers' latest
+  values into the :class:`~repro.net.messages.ShardBroadcast` its own
+  devices receive, so a device prices *every* site from measured
+  utilisations: ``argmin_k (g_k(γ̂_k) + τ̂_ik)``. The per-device latency
+  ``τ̂_ik`` is the device's own link knowledge — the simulation reads it
+  from the geography matrix the analytic system drew;
+* **delay probes** — coordinators probe each other
+  (:class:`~repro.net.messages.DelayProbe`/``Reply``, the EINES
+  controller's link-latency loop) and keep an EWMA inter-site delay
+  matrix; with ``gossip_staleness`` set, a peer whose gossip has gone
+  stale — partitioned, crashed, or hopelessly behind — is relayed as
+  γ̂ = 1.0, so devices *stop migrating into sites nobody can vouch for*;
+* **migration** — a device whose argmin moves announces
+  ``JoinLeave(False)`` to its old home and ``JoinLeave(True)`` to the new
+  one, then reports there; coordinators track membership dynamically and
+  scale their utilisation measurements by their live member share.
+
+Determinism contract (mirrors ``run_net_dtu``, pinned by
+``tests/test_sharded_net.py``): the same
+:class:`ShardedNetConfig` — seed included — yields bit-identical
+per-site message logs and γ̂ trajectories on every rerun, under loss,
+duplication, jitter, partitions, and churn. With one site the protocol
+degenerates to the single-site one: a fault-free synchronous run
+reproduces ``run_net_dtu``'s γ̂ trajectory bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.best_response import optimal_threshold_from_surcharge
+from repro.core.edge_delay import EdgeDelayModel
+from repro.core.kernels import CompiledMeanField
+from repro.core.multiedge import MultiEdgeSystem
+from repro.core.tro import offload_probability
+from repro.net.actors import DeviceAgent, EdgeCoordinator, NetTrace
+from repro.net.churn import ChurnModel
+from repro.net.clock import Runtime
+from repro.net.messages import (
+    DelayProbe,
+    DelayProbeReply,
+    GammaGossip,
+    JoinLeave,
+    MessageLog,
+    ShardBroadcast,
+    ThresholdReport,
+)
+from repro.net.protocol import NetConfig, build_transport
+from repro.net.transport import Transport
+from repro.obs.context import resolve_recorder
+from repro.obs.recorder import Recorder
+from repro.runtime.task import derive_seeds
+from repro.utils.validation import check_unit_interval
+
+
+def site_address(site: int) -> str:
+    """The transport address of site ``j``'s coordinator."""
+    return f"site/{site}"
+
+
+@dataclass(frozen=True)
+class ShardedNetConfig(NetConfig):
+    """A :class:`~repro.net.protocol.NetConfig` plus the backbone knobs."""
+
+    #: Age (virtual time) beyond which a peer's gossiped γ̂ is distrusted
+    #: and relayed as the pessimistic 1.0. ``None`` disables the rule —
+    #: last-known values are trusted forever.
+    gossip_staleness: Optional[float] = None
+    #: Send delay probes to every peer each ``probe_interval`` rounds;
+    #: 0 disables probing.
+    probe_interval: int = 1
+    #: EWMA weight of a fresh delay sample against the running estimate.
+    delay_smoothing: float = 0.3
+    #: Allow devices to switch sites when their argmin moves. Off, the
+    #: initial assignment is frozen (an ablation: gossip without balancing).
+    migrate: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.gossip_staleness is not None and self.gossip_staleness <= 0:
+            raise ValueError("gossip_staleness must be positive or None")
+        if self.probe_interval < 0:
+            raise ValueError("probe_interval must be >= 0")
+        check_unit_interval("delay_smoothing", self.delay_smoothing,
+                            open_left=True)
+
+
+class ShardedDeviceAgent(DeviceAgent):
+    """A device that prices all sites and migrates to the argmin.
+
+    Per-site state replaces the scalar broadcast handler: the device
+    holds its latency row ``τ̂_i·``, every site's congestion curve, and
+    (optionally) the shared-table site kernels; each
+    :class:`ShardBroadcast` from its *current home* triggers a site
+    choice, a possible migration, and a Lemma-1 best response against the
+    chosen site's γ̂ — an ``O(log M_n)`` kernel probe, bit-identical to
+    the scalar staircase search.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        arrival_rate: float,
+        service_rate: float,
+        energy_local: float,
+        energy_offload: float,
+        weight: float,
+        site_latencies: np.ndarray,
+        site_delay_models: Sequence[EdgeDelayModel],
+        home: int,
+        runtime: Runtime,
+        transport: Transport,
+        heartbeat_interval: float = 0.0,
+        report_delay: float = 0.0,
+        site_kernels: Optional[Sequence[CompiledMeanField]] = None,
+        migrate: bool = True,
+        recorder: Optional[Recorder] = None,
+    ):
+        super().__init__(
+            index=index,
+            arrival_rate=arrival_rate,
+            service_rate=service_rate,
+            offload_latency=float(site_latencies[home]),
+            energy_local=energy_local,
+            energy_offload=energy_offload,
+            weight=weight,
+            delay_model=site_delay_models[home],
+            runtime=runtime,
+            transport=transport,
+            heartbeat_interval=heartbeat_interval,
+            report_delay=report_delay,
+            kernel=None,
+            recorder=recorder,
+        )
+        self.site_latencies = np.asarray(site_latencies, dtype=float)
+        self.site_delay_models = list(site_delay_models)
+        self.site_kernels = list(site_kernels) if site_kernels else None
+        self.home = home
+        self.edge_address = site_address(home)
+        self.migrate = migrate
+        self.migrations = 0
+        #: Latest broadcast round answered, per site — rounds are per-site
+        #: counters, so a single scalar would deadlock a device migrating
+        #: from a long-lived site to a young one.
+        self.last_rounds = {}
+
+    async def run(self) -> None:
+        self.transport.send(self.address, self.edge_address,
+                            JoinLeave(self.address, True))
+        if self.heartbeat_interval > 0.0:
+            self.runtime.clock.call_later(self.heartbeat_interval,
+                                          self._heartbeat)
+        while True:
+            envelope = await self.mailbox.get()
+            if not self.alive:
+                continue   # powered off: traffic is discarded
+            message = envelope.message
+            # Only the current home's broadcasts are answered: a stale
+            # broadcast from a site just migrated away from must not
+            # produce a report that double-counts the device.
+            if not isinstance(message, ShardBroadcast) \
+                    or message.site != self.home \
+                    or message.round <= self.last_rounds.get(message.site, -1):
+                continue
+            self.last_rounds[message.site] = message.round
+            self.broadcasts_handled += 1
+            span = None
+            if self._obs.enabled:
+                span = self._obs.span_start(
+                    "device.best_response", parent=envelope.span,
+                    virtual_time=self.runtime.now,
+                    device=self.address, round=message.round,
+                    site=message.site,
+                )
+            self._respond_sharded(message, parent=span)
+            if span is not None:
+                self._obs.span_end(
+                    span, virtual_time=self.runtime.now,
+                    threshold=self.threshold, site=self.home,
+                )
+
+    def _respond_sharded(self, broadcast: ShardBroadcast,
+                         parent: Optional[int] = None) -> None:
+        """Site choice → (maybe) migration → Lemma-1 response → report."""
+        estimates = broadcast.estimates
+        prices = np.array([
+            model(estimates[k]) + self.site_latencies[k]
+            for k, model in enumerate(self.site_delay_models)
+        ])
+        target = int(np.argmin(prices))
+        if target != self.home and self.migrate:
+            self.transport.send(self.address, self.edge_address,
+                                JoinLeave(self.address, False),
+                                parent=parent)
+            self.home = target
+            self.edge_address = site_address(target)
+            # Keep the scalar-fallback profile consistent with the new home
+            # (heartbeats and churn announcements already follow
+            # ``edge_address``).
+            self.offload_latency = float(self.site_latencies[target])
+            self.delay_model = self.site_delay_models[target]
+            self.migrations += 1
+            self.transport.send(self.address, self.edge_address,
+                                JoinLeave(self.address, True),
+                                parent=parent)
+            if self._obs.enabled:
+                self._obs.count("sharded.migrations")
+        gamma = estimates[target]
+        if self.site_kernels is not None:
+            kernel = self.site_kernels[target]
+            level = kernel.user_threshold(self.address, gamma)
+            self.threshold = float(level)
+            self.offload_rate = self.arrival_rate * \
+                kernel.user_alpha(self.address, level)
+        else:
+            surcharge = (self.site_delay_models[target](gamma)
+                         + float(self.site_latencies[target])
+                         + self.weight
+                         * (self.energy_offload - self.energy_local))
+            best = float(optimal_threshold_from_surcharge(
+                self.arrival_rate, self.intensity, surcharge,
+            ))
+            self.threshold = best
+            self.offload_rate = self.arrival_rate * offload_probability(
+                best, self.intensity,
+            )
+        self.reports_sent += 1
+        self.transport.send(
+            self.address, self.edge_address,
+            ThresholdReport(self.address, broadcast.rounds[target],
+                            self.threshold, self.offload_rate),
+            delay=self.report_delay,
+            parent=parent,
+        )
+
+
+class _ShardController:
+    """Shared run bookkeeping: global convergence test and shutdown.
+
+    ``EdgeCoordinator.run`` stops the runtime when *its* loop ends; with
+    ``m`` coordinators the runtime must outlive all of them, and a site
+    may only declare the protocol converged when every stepper is inside
+    tolerance (the vector test ``run_multiedge_dtu`` applies globally).
+    """
+
+    def __init__(self, runtime: Runtime):
+        self.runtime = runtime
+        self.coordinators: List["SiteCoordinator"] = []
+        self._finished = 0
+
+    def all_converged(self) -> bool:
+        return all(c.stepper.converged for c in self.coordinators)
+
+    def finished(self, coordinator: "SiteCoordinator") -> None:
+        self._finished += 1
+        if self._finished == len(self.coordinators):
+            self.runtime.stop()
+
+
+class SiteCoordinator(EdgeCoordinator):
+    """One site's coordinator: the single-site round loop plus a backbone.
+
+    The broadcast/measure/sign-step cycle is inherited unchanged; this
+    subclass adds (a) γ̂ gossip and delay probes to the peer sites each
+    round, (b) dynamic membership (migrating devices join and leave), and
+    (c) a member-share scaling of the measured utilisation — site ``j``
+    serves ``members_j`` of the fleet's ``N`` devices against capacity
+    ``N·c_j``, so ``γ_j = mean(rates)·(members_j/N)/c_j``. With one site
+    and full membership the factor is exactly 1.0 and the measurement is
+    bit-equal to the single-site coordinator's.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        transport: Transport,
+        site: int,
+        n_sites: int,
+        n_total: int,
+        devices: Sequence[int],
+        capacity: float,
+        config: ShardedNetConfig,
+        controller: _ShardController,
+        recorder: Optional[Recorder] = None,
+    ):
+        super().__init__(
+            runtime=runtime,
+            transport=transport,
+            devices=devices,
+            capacity=capacity,
+            config=config,
+            recorder=recorder,
+            address=site_address(site),
+        )
+        self.site = site
+        self.n_sites = n_sites
+        self.n_total = n_total
+        self.controller = controller
+        controller.coordinators.append(self)
+        self._known_set = set(self.known)
+        self.peers = [k for k in range(n_sites) if k != site]
+        self.peer_estimates = np.full(n_sites, config.initial_estimate)
+        self.peer_rounds = np.zeros(n_sites, dtype=np.int64)
+        #: Virtual time each peer's gossip was last heard (−inf: never).
+        self.gossip_heard = np.full(n_sites, -np.inf)
+        #: EWMA one-way delay to each peer from probe RTT/2 (NaN: never
+        #: measured; 0.0 on the diagonal).
+        self.delay_estimates = np.full(n_sites, np.nan)
+        self.delay_estimates[site] = 0.0
+        self.final_members = len(self.known)
+
+    async def run(self) -> None:
+        config = self.config
+        wait = config.report_timeout
+        for turn in range(config.max_rounds):
+            if config.probe_interval and turn % config.probe_interval == 0:
+                self._probe_peers()
+            self._gossip()
+            self._broadcast()
+            await self.runtime.sleep(wait)
+            self._drain()
+            measured = self._measure(self.runtime.now)
+            if measured is None:
+                self.silent_rounds += 1
+                self.stepper.decay(config.silence_decay)
+                wait = min(wait * config.backoff, config.max_backoff)
+                if self._obs.enabled:
+                    self._obs.count("net.silent_rounds")
+                    self._obs.event("net.silence", round=self.round,
+                                    site=self.site, next_wait=wait,
+                                    eta=self.stepper.step)
+                self._close_round_span("silent")
+            else:
+                self.final_measured = measured
+                self._record(measured)
+                self._close_round_span("measured", measured=measured)
+                # The convergence test is global: this site may be inside
+                # tolerance while a peer — and therefore this site's own
+                # moving target — is not.
+                if self.stepper.converged and self.controller.all_converged():
+                    self.converged = True
+                    if getattr(config, "stop_on_convergence", True):
+                        break
+                self.iterations += 1
+                self.stepper.update(measured)
+                wait = config.report_timeout
+        self.converged = self.stepper.converged
+        # Snapshot membership now: peers may keep the runtime alive long
+        # past this site's exit, by which time liveness windows have
+        # drained and members() would read as empty.
+        self.final_members = len(self.members(self.runtime.now))
+        self.controller.finished(self)
+
+    # -- backbone ---------------------------------------------------------
+
+    def _gossip(self) -> None:
+        message = GammaGossip(self.site, self.round + 1,
+                              self.stepper.estimate, self.stepper.step)
+        for peer in self.peers:       # ascending → deterministic fault draws
+            self.transport.send(self.address, site_address(peer), message)
+        if self.peers and self._obs.enabled:
+            self._obs.count("sharded.gossip_sent", float(len(self.peers)))
+
+    def _probe_peers(self) -> None:
+        now = self.runtime.now
+        for peer in self.peers:
+            self.transport.send(self.address, site_address(peer),
+                                DelayProbe(self.site, now))
+        if self.peers and self._obs.enabled:
+            self._obs.count("sharded.probes_sent", float(len(self.peers)))
+
+    def _gossip_view(self, now: float):
+        """(γ̂ vector, round vector) as this site currently believes them.
+
+        The own entry is live; peers are last-gossiped, demoted to the
+        pessimistic 1.0 once older than ``gossip_staleness`` — a dead or
+        partitioned site must look *expensive*, not idle, or every device
+        would migrate into the silence.
+        """
+        estimates = self.peer_estimates.copy()
+        rounds = self.peer_rounds.copy()
+        estimates[self.site] = self.stepper.estimate
+        rounds[self.site] = self.round
+        staleness = self.config.gossip_staleness
+        if staleness is not None:
+            for peer in self.peers:
+                if now - self.gossip_heard[peer] > staleness:
+                    estimates[peer] = 1.0
+        return estimates, rounds
+
+    def _broadcast_message(self) -> ShardBroadcast:
+        estimates, rounds = self._gossip_view(self.runtime.now)
+        return ShardBroadcast(
+            round=self.round,
+            estimate=self.stepper.estimate,
+            step=self.stepper.step,
+            site=self.site,
+            estimates=tuple(float(e) for e in estimates),
+            rounds=tuple(int(r) for r in rounds),
+        )
+
+    # -- message handling -------------------------------------------------
+
+    def _handle(self, envelope) -> None:
+        message = envelope.message
+        if isinstance(message, GammaGossip):
+            # Deliveries can reorder under jitter; keep the newest round.
+            if message.round >= self.peer_rounds[message.site]:
+                self.peer_estimates[message.site] = message.estimate
+                self.peer_rounds[message.site] = message.round
+            self.gossip_heard[message.site] = max(
+                float(self.gossip_heard[message.site]),
+                envelope.delivered_at)
+            if self._obs.enabled:
+                self._obs.count("sharded.gossip_received")
+        elif isinstance(message, DelayProbe):
+            self.transport.send(
+                self.address, site_address(message.site),
+                DelayProbeReply(self.site, message.sent_at))
+        elif isinstance(message, DelayProbeReply):
+            sample = (envelope.delivered_at - message.probe_sent_at) / 2.0
+            previous = float(self.delay_estimates[message.site])
+            weight = self.config.delay_smoothing
+            self.delay_estimates[message.site] = sample \
+                if math.isnan(previous) \
+                else (1.0 - weight) * previous + weight * sample
+        else:
+            super()._handle(envelope)
+
+    def _on_join(self, device: int) -> None:
+        # Dynamic membership: migrating devices were not provisioned here.
+        if device not in self._known_set:
+            self._known_set.add(device)
+            insort(self.known, device)
+
+    # -- measurement ------------------------------------------------------
+
+    def _measure(self, now: float) -> Optional[float]:
+        base = super()._measure(now)
+        if base is None:
+            # Silence means degradation only while there is a fleet to be
+            # silent. A site whose membership is empty — never assigned
+            # any devices, or drained by migration — genuinely carries
+            # zero load; treating that as silence would decay its step
+            # forever without ever updating γ̂, and the global convergence
+            # test could then never pass.
+            if not any(d not in self._left for d in self.known):
+                return 0.0
+            return None
+        # ``base`` is mean(rates)/c_j over the devices heard; this site
+        # carries members_j of the fleet's N against capacity N·c_j. The
+        # factor is exactly 1.0 (bit-transparent) for a full single site.
+        return base * (len(self.members(now)) / self.n_total)
+
+    def _record(self, measured: float) -> None:
+        super()._record(measured)
+        if self._obs.enabled:
+            self._obs.gauge(f"sharded.site{self.site}.gamma_hat",
+                            self.stepper.estimate)
+            self._obs.gauge(f"sharded.site{self.site}.measured", measured)
+            self._obs.event("sharded.round", site=self.site,
+                            round=self.round,
+                            gamma_hat=self.stepper.estimate,
+                            measured=measured,
+                            members=len(self._known_set - self._left))
+
+
+@dataclass(frozen=True)
+class ShardedDtuResult:
+    """Final state of a sharded multi-edge network run."""
+
+    estimated_utilizations: np.ndarray    # final γ̂_j per site
+    measured_utilizations: np.ndarray     # last windowed γ_j (NaN if none)
+    iterations: np.ndarray                # Eq. 4 updates per site
+    rounds: np.ndarray                    # broadcasts per site
+    silent_rounds: np.ndarray             # degraded rounds per site
+    converged: bool                       # every site inside tolerance
+    traces: List[NetTrace]                # one per site
+    site_members: np.ndarray              # final live membership per site
+    final_homes: np.ndarray               # each device's site when the run ended
+    migrations: int                       # device site switches, fleet-wide
+    delay_matrix: np.ndarray              # EWMA τ̂_jk between coordinators
+    log: MessageLog
+    events_fired: int
+    virtual_time: float
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.log.delivered_fraction
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.estimated_utilizations.size)
+
+
+def run_sharded_dtu(
+    system: MultiEdgeSystem,
+    config: Optional[ShardedNetConfig] = None,
+    recorder: Optional[Recorder] = None,
+    compile_kernels: bool = True,
+) -> ShardedDtuResult:
+    """Run the sharded multi-edge protocol over ``system``'s deployment.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.core.multiedge.MultiEdgeSystem` supplying the
+        population, sites, and the geography matrix ``τ_{ij}`` (the
+        devices' link knowledge). Devices start at their argmin site for
+        the initial γ̂ vector, exactly like the analytic
+        :func:`~repro.core.multiedge.run_multiedge_dtu`.
+    config:
+        Timing, fault, churn, and backbone settings; defaults are
+        fault-free and synchronous.
+    recorder:
+        Observability sink (see :mod:`repro.obs`).
+    compile_kernels:
+        Use the system's shared-table site kernels for device responses
+        (``O(log M_n)`` probes, bit-identical to the scalar staircase
+        searches run otherwise).
+    """
+    config = config or ShardedNetConfig()
+    obs = resolve_recorder(recorder)
+    fault_seed, churn_seed = derive_seeds(config.seed, 2)
+    population = system.population
+    n_sites = system.n_sites
+
+    runtime = Runtime()
+    transport, local = build_transport(runtime, config, fault_seed,
+                                       recorder=recorder)
+
+    horizon = config.resolved_horizon()
+    churn_model = None
+    if config.churn is not None and not config.churn.static:
+        churn_model = ChurnModel(config.churn, population.size, horizon,
+                                 seed=churn_seed)
+
+    site_kernels = None
+    if compile_kernels:
+        system.compile()
+        site_kernels = system.kernels
+
+    initial = np.full(n_sites, config.initial_estimate)
+    homes, _ = system.best_response(initial)
+    site_delay_models = [site.delay_model for site in system.sites]
+
+    devices = []
+    for index in range(population.size):
+        report_delay = churn_model.report_delay(index) if churn_model else 0.0
+        devices.append(ShardedDeviceAgent(
+            index=index,
+            arrival_rate=float(population.arrival_rates[index]),
+            service_rate=float(population.service_rates[index]),
+            energy_local=float(population.energy_local[index]),
+            energy_offload=float(population.energy_offload[index]),
+            weight=float(population.weights[index]),
+            site_latencies=system.latencies[index],
+            site_delay_models=site_delay_models,
+            home=int(homes[index]),
+            runtime=runtime,
+            transport=transport,
+            heartbeat_interval=config.heartbeat_interval,
+            report_delay=report_delay,
+            site_kernels=site_kernels,
+            migrate=config.migrate,
+            recorder=recorder,
+        ))
+
+    controller = _ShardController(runtime)
+    coordinators = [
+        SiteCoordinator(
+            runtime=runtime,
+            transport=transport,
+            site=j,
+            n_sites=n_sites,
+            n_total=population.size,
+            devices=np.flatnonzero(homes == j).tolist(),
+            capacity=site.capacity_per_user,
+            config=config,
+            controller=controller,
+            recorder=recorder,
+        )
+        for j, site in enumerate(system.sites)
+    ]
+
+    if churn_model is not None:
+        for device, timeline in zip(devices, churn_model.timelines):
+            for when, alive_after in timeline:
+                runtime.clock.call_at(
+                    when,
+                    lambda d=device, a=alive_after: d.set_alive(a),
+                )
+
+    if obs.enabled:
+        obs.event(
+            "sharded.start", n_devices=population.size, n_sites=n_sites,
+            seed=str(config.seed), horizon=horizon,
+            faulty=transport is not local,
+            churning=churn_model is not None,
+            migrate=config.migrate,
+        )
+
+    runtime.run(
+        [coordinator.run() for coordinator in coordinators]
+        + [device.run() for device in devices],
+        until=horizon,
+    )
+
+    # Messages still in flight at the horizon left their spans open —
+    # close them with a "cancelled" status so span logs always balance
+    # (same contract as run_net_dtu).
+    spans = getattr(obs, "spans", None)
+    if spans is not None and spans.open_count:
+        cancelled = spans.finish(virtual_time=runtime.now)
+        obs.count("spans.closed", cancelled)
+        obs.count("spans.faulted", cancelled)
+
+    now = runtime.now
+    estimated = np.array([c.stepper.estimate for c in coordinators])
+    measured = np.array([
+        c.final_measured if c.final_measured is not None else float("nan")
+        for c in coordinators
+    ])
+    delay_matrix = np.vstack([c.delay_estimates for c in coordinators])
+    converged = all(c.converged for c in coordinators)
+    if obs.enabled:
+        obs.event(
+            "sharded.done", converged=converged,
+            gamma_hat=[float(g) for g in estimated],
+            migrations=sum(d.migrations for d in devices),
+            virtual_time=now, events=runtime.events_fired,
+        )
+    return ShardedDtuResult(
+        estimated_utilizations=estimated,
+        measured_utilizations=measured,
+        iterations=np.array([c.iterations for c in coordinators]),
+        rounds=np.array([c.round for c in coordinators]),
+        silent_rounds=np.array([c.silent_rounds for c in coordinators]),
+        converged=converged,
+        traces=[c.trace for c in coordinators],
+        site_members=np.array([c.final_members for c in coordinators]),
+        final_homes=np.array([d.home for d in devices], dtype=np.int64),
+        migrations=sum(d.migrations for d in devices),
+        delay_matrix=delay_matrix,
+        log=transport.log,
+        events_fired=runtime.events_fired,
+        virtual_time=now,
+    )

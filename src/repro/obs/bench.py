@@ -42,8 +42,8 @@ SCHEMA = "repro.bench/v1"
 #: Row fields that identify a case (in label order), not measure it.
 #: ``mode``/``batch`` come from ``BENCH_serve.json`` (open vs closed
 #: loop, devices per request) — different cases, not different values.
-_CASE_FIELDS = ("workload", "scenario", "n_devices", "n_users", "loss",
-                "mode", "batch")
+_CASE_FIELDS = ("workload", "scenario", "n_devices", "n_users", "n_sites",
+                "loss", "mode", "batch")
 
 #: Environment fields copied verbatim from the legacy top level.
 _ENV_FIELDS = ("repro_version", "python", "platform", "cpu_count", "quick")
@@ -58,10 +58,11 @@ def metric_direction(name: str) -> Optional[str]:
 
     Timings (``*_seconds``) and latency percentiles (``p50`` / ``p99`` /
     ``p999``, with or without a ``_seconds`` suffix) regress upward;
-    throughput and speedup ratios (``*speedup*``, ``*_per_second``)
-    regress downward.
+    throughput, speedup, and efficiency ratios (``*speedup*``,
+    ``*_per_second``, ``*_efficiency``) regress downward.
     """
-    if "speedup" in name or name.endswith("_per_second"):
+    if "speedup" in name or name.endswith("_per_second") \
+            or name.endswith("_efficiency"):
         return "higher"
     if name.endswith("_seconds") or _PERCENTILE.search(name) is not None:
         return "lower"

@@ -43,6 +43,10 @@ def pytest_configure(config):
         "(repro.core.kernels bit-identity contracts)")
     config.addinivalue_line(
         "markers",
+        "multiedge: exercises the multi-site system and the sharded "
+        "net protocol")
+    config.addinivalue_line(
+        "markers",
         "serve: boots the wall-clock decision daemon "
         "(repro.serve over real threads and loopback HTTP)")
 

@@ -218,3 +218,120 @@ class TestRandomSiteConfigurations:
         assert dtu.converged
         gap = np.abs(dtu.actual_utilizations - eq.utilizations).max()
         assert gap < 0.08
+
+
+@pytest.mark.multiedge
+class TestCompiledEquivalence:
+    """The shared-table kernels are a pure optimisation: bit-identity."""
+
+    GAMMA_GRID = [
+        np.array([0.0, 0.0, 0.0]),
+        np.array([0.3, 0.2, 0.1]),
+        np.array([0.9, 0.1, 0.0]),
+        np.array([1.0, 1.0, 1.0]),
+        np.array([0.25, 0.75, 0.5]),
+    ]
+
+    @pytest.fixture(scope="class")
+    def scalar_system(self, system):
+        return MultiEdgeSystem(system.population, system.sites,
+                               latencies=system.latencies,
+                               compile_kernels=False)
+
+    def test_kernels_share_tables(self, system):
+        assert system.kernels is not None
+        for kernel in system.kernels:
+            assert kernel.shares_tables_with(system.base_kernel)
+
+    def test_best_response_bit_identical(self, system, scalar_system):
+        for gammas in self.GAMMA_GRID:
+            ci, ti = system.best_response(gammas)
+            si, ts = scalar_system.best_response(gammas)
+            assert np.array_equal(ci, si)
+            assert np.array_equal(ti.astype(float), ts.astype(float))
+
+    def test_utilizations_bit_identical(self, system, scalar_system):
+        for gammas in self.GAMMA_GRID:
+            ci, ti = system.best_response(gammas)
+            assert np.array_equal(system.utilizations(ci, ti),
+                                  scalar_system.utilizations(ci, ti))
+            assert np.array_equal(system.site_loads(ci, ti),
+                                  scalar_system.site_loads(ci, ti))
+
+    def test_solver_bit_identical(self, system, scalar_system):
+        fast = solve_multiedge_equilibrium(system)
+        slow = solve_multiedge_equilibrium(scalar_system)
+        assert np.array_equal(fast.utilizations, slow.utilizations)
+        assert np.array_equal(fast.site_indices, slow.site_indices)
+        assert np.array_equal(fast.thresholds, slow.thresholds)
+        assert fast.residual == slow.residual
+        assert fast.average_cost == slow.average_cost
+
+    def test_dtu_bit_identical(self, system, scalar_system):
+        fast = run_multiedge_dtu(system)
+        slow = run_multiedge_dtu(scalar_system)
+        assert fast.iterations == slow.iterations
+        assert np.array_equal(fast.estimated_utilizations,
+                              slow.estimated_utilizations)
+        assert np.array_equal(fast.thresholds, slow.thresholds)
+        for a, b in zip(fast.trace.estimated, slow.trace.estimated):
+            assert np.array_equal(a, b)
+        for a, b in zip(fast.trace.actual, slow.trace.actual):
+            assert np.array_equal(a, b)
+
+
+@pytest.mark.multiedge
+class TestSingleSiteDelegation:
+    """m = 1 must *be* the paper's model, to the bit."""
+
+    @pytest.fixture(scope="class")
+    def solo(self, population):
+        site = EdgeSite("only", capacity_per_user=population.capacity,
+                        delay_model=ReciprocalDelay(1.1, 1.0),
+                        latency=Uniform(0.0, 1.0))
+        return MultiEdgeSystem(
+            population, [site],
+            latencies=population.offload_latencies[:, None])
+
+    @pytest.fixture(scope="class")
+    def scalar_map(self, population):
+        return MeanFieldMap(population, ReciprocalDelay(1.1, 1.0))
+
+    def test_as_single_site_shares_tables(self, solo):
+        single = solo.as_single_site()
+        assert single is not None
+        assert single.shares_tables_with(solo.base_kernel)
+
+    def test_solver_delegates_bit_identically(self, solo, scalar_map):
+        eq = solve_multiedge_equilibrium(solo)
+        reference = solve_mfne(scalar_map)
+        assert eq.utilizations[0] == reference.utilization
+        assert eq.iterations == reference.iterations
+        assert eq.converged == reference.converged
+
+    def test_dtu_delegates_bit_identically(self, solo, scalar_map):
+        from repro.core.dtu import run_dtu
+        vector = run_multiedge_dtu(solo)
+        scalar = run_dtu(scalar_map)
+        assert vector.iterations == scalar.iterations
+        assert vector.estimated_utilizations[0] == \
+            scalar.estimated_utilization
+        assert np.array_equal(vector.thresholds,
+                              np.asarray(scalar.thresholds, dtype=float))
+        assert [g[0] for g in vector.trace.estimated] == \
+            list(scalar.trace.estimated_utilization)
+        assert [g[0] for g in vector.trace.actual] == \
+            list(scalar.trace.actual_utilization)
+        assert np.all(vector.site_indices == 0)
+
+    def test_tight_capacity_falls_back_to_vector_path(self, population):
+        """A lone site with a_n ≥ c_1 cannot be the scalar model; the
+        vector solver must still converge."""
+        site = EdgeSite("tight", capacity_per_user=5.0,
+                        delay_model=ReciprocalDelay(1.1, 1.0),
+                        latency=Uniform(0.0, 0.2))
+        system = MultiEdgeSystem(population, [site], rng=9)
+        assert system.as_single_site() is None
+        eq = solve_multiedge_equilibrium(system)
+        assert eq.converged
+        assert 0.0 <= eq.utilizations[0] <= 1.0

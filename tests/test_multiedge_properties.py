@@ -1,0 +1,157 @@
+"""Property-based tests around the whole multi-edge path.
+
+Hypothesis drives randomized deployments (population seed, site count,
+capacity split, γ vectors) through the invariants every multi-edge
+configuration must satisfy:
+
+* the equilibrium's residual certificate is *recomputable* — applying the
+  vector best-response map to the returned γ* reproduces the stored
+  residual, and γ* ∈ [0,1]^m;
+* at any γ the chosen site is the argmin of the realized per-user prices
+  (ties broken toward the lower index, as ``np.argmin`` does);
+* load is conserved: ``site_loads`` partitions the population's total
+  offered offload traffic exactly, whatever the assignment;
+* the compiled (shared-table) evaluation is bit-identical to the scalar
+  scan for the same deployment.
+
+The ``ci``/``dev`` hypothesis profiles are registered in
+``tests/conftest.py`` and selected with ``HYPOTHESIS_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.multiedge import (  # noqa: E402
+    MultiEdgeSystem,
+    run_multiedge_dtu,
+    solve_multiedge_equilibrium,
+    tiered_sites,
+)
+from repro.core.tro import queue_and_offload  # noqa: E402
+from repro.population.distributions import Uniform  # noqa: E402
+from repro.population.sampler import (  # noqa: E402
+    PopulationConfig,
+    sample_population,
+)
+
+pytestmark = pytest.mark.multiedge
+
+_CONFIG = PopulationConfig(
+    arrival=Uniform(0.0, 6.0),
+    service=Uniform(1.0, 5.0),
+    latency=Uniform(0.0, 1.0),
+    energy_local=Uniform(0.0, 3.0),
+    energy_offload=Uniform(0.0, 1.0),
+    capacity=10.0,
+)
+
+#: Small populations keep each hypothesis example fast; the invariants
+#: under test are size-independent (the bit-identity contracts at scale
+#: are pinned deterministically in tests/test_multiedge.py).
+_N_USERS = 160
+
+_pop_seeds = st.integers(min_value=0, max_value=2**16)
+_site_seeds = st.integers(min_value=0, max_value=2**16)
+_site_counts = st.integers(min_value=1, max_value=6)
+_gamma_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=6)
+
+
+def _system(pop_seed, n_sites, site_seed, compile_kernels=True):
+    population = sample_population(_CONFIG, _N_USERS, rng=pop_seed)
+    return MultiEdgeSystem(population, tiered_sites(n_sites),
+                           rng=site_seed, compile_kernels=compile_kernels)
+
+
+@given(pop_seed=_pop_seeds, n_sites=_site_counts, site_seed=_site_seeds)
+@settings(max_examples=25)
+def test_equilibrium_certificate_recomputable(pop_seed, n_sites, site_seed):
+    """γ* ∈ [0,1]^m and the stored residual is ||V(γ*) − γ*||_∞."""
+    system = _system(pop_seed, n_sites, site_seed)
+    eq = solve_multiedge_equilibrium(system)
+    assert eq.utilizations.shape == (n_sites,)
+    assert np.all((eq.utilizations >= 0.0) & (eq.utilizations <= 1.0))
+    recomputed = float(
+        np.abs(system.value(eq.utilizations) - eq.utilizations).max())
+    assert recomputed == pytest.approx(eq.residual, abs=1e-12)
+    # The certificate itself: the fixed point is honest to the granularity
+    # floor of a finite population (one user ≈ a_max/(N·c_min)).
+    assert eq.residual < 6.0 / (_N_USERS * min(
+        s.capacity_per_user for s in system.sites)) * 4
+
+
+@given(pop_seed=_pop_seeds, site_seed=_site_seeds, gammas=_gamma_lists)
+def test_chosen_site_is_argmin_of_prices(pop_seed, site_seed, gammas):
+    """At any γ the assignment minimizes each user's realized price."""
+    gammas = np.asarray(gammas)
+    system = _system(pop_seed, gammas.size, site_seed)
+    prices = system.offload_prices(gammas)
+    site_indices, _ = system.best_response(gammas)
+    chosen = prices[np.arange(prices.shape[0]), site_indices]
+    assert np.all(chosen == prices.min(axis=1))
+    # np.argmin tie-breaking: no strictly-cheaper site below the chosen one
+    for i in np.flatnonzero(site_indices > 0):
+        assert np.all(prices[i, :site_indices[i]] > chosen[i])
+
+
+@given(pop_seed=_pop_seeds, site_seed=_site_seeds, gammas=_gamma_lists)
+def test_load_conservation(pop_seed, site_seed, gammas):
+    """``site_loads`` partitions the total offered offload traffic."""
+    gammas = np.asarray(gammas)
+    system = _system(pop_seed, gammas.size, site_seed)
+    site_indices, thresholds = system.best_response(gammas)
+    loads = system.site_loads(site_indices, thresholds)
+    assert np.all(loads >= 0.0)
+    population = system.population
+    _, alpha = queue_and_offload(thresholds.astype(float),
+                                 population.intensities)
+    total = float((population.arrival_rates * alpha).sum())
+    assert float(loads.sum()) == pytest.approx(total, rel=1e-12)
+    # Per-site: the load is exactly the cohort's offered traffic.
+    for j in range(gammas.size):
+        cohort = np.flatnonzero(site_indices == j)
+        expected = float((population.arrival_rates[cohort]
+                          * alpha[cohort]).sum())
+        assert loads[j] == pytest.approx(expected, rel=1e-12)
+
+
+@given(pop_seed=_pop_seeds, site_seed=_site_seeds, gammas=_gamma_lists)
+@settings(max_examples=25)
+def test_compiled_matches_scalar_scan(pop_seed, site_seed, gammas):
+    """Shared-table kernels and the scalar scan are bit-identical."""
+    gammas = np.asarray(gammas)
+    compiled = _system(pop_seed, gammas.size, site_seed)
+    scalar = MultiEdgeSystem(
+        compiled.population, compiled.sites,
+        latencies=compiled.latencies, compile_kernels=False)
+    ci, ti = compiled.best_response(gammas)
+    si, ts = scalar.best_response(gammas)
+    assert np.array_equal(ci, si)
+    assert np.array_equal(ti.astype(float), ts.astype(float))
+    assert np.array_equal(compiled.utilizations(ci, ti),
+                          scalar.utilizations(si, ts))
+
+
+@given(pop_seed=_pop_seeds, n_sites=st.integers(min_value=2, max_value=4),
+       site_seed=_site_seeds)
+@settings(max_examples=10)
+def test_dtu_tracks_equilibrium(pop_seed, n_sites, site_seed):
+    """The vector DTU lands within a few steps of the certified γ*."""
+    system = _system(pop_seed, n_sites, site_seed)
+    eq = solve_multiedge_equilibrium(system)
+    dtu = run_multiedge_dtu(system)
+    assert dtu.estimated_utilizations.shape == (n_sites,)
+    assert np.all((dtu.estimated_utilizations >= 0.0)
+                  & (dtu.estimated_utilizations <= 1.0))
+    # The distributed estimate and the analytic fixed point agree to the
+    # DTU tolerance plus the finite-population granularity.
+    assert np.abs(dtu.estimated_utilizations - eq.utilizations).max() < 0.06

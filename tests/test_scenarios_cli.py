@@ -76,6 +76,17 @@ class TestCli:
                      "--users", "200"]) == 0
         assert "smart-farm" in capsys.readouterr().out
 
+    @pytest.mark.net
+    @pytest.mark.multiedge
+    def test_sharded_subcommand(self, capsys):
+        assert main(["sharded", "--users", "150", "--sites", "3",
+                     "--loss", "0.05", "--gossip-staleness", "6",
+                     "--max-rounds", "80", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded DTU converged=True" in out
+        assert "wifi-mec-0" in out and "cloud-2" in out
+        assert "migrations" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
