@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels bench-multiedge bench-serve bench-compare experiments experiments-full examples lint clean
+.PHONY: install test test-fast bench bench-runtime bench-fastpath bench-net bench-kernels bench-multiedge bench-serve bench-workload bench-compare experiments experiments-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,9 @@ bench-multiedge:
 
 bench-serve:
 	PYTHONPATH=src python benchmarks/bench_serve.py
+
+bench-workload:
+	PYTHONPATH=src python benchmarks/bench_workload.py
 
 # Compare fresh quick-mode benchmarks against the committed baselines
 # (exit non-zero on regression). OLD/NEW are overridable:

@@ -1,0 +1,168 @@
+"""repro.workload benchmark — equilibrium tracking under drift.
+
+Measures the moving-equilibrium tracker (:mod:`repro.workload.tracking`)
+at N ∈ {10⁴, 10⁵} devices: wall time and decisions/second (one decision
+= one device best-response at one tracked step, priced through the
+level-quantized compiled kernels) against the schedule period, plus the
+γ̂ tracking lag — max/mean over the run and through a flash crowd, where
+the acceptance bar is that the lag spikes at the onset and stays
+bounded. A small learning-agent section runs the net protocol with each
+device policy and records the final convergence gap.
+
+Writes ``BENCH_workload.json`` at the repo root (lag/gap metrics are
+lower-is-better in the :mod:`repro.obs.bench` regression harness).
+
+Standalone (the ``make bench-workload`` target)::
+
+    PYTHONPATH=src python benchmarks/bench_workload.py [--quick] [--output F]
+
+Under ``pytest benchmarks/`` a reduced measurement runs once through the
+shared ``once`` fixture; the JSON artifact is only written by the
+standalone entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _fleet(n_users: int):
+    from repro.population.scenarios import build_scenario
+    from repro.population.sampler import sample_population
+
+    return sample_population(build_scenario("paper-theoretical"),
+                             n_users, rng=7)
+
+
+def measure_tracking(n_users: int, workload: str, period: float,
+                     steps: int = 120, levels: int = 12) -> dict:
+    """One timed tracker run; returns lag metrics and decisions/second."""
+    from repro.workload import (TrackingConfig, build_workload_scenario,
+                                track_equilibrium)
+
+    population = _fleet(n_users)
+    scenario = build_workload_scenario(
+        workload,
+        period=period if workload == "diurnal" else None,
+    )
+    config = TrackingConfig(steps=steps, dt=1.0, checkpoint_every=5,
+                            levels=levels)
+    started = time.perf_counter()
+    result = track_equilibrium(population, scenario, config)
+    seconds = time.perf_counter() - started
+    decisions = n_users * result.steps
+    return {
+        "workload": workload,
+        "n_users": n_users,
+        "period": period,
+        "steps": result.steps,
+        "levels": levels,
+        "retargets": result.retargets,
+        "wall_seconds": round(seconds, 4),
+        "decisions_per_second": round(decisions / seconds, 1),
+        "max_lag": round(result.max_lag, 6),
+        "mean_lag": round(result.mean_lag, 6),
+        "final_gap": round(result.final_lag, 6),
+    }
+
+
+def measure_policy(n_users: int, policy: str, rounds: int = 60) -> dict:
+    """One timed net run with a device policy; reports the final gap."""
+    from repro.workload import (WorkloadNetConfig, build_workload_scenario,
+                                run_workload_net)
+
+    population = _fleet(n_users)
+    config = WorkloadNetConfig(seed=0, agent_policy=policy,
+                               stop_on_convergence=False,
+                               max_rounds=rounds, log_messages=False)
+    started = time.perf_counter()
+    result = run_workload_net(population, build_workload_scenario("steady"),
+                              config, checkpoint_every=10)
+    seconds = time.perf_counter() - started
+    decisions = n_users * result.net.rounds
+    return {
+        "workload": "policy-gap",
+        "n_users": n_users,
+        "policy": policy,
+        "rounds": result.net.rounds,
+        "wall_seconds": round(seconds, 4),
+        "decisions_per_second": round(decisions / seconds, 1),
+        "max_lag": round(result.max_lag, 6),
+        "final_gap": round(result.final_gap, 6),
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    from repro import __version__
+
+    # Quick scale is a strict subset of the full scale (same steps and
+    # policy fleet), so CI's quick run compares real cases against the
+    # committed full baseline instead of skipping everything.
+    steps = 120
+    policy_users = 150
+    if quick:
+        sizes = [2_000]
+        periods = [20.0, 40.0]
+    else:
+        sizes = [2_000, 10_000, 100_000]
+        periods = [20.0, 40.0, 80.0]
+    points = [measure_tracking(n, "diurnal", period, steps=steps)
+              for n in sizes for period in periods]
+    points += [measure_tracking(n, "flash-crowd", 0.0, steps=steps)
+               for n in sizes]
+    points += [measure_policy(policy_users, policy)
+               for policy in ("lemma1", "egreedy", "mwu")]
+    return {
+        "benchmark": "repro.workload non-stationary tracking",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "workloads": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale (CI smoke; still writes JSON)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_workload.json")
+    args = parser.parse_args(argv)
+    report = run_benchmark(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["workloads"]:
+        label = entry.get("policy") or f"period={entry['period']:g}"
+        print(f"{entry['workload']:<12} N={entry['n_users']:>6} "
+              f"{label:<14} {entry['wall_seconds']:8.2f}s  "
+              f"{entry['decisions_per_second']:>12,.0f} dec/s  "
+              f"max_lag={entry['max_lag']:.4f} "
+              f"final_gap={entry['final_gap']:.4f}")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+def test_workload_benchmark(once, regression_check):
+    """One quick measured pass under ``pytest benchmarks/``."""
+    report = once(run_benchmark, quick=True)
+    regression_check(report, "BENCH_workload.json")
+    for entry in report["workloads"]:
+        assert entry["decisions_per_second"] > 0
+        # Bounded tracking: γ̂ never trails the moving target by more
+        # than the flash-crowd jump itself, and ends settled.
+        assert entry["max_lag"] < 0.5
+        assert entry["final_gap"] < 0.1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

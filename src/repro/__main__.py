@@ -11,6 +11,7 @@ registry)::
     python -m repro replay   --url http://127.0.0.1:8080 --requests 10000
     python -m repro compare  --scenario paper-practical
     python -m repro sweep    --param capacity --values 9,10,12,16 --jobs 4
+    python -m repro workload --workload flash-crowd --policy egreedy
     python -m repro scenarios
 
 ``serve`` boots the wall-clock decision daemon (:mod:`repro.serve`):
@@ -430,6 +431,77 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_workload(args) -> int:
+    from repro.workload import (
+        TrackingConfig,
+        WorkloadNetConfig,
+        build_workload_scenario,
+        run_workload_net,
+        track_equilibrium,
+        workload_scenario_names,
+    )
+
+    if args.list:
+        for name in workload_scenario_names():
+            print(name)
+        return 0
+    population = _population(args)
+    scenario = build_workload_scenario(
+        args.workload,
+        period=args.period, amplitude=args.amplitude,
+        onset=args.onset, magnitude=args.magnitude, decay=args.decay,
+        regions=args.regions, leave_rate=args.churn_leave_rate,
+    )
+    print(f"scenario: {args.scenario} (N={population.size}), "
+          f"workload: {scenario.name}, policy: {args.policy}")
+
+    if args.analytic:
+        tracking = TrackingConfig(
+            steps=args.steps, dt=args.dt,
+            initial_step=args.step, tolerance=args.tolerance,
+            checkpoint_every=args.checkpoint_every, levels=args.levels,
+        )
+        result = track_equilibrium(population, scenario, tracking)
+        print(f"analytic tracker: {result.steps} steps, "
+              f"{result.retargets} retargets")
+        indices = range(0, result.steps, args.checkpoint_every)
+        rows = [(result.times[i], result.factors[i], result.estimated[i],
+                 star, lag)
+                for i, star, lag in zip(indices, result.gamma_star,
+                                        result.lag)]
+        max_lag, mean_lag, final = (result.max_lag, result.mean_lag,
+                                    result.final_lag)
+    else:
+        config = WorkloadNetConfig(
+            initial_step=args.step, tolerance=args.tolerance,
+            max_rounds=args.max_rounds, seed=args.seed,
+            log_messages=False,
+            stop_on_convergence=args.stop_on_convergence,
+            agent_policy=args.policy, epsilon=args.epsilon,
+            learning_rate=args.learning_rate, eta=args.eta,
+        )
+        result = run_workload_net(
+            population, scenario, config,
+            compile_kernel=not args.no_compile,
+            checkpoint_every=args.checkpoint_every,
+        )
+        net = result.net
+        print(f"net run: converged={net.converged} in {net.iterations} "
+              f"updates / {net.rounds} rounds; final γ̂ = "
+              f"{net.estimated_utilization:.4f}")
+        rows = result.lag.rows
+        max_lag, mean_lag, final = (result.max_lag, result.mean_lag,
+                                    result.final_gap)
+
+    print(f"{'t':>8s} {'m(t)':>7s} {'γ̂':>8s} {'γ*(t)':>8s} {'lag':>8s}")
+    for t, factor, estimate, star, lag in rows:
+        print(f"{t:8.1f} {factor:7.3f} {estimate:8.4f} {star:8.4f} "
+              f"{lag:8.4f}")
+    print(f"max lag {max_lag:.4f}, mean lag {mean_lag:.4f}, "
+          f"final gap {final:.4f}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     population = _population(args)
     mean_field = _mean_field(args, population)
@@ -630,6 +702,68 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 if any request errored or was shed "
                              "(CI smoke: zero 5xx at sub-watermark load)")
     replay.set_defaults(func=cmd_replay)
+
+    workload = subparsers.add_parser(
+        "workload", help="run DTU under a non-stationary workload",
+        description="Run DTU against a drifting population "
+                    "(repro.workload): diurnal cycles, flash crowds, "
+                    "correlated regional churn, and optional learning-"
+                    "agent devices, reporting the γ̂ lag behind the "
+                    "instantaneous MFNE γ*(t) at checkpoints.")
+    _add_common(workload)
+    workload.add_argument("--workload", default="diurnal", metavar="NAME",
+                          help="workload scenario name (--list shows all; "
+                               "default diurnal)")
+    workload.add_argument("--list", action="store_true",
+                          help="list the workload scenario names and exit")
+    workload.add_argument("--policy", default="lemma1",
+                          choices=("lemma1", "egreedy", "mwu"),
+                          help="device policy: Lemma-1 best response, "
+                               "ε-greedy Q-learning, or multiplicative "
+                               "weights")
+    workload.add_argument("--step", type=float, default=0.1, help="η₀")
+    workload.add_argument("--tolerance", type=float, default=0.01,
+                          help="ε")
+    workload.add_argument("--max-rounds", type=int, default=60,
+                          help="broadcast budget for the net run")
+    workload.add_argument("--stop-on-convergence", action="store_true",
+                          help="stop at the Algorithm-1 test instead of "
+                               "tracking for the whole budget")
+    workload.add_argument("--checkpoint-every", type=int, default=5,
+                          help="rounds between γ*(t) checkpoints in the "
+                               "lag table")
+    workload.add_argument("--period", type=float, default=None,
+                          help="diurnal period override")
+    workload.add_argument("--amplitude", type=float, default=None,
+                          help="diurnal amplitude override")
+    workload.add_argument("--onset", type=float, default=None,
+                          help="flash-crowd onset override")
+    workload.add_argument("--magnitude", type=float, default=None,
+                          help="flash-crowd magnitude override")
+    workload.add_argument("--decay", type=float, default=None,
+                          help="flash-crowd decay-time override")
+    workload.add_argument("--regions", type=int, default=None,
+                          help="regional-churn region count override")
+    workload.add_argument("--churn-leave-rate", type=float, default=None,
+                          help="regional-churn baseline leave rate")
+    workload.add_argument("--epsilon", type=float, default=0.1,
+                          help="ε-greedy exploration rate")
+    workload.add_argument("--learning-rate", type=float, default=0.2,
+                          help="ε-greedy Q step α")
+    workload.add_argument("--eta", type=float, default=0.5,
+                          help="multiplicative-weights rate η")
+    workload.add_argument("--analytic", action="store_true",
+                          help="run the analytic moving-equilibrium "
+                               "tracker instead of the net runtime")
+    workload.add_argument("--steps", type=int, default=120,
+                          help="analytic tracker iterations")
+    workload.add_argument("--dt", type=float, default=1.0,
+                          help="schedule time per analytic iteration")
+    workload.add_argument("--levels", type=int, default=0,
+                          help="quantize m(t) onto this many compiled "
+                               "kernel levels (0: exact; big N wants "
+                               "8–16)")
+    workload.set_defaults(func=cmd_workload)
 
     compare = subparsers.add_parser(
         "compare", help="DTU vs DPO on a scenario",

@@ -108,6 +108,26 @@ class DtuStepper:
     #: Whether the most recent :meth:`update` triggered the η₀/L shrink.
     shrank = False
 
+    def retarget(self) -> None:
+        """Re-open the stepper when the environment it settled in moves.
+
+        A non-stationary workload (:mod:`repro.workload`) shifts the
+        fixed point out from under a converged stepper: γ̂ sits still
+        inside tolerance with the step size shrunk to ``η₀/L``, and a
+        plain :meth:`update` would crawl toward the new γ* at that
+        residual step. Retargeting restores the initial step ``η₀``,
+        resets the shrink counter ``L``, and pushes the hidden previous
+        estimate out of band so :attr:`converged` reads False until a
+        fresh pair of estimates is inside tolerance again. The current
+        estimate — the best available prior for the new equilibrium — is
+        kept.
+        """
+        self.step = self.initial_step
+        self.counter = 1
+        # One-step sentinel: > any γ̂ ∈ [0, 1] + tolerance, so the stop
+        # test (and the oscillation rule) cannot fire off stale history.
+        self.previous = self.estimate + 1.0
+
     def decay(self, factor: float, floor: float = 0.0) -> float:
         """Shrink the step size out-of-band (graceful degradation).
 

@@ -36,6 +36,7 @@ from repro.experiments import (
     online_experiment,
     robustness,
     tails,
+    workload_learning,
     fig2,
     fig3,
     fig4,
@@ -54,6 +55,6 @@ __all__ = [
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
     "ablations", "extensions", "robustness", "tails", "model_mismatch",
     "multiedge_experiment", "edge_model", "learning", "fairness",
-    "online_experiment",
+    "online_experiment", "workload_learning",
     "PaperComparison", "ComparisonResult", "SeriesResult",
 ]

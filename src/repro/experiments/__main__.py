@@ -64,6 +64,7 @@ from repro.experiments import (
     robustness,
     robustness_net,
     tails,
+    workload_learning,
     fig2,
     fig3,
     fig4,
@@ -177,6 +178,12 @@ def main(argv=None) -> int:
         "online": lambda: online_experiment.run(
             n_users=200 if args.full else 100,
             duration=600.0 if args.full else 300.0,
+            seed=args.seed,
+        ),
+        "workload_learning": lambda: workload_learning.run(
+            n_users=150 if args.full else 80,
+            rounds=60 if args.full else 40,
+            seeds=(0, 1, 2) if args.full else (0, 1),
             seed=args.seed,
         ),
     }

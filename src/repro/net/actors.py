@@ -23,7 +23,7 @@ path, which is what lets the fault-free synchronous run reproduce
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,7 @@ class DeviceAgent:
         heartbeat_interval: float = 0.0,
         report_delay: float = 0.0,
         kernel: Optional[CompiledMeanField] = None,
+        modulation: Optional[Callable[[float], float]] = None,
         recorder: Optional[Recorder] = None,
     ):
         self.address = index
@@ -87,6 +88,16 @@ class DeviceAgent:
         # handler then probes precompiled breakpoints/tables instead of
         # re-running the scalar staircase search. Bit-identical responses.
         self.kernel = kernel
+        # Optional arrival-rate modulation m(t) (repro.workload): a
+        # non-stationary device best-responds with the *instantaneous*
+        # rate a_n·m(t). Compiled kernels tabulate the stationary rates,
+        # so a modulated device must take the scalar path.
+        self.modulation = modulation
+        if modulation is not None and kernel is not None:
+            raise ValueError(
+                "modulation requires the scalar response path; pass "
+                "kernel=None (compiled staircase tables are stationary)"
+            )
         self._obs = resolve_recorder(recorder)
         self.mailbox = transport.register(index)
         # Thresholds start at 0 (offload everything); the first received
@@ -140,17 +151,7 @@ class DeviceAgent:
             self.offload_rate = self.arrival_rate * \
                 self.kernel.user_alpha(self.address, level)
         else:
-            surcharge = (self.delay_model(broadcast.estimate)
-                         + self.offload_latency
-                         + self.weight
-                         * (self.energy_offload - self.energy_local))
-            best = float(optimal_threshold_from_surcharge(
-                self.arrival_rate, self.intensity, surcharge,
-            ))
-            self.threshold = best
-            self.offload_rate = self.arrival_rate * offload_probability(
-                best, self.intensity,
-            )
+            self._scalar_response(broadcast.estimate)
         self.reports_sent += 1
         self.transport.send(
             self.address, self.edge_address,
@@ -159,6 +160,31 @@ class DeviceAgent:
             delay=self.report_delay,
             parent=parent,
         )
+
+    def instantaneous_rate(self) -> float:
+        """The device's arrival rate right now: ``a_n·m(t)``, or ``a_n``.
+
+        With no modulation this returns exactly ``self.arrival_rate`` (no
+        float multiply), keeping stationary runs bit-identical.
+        """
+        if self.modulation is None:
+            return self.arrival_rate
+        return self.arrival_rate * float(self.modulation(self.runtime.now))
+
+    def _scalar_response(self, estimate: float) -> None:
+        """Staircase search at the instantaneous rate; sets the report."""
+        rate = self.instantaneous_rate()
+        intensity = rate / self.service_rate if self.modulation is not None \
+            else self.intensity
+        surcharge = (self.delay_model(estimate)
+                     + self.offload_latency
+                     + self.weight
+                     * (self.energy_offload - self.energy_local))
+        best = float(optimal_threshold_from_surcharge(
+            rate, intensity, surcharge,
+        ))
+        self.threshold = best
+        self.offload_rate = rate * offload_probability(best, intensity)
 
     def _heartbeat(self) -> None:
         if self.runtime.stopping:

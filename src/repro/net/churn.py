@@ -8,38 +8,99 @@ drawn from exponential holding times — plus a straggler designation that
 inflates a device's report latency.  Precomputing the timeline (rather
 than drawing during execution) keeps the schedule independent of message
 interleaving, preserving the bit-identical-rerun contract.
+
+``leave_rate`` and ``mean_downtime`` accept either a population-wide
+scalar or one value per device (any 1-D sequence).  Per-device values are
+what correlated *regional* churn (:mod:`repro.workload.schedule`) is made
+of: devices in the same region share a common rate factor, so a whole
+region flickers together while the fleet-level contract is untouched.
+The scalar path draws the exact same rng sequence it always did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_non_negative, check_probability
 
+Rates = Union[float, Sequence[float]]
+
+
+def _normalize_rates(name: str, value: Rates) -> Rates:
+    """A validated scalar, or a tuple of validated per-device floats.
+
+    Tuples (not arrays) keep :class:`ChurnConfig` hashable and its
+    generated ``__eq__`` well-defined, which frozen configs embedded in
+    :class:`repro.net.protocol.NetConfig` rely on.
+    """
+    if np.isscalar(value) and not isinstance(value, (str, bytes)):
+        check_non_negative(name, float(value))
+        return float(value)
+    values = np.asarray(value, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError(
+            f"{name} must be a scalar or a non-empty 1-D sequence; "
+            f"got shape {values.shape}"
+        )
+    if not np.all(np.isfinite(values)) or np.any(values < 0):
+        raise ValueError(
+            f"per-device {name} values must be finite and >= 0"
+        )
+    return tuple(float(v) for v in values)
+
 
 @dataclass(frozen=True)
 class ChurnConfig:
-    """Population-level churn and straggler parameters."""
+    """Population-level churn and straggler parameters.
 
-    leave_rate: float = 0.0          # per-device rate of leaving (exp)
-    mean_downtime: float = 0.0       # mean off-time before rejoining;
+    ``leave_rate`` / ``mean_downtime`` may be scalars (every device alike)
+    or one value per device; per-device sequences must match the fleet
+    size handed to :class:`ChurnModel`.
+    """
+
+    leave_rate: Rates = 0.0          # per-device rate of leaving (exp)
+    mean_downtime: Rates = 0.0       # mean off-time before rejoining;
     #                                  0 with leave_rate > 0 → leaves for good
     straggler_fraction: float = 0.0  # fraction of devices that straggle
     straggler_delay: float = 0.0     # extra report latency for stragglers
 
     def __post_init__(self) -> None:
-        check_non_negative("leave_rate", self.leave_rate)
-        check_non_negative("mean_downtime", self.mean_downtime)
+        object.__setattr__(self, "leave_rate",
+                           _normalize_rates("leave_rate", self.leave_rate))
+        object.__setattr__(self, "mean_downtime",
+                           _normalize_rates("mean_downtime",
+                                            self.mean_downtime))
         check_probability("straggler_fraction", self.straggler_fraction)
         check_non_negative("straggler_delay", self.straggler_delay)
 
+    def leave_rates(self, n_devices: int) -> np.ndarray:
+        """Per-device leave rates, broadcast/validated against the fleet."""
+        return _broadcast("leave_rate", self.leave_rate, n_devices)
+
+    def downtimes(self, n_devices: int) -> np.ndarray:
+        """Per-device mean downtimes, broadcast/validated against the fleet."""
+        return _broadcast("mean_downtime", self.mean_downtime, n_devices)
+
     @property
     def static(self) -> bool:
-        return self.leave_rate == 0.0 and self.straggler_fraction == 0.0
+        leave = np.max(np.asarray(self.leave_rate, dtype=float))
+        return leave == 0.0 and self.straggler_fraction == 0.0
+
+
+def _broadcast(name: str, value: Rates, n_devices: int) -> np.ndarray:
+    values = np.asarray(value, dtype=float)
+    if values.ndim == 0:
+        return np.full(n_devices, float(values))
+    if values.size != n_devices:
+        raise ValueError(
+            f"per-device {name} has {values.size} entries for a fleet of "
+            f"{n_devices} devices"
+        )
+    return values
 
 
 class ChurnModel:
@@ -50,6 +111,8 @@ class ChurnModel:
         self.config = config
         self.n_devices = n_devices
         self.horizon = float(horizon)
+        leave = config.leave_rates(n_devices)
+        downtime = config.downtimes(n_devices)
         rng = as_generator(seed)
         if config.straggler_fraction > 0.0:
             self.stragglers = rng.random(n_devices) < config.straggler_fraction
@@ -57,23 +120,24 @@ class ChurnModel:
             self.stragglers = np.zeros(n_devices, dtype=bool)
         #: Per device: [(time, alive_after), ...] strictly increasing times.
         self.timelines: List[List[Tuple[float, bool]]] = [
-            self._timeline(rng) for _ in range(n_devices)
+            self._timeline(rng, leave[i], downtime[i])
+            for i in range(n_devices)
         ]
 
-    def _timeline(self, rng: np.random.Generator) -> List[Tuple[float, bool]]:
-        config = self.config
+    def _timeline(self, rng: np.random.Generator, leave_rate: float,
+                  mean_downtime: float) -> List[Tuple[float, bool]]:
         events: List[Tuple[float, bool]] = []
-        if config.leave_rate <= 0.0:
+        if leave_rate <= 0.0:
             return events
         t = 0.0
         while True:
-            t += float(rng.exponential(1.0 / config.leave_rate))
+            t += float(rng.exponential(1.0 / leave_rate))
             if t >= self.horizon:
                 return events
             events.append((t, False))
-            if config.mean_downtime <= 0.0:
+            if mean_downtime <= 0.0:
                 return events      # a permanent departure
-            t += float(rng.exponential(config.mean_downtime))
+            t += float(rng.exponential(mean_downtime))
             if t >= self.horizon:
                 return events
             events.append((t, True))

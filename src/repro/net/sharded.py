@@ -42,7 +42,7 @@ from __future__ import annotations
 import math
 from bisect import insort
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -132,6 +132,7 @@ class ShardedDeviceAgent(DeviceAgent):
         report_delay: float = 0.0,
         site_kernels: Optional[Sequence[CompiledMeanField]] = None,
         migrate: bool = True,
+        modulation: Optional[Callable[[float], float]] = None,
         recorder: Optional[Recorder] = None,
     ):
         super().__init__(
@@ -148,8 +149,14 @@ class ShardedDeviceAgent(DeviceAgent):
             heartbeat_interval=heartbeat_interval,
             report_delay=report_delay,
             kernel=None,
+            modulation=modulation,
             recorder=recorder,
         )
+        if modulation is not None and site_kernels is not None:
+            raise ValueError(
+                "modulation requires the scalar response path; pass "
+                "site_kernels=None (shared tables are stationary)"
+            )
         self.site_latencies = np.asarray(site_latencies, dtype=float)
         self.site_delay_models = list(site_delay_models)
         self.site_kernels = list(site_kernels) if site_kernels else None
@@ -231,16 +238,19 @@ class ShardedDeviceAgent(DeviceAgent):
             self.offload_rate = self.arrival_rate * \
                 kernel.user_alpha(self.address, level)
         else:
+            rate = self.instantaneous_rate()
+            intensity = rate / self.service_rate \
+                if self.modulation is not None else self.intensity
             surcharge = (self.site_delay_models[target](gamma)
                          + float(self.site_latencies[target])
                          + self.weight
                          * (self.energy_offload - self.energy_local))
             best = float(optimal_threshold_from_surcharge(
-                self.arrival_rate, self.intensity, surcharge,
+                rate, intensity, surcharge,
             ))
             self.threshold = best
-            self.offload_rate = self.arrival_rate * offload_probability(
-                best, self.intensity,
+            self.offload_rate = rate * offload_probability(
+                best, intensity,
             )
         self.reports_sent += 1
         self.transport.send(
@@ -516,6 +526,7 @@ def run_sharded_dtu(
     config: Optional[ShardedNetConfig] = None,
     recorder: Optional[Recorder] = None,
     compile_kernels: bool = True,
+    modulation: Optional[Callable[[float], float]] = None,
 ) -> ShardedDtuResult:
     """Run the sharded multi-edge protocol over ``system``'s deployment.
 
@@ -536,6 +547,11 @@ def run_sharded_dtu(
         Use the system's shared-table site kernels for device responses
         (``O(log M_n)`` probes, bit-identical to the scalar staircase
         searches run otherwise).
+    modulation:
+        Optional arrival-rate schedule ``m(t)`` (see
+        :mod:`repro.workload.schedule`): every device best-responds with
+        its instantaneous rate ``a_n·m(t)``. Forces the scalar response
+        path — the shared site tables are stationary.
     """
     config = config or ShardedNetConfig()
     obs = resolve_recorder(recorder)
@@ -554,7 +570,7 @@ def run_sharded_dtu(
                                  seed=churn_seed)
 
     site_kernels = None
-    if compile_kernels:
+    if compile_kernels and modulation is None:
         system.compile()
         site_kernels = system.kernels
 
@@ -581,6 +597,7 @@ def run_sharded_dtu(
             report_delay=report_delay,
             site_kernels=site_kernels,
             migrate=config.migrate,
+            modulation=modulation,
             recorder=recorder,
         ))
 

@@ -41,9 +41,11 @@ SCHEMA = "repro.bench/v1"
 
 #: Row fields that identify a case (in label order), not measure it.
 #: ``mode``/``batch`` come from ``BENCH_serve.json`` (open vs closed
-#: loop, devices per request) — different cases, not different values.
+#: loop, devices per request) — different cases, not different values;
+#: ``period``/``policy`` from ``BENCH_workload.json`` (schedule period,
+#: device policy).
 _CASE_FIELDS = ("workload", "scenario", "n_devices", "n_users", "n_sites",
-                "loss", "mode", "batch")
+                "loss", "mode", "batch", "period", "policy")
 
 #: Environment fields copied verbatim from the legacy top level.
 _ENV_FIELDS = ("repro_version", "python", "platform", "cpu_count", "quick")
@@ -57,14 +59,18 @@ def metric_direction(name: str) -> Optional[str]:
     """``"lower"``/``"higher"`` for performance fields, None for config.
 
     Timings (``*_seconds``) and latency percentiles (``p50`` / ``p99`` /
-    ``p999``, with or without a ``_seconds`` suffix) regress upward;
-    throughput, speedup, and efficiency ratios (``*speedup*``,
-    ``*_per_second``, ``*_efficiency``) regress downward.
+    ``p999``, with or without a ``_seconds`` suffix) regress upward, as
+    do equilibrium-tracking errors (``*_lag``, ``*_gap`` from
+    ``BENCH_workload.json``); throughput, speedup, and efficiency ratios
+    (``*speedup*``, ``*_per_second``, ``*_efficiency``) regress
+    downward.
     """
     if "speedup" in name or name.endswith("_per_second") \
             or name.endswith("_efficiency"):
         return "higher"
-    if name.endswith("_seconds") or _PERCENTILE.search(name) is not None:
+    if name.endswith("_seconds") or name.endswith("_lag") \
+            or name.endswith("_gap") \
+            or _PERCENTILE.search(name) is not None:
         return "lower"
     return None
 

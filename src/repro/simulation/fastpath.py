@@ -42,7 +42,7 @@ arrivals) must use ``backend="event"``.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -123,6 +123,8 @@ def simulate_devices_vectorized(
     rng: SeedLike = None,
     recorder: Optional[Recorder] = None,
     max_steps: Optional[int] = None,
+    modulation: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    modulation_bound: Optional[float] = None,
 ) -> List[DeviceStats]:
     """Simulate all devices at once; return per-device :class:`DeviceStats`.
 
@@ -138,6 +140,16 @@ def simulate_devices_vectorized(
     bit-identical results at any ``--jobs`` count. ``max_steps`` bounds the
     synchronized tick loop (a safety valve; the loop terminates almost
     surely after ~``R·horizon`` steps).
+
+    ``modulation`` makes the arrival processes *inhomogeneous* Poisson:
+    a vectorized schedule ``m(t)`` (see :mod:`repro.workload.schedule`)
+    evaluated at each device's own tick time scales its arrival rate to
+    ``a_i·m(t)``. This is time-dependent uniformization — thinning a
+    homogeneous clock at ``R = max_i a_i · sup m + max_i s_i`` — so an
+    explicit ``modulation_bound ≥ sup_t m(t)`` is required (exceeding it
+    at runtime is an error: the thinning probabilities would silently
+    saturate). ``modulation=None`` draws the exact rng sequence the
+    stationary path always drew.
     """
     config = config or MeasurementConfig()
     n = population.size
@@ -149,7 +161,17 @@ def simulate_devices_vectorized(
     service = population.service_rates
     horizon = float(config.horizon)
     warmup = float(config.warmup)
-    rate = float(arrival.max() + service.max())   # uniformization rate R
+    if modulation is not None:
+        if modulation_bound is None or not modulation_bound > 0:
+            raise ValueError(
+                "modulation requires modulation_bound > 0 with "
+                "modulation_bound >= sup_t m(t) (the uniformization rate "
+                "must dominate the peak arrival rate)"
+            )
+        bound = float(modulation_bound)
+        rate = float(arrival.max() * bound + service.max())
+    else:
+        rate = float(arrival.max() + service.max())   # uniformization rate R
     gen = as_generator(config.seed if rng is None else rng)
     is_dpo, floor, fraction, dpo_admit = _policy_arrays(policies)
 
@@ -189,9 +211,22 @@ def simulate_devices_vectorized(
                 break
             coins = gen.random((2, n))
             scaled = coins[0] * rate
-            arrival_event = fires & (scaled < arrival)
-            service_event = fires & (scaled >= arrival) \
-                & (scaled < arrival + service) & (queue > 0)
+            if modulation is None:
+                lam = arrival
+            else:
+                # Inhomogeneous thinning: λ_i(t) = a_i·m(t) at device i's
+                # own tick time. The factors must stay under the declared
+                # bound or the uniformized bands overflow R.
+                factors = np.asarray(modulation(tick), dtype=float)
+                if factors.max() > bound * (1.0 + 1e-12):
+                    raise ValueError(
+                        f"modulation exceeded its declared bound: "
+                        f"m(t)={factors.max():g} > {bound:g}"
+                    )
+                lam = arrival * factors
+            arrival_event = fires & (scaled < lam)
+            service_event = fires & (scaled >= lam) \
+                & (scaled < lam + service) & (queue > 0)
             # Admission probability given the pre-arrival queue (PASTA):
             # TRO admits below ⌊x⌋, coin-flips δ at ⌊x⌋, refuses above;
             # DPO ignores the queue entirely.

@@ -49,6 +49,10 @@ def pytest_configure(config):
         "markers",
         "serve: boots the wall-clock decision daemon "
         "(repro.serve over real threads and loopback HTTP)")
+    config.addinivalue_line(
+        "markers",
+        "workload: exercises the non-stationary workload subsystem "
+        "(repro.workload schedules, tracking, learning agents)")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -87,6 +87,40 @@ class TestCli:
         assert "wifi-mec-0" in out and "cloud-2" in out
         assert "migrations" in out
 
+    @pytest.mark.workload
+    def test_workload_subcommand(self, capsys):
+        assert main(["workload", "--users", "40",
+                     "--workload", "flash-crowd",
+                     "--max-rounds", "40", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "workload: flash-crowd" in out
+        assert "γ*(t)" in out          # the lag table header
+        assert "max lag" in out and "final gap" in out
+
+    @pytest.mark.workload
+    def test_workload_list_flag(self, capsys):
+        assert main(["workload", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "diurnal", "flash-crowd", "regional-churn"):
+            assert name in out
+
+    @pytest.mark.workload
+    def test_workload_analytic_with_learning_policy_flags(self, capsys):
+        assert main(["workload", "--users", "40", "--workload", "diurnal",
+                     "--analytic", "--steps", "30",
+                     "--checkpoint-every", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic tracker" in out
+        assert "retargets" in out
+
+    @pytest.mark.workload
+    def test_workload_learning_policy(self, capsys):
+        assert main(["workload", "--users", "30", "--workload", "steady",
+                     "--policy", "mwu", "--max-rounds", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "policy: mwu" in out
+        assert "final gap" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
