@@ -16,11 +16,21 @@ in practice the gap comes from replacing ``O(N·m_max)`` boolean-mask
 sweeps per evaluation with one ``O(N log m_max)`` batched binary search
 plus table gathers.
 
+Each row also times the PR's kernel levers in isolation: the lazy vs
+eager constructor (``lazy_build_speedup`` — the deferred probe layout +
+on-demand α/Q fill) and warm vs cold probes over a prebuilt kernel's full
+bisection trajectory (``warm_probe_speedup``). The full run appends one
+compiled-only frontier row at N = 10⁷ (``--no-large`` skips it) — the
+uncompiled sweep is infeasible there, which is the point.
+
 Standalone (the ``make bench-kernels`` target)::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py [--quick] [--output F]
 
 ``--quick`` caps the populations at 10⁴ (CI smoke; still writes JSON).
+``--smoke-1e6`` instead runs the shared-memory round-trip check (pickle
+by handle, process-worker ``V(γ)`` equality, no ``/dev/shm`` leak) used
+by the CI bench-regression job.
 Under ``pytest benchmarks/`` one reduced-scale measurement runs through
 the shared ``once`` fixture; the JSON artifact is only written by the
 standalone entry point.
@@ -49,6 +59,9 @@ VALUE_REPETITIONS = 3
 RUN_REPETITIONS = 2
 FULL_SIZES = (1_000, 10_000, 100_000, 1_000_000)
 QUICK_SIZES = (1_000, 10_000)
+#: The compiled-only frontier point: the uncompiled staircase sweep is
+#: infeasible here, so this row times the compiled path alone.
+LARGE_SIZE = 10_000_000
 
 
 def _time(func, *args, **kwargs):
@@ -93,12 +106,44 @@ def _measure_point(n_users: int, seed: int = 7) -> dict:
         VALUE_REPETITIONS, lambda: [kernel.value(g) for g in gammas])
     assert kernel_values == plain_values, "kernel broke V(γ) bit-identity"
 
+    # -- lever 2: lazy vs eager cold start ----------------------------
+    # Constructor-only timings: the lazy build defers the probe layout
+    # and every transcendental α/Q entry, which is what a caller that
+    # immediately probes one γ (or only gathers tables) actually pays.
+    from repro.core.kernels import CompiledMeanField
+
+    build_lazy_seconds, _ = _best_of(
+        VALUE_REPETITIONS,
+        lambda: CompiledMeanField(population, lazy_tables=True))
+    build_eager_seconds, _ = _best_of(
+        VALUE_REPETITIONS,
+        lambda: CompiledMeanField(population, lazy_tables=False))
+
+    # -- lever 3: warm-started probes on the γ grid -------------------
+    def _grid_warm():
+        probe = kernel.probe_state()
+        return [kernel.value(g, probe=probe) for g in gammas]
+
+    value_warm_seconds, warm_values = _best_of(
+        VALUE_REPETITIONS, _grid_warm)
+    assert warm_values == plain_values, "warm probe broke V(γ) bit-identity"
+
     # -- the consumers, end to end (compiled path re-builds inside) ---
     solve_plain_seconds, solve_plain = _best_of(
         RUN_REPETITIONS, solve_mfne, mean_field, compile_kernel=False)
     solve_compiled_seconds, solve_compiled = _best_of(
         RUN_REPETITIONS, solve_mfne, mean_field)
     assert solve_compiled.utilization == solve_plain.utilization
+
+    # Warm vs cold probes on the *prebuilt* kernel's full bisection
+    # trajectory — the regime the galloping warm start exists for
+    # (consecutive iterates move few users).
+    solve_warm_seconds, solve_warm = _best_of(
+        RUN_REPETITIONS, solve_mfne, kernel)
+    solve_cold_probe_seconds, solve_cold = _best_of(
+        RUN_REPETITIONS, solve_mfne, kernel, warm_probes=False)
+    assert solve_warm.history == solve_cold.history, \
+        "warm probes changed the solver trajectory"
 
     config = DtuConfig(seed=3)
     dtu_plain_seconds, dtu_plain = _best_of(
@@ -118,6 +163,15 @@ def _measure_point(n_users: int, seed: int = 7) -> dict:
         "value_plain_seconds": round(plain_seconds, 4),
         "value_compiled_seconds": round(compiled_seconds, 4),
         "value_speedup": round(plain_seconds / compiled_seconds, 2),
+        "value_warm_seconds": round(value_warm_seconds, 4),
+        "build_lazy_seconds": round(build_lazy_seconds, 4),
+        "build_eager_seconds": round(build_eager_seconds, 4),
+        "lazy_build_speedup": round(
+            build_eager_seconds / build_lazy_seconds, 2),
+        "solve_warm_seconds": round(solve_warm_seconds, 4),
+        "solve_cold_probe_seconds": round(solve_cold_probe_seconds, 4),
+        "warm_probe_speedup": round(
+            solve_cold_probe_seconds / solve_warm_seconds, 2),
         "solve_plain_seconds": round(solve_plain_seconds, 4),
         "solve_compiled_seconds": round(solve_compiled_seconds, 4),
         "solve_speedup": round(solve_plain_seconds / solve_compiled_seconds, 2),
@@ -130,31 +184,160 @@ def _measure_point(n_users: int, seed: int = 7) -> dict:
     }
 
 
-def _measure_point_isolated(n_users: int) -> dict:
-    """Run one measurement point in a fresh interpreter.
+def _measure_point_large(n_users: int = LARGE_SIZE, seed: int = 7) -> dict:
+    """The compiled-only frontier row: build + γ grid + warm-probe solve.
 
-    The N = 10⁶ kernels allocate ~0.5 GB; measuring several sizes in one
-    process lets heap fragmentation and page-cache state from earlier
-    points inflate later timings by tens of percent. A subprocess per
-    point keeps every row a clean-slate measurement.
+    The uncompiled staircase sweep is ``O(N·m_max)`` *per evaluation* —
+    hours at N = 10⁷ — so this row never runs it: it times what the PR's
+    three levers make feasible (one lazy fused build, 20 compiled
+    ``V(γ)`` evaluations, and a full MFNE solve with warm vs cold
+    probes). ``lazy_fill``/``probe_state`` mark the row as a distinct
+    case for the ``repro.obs.bench`` normalizer.
+    """
+    from repro.core.equilibrium import solve_mfne
+    from repro.core.kernels import CompiledMeanField
+    from repro.population.scenarios import build_scenario
+    from repro.population.sampler import sample_population
+
+    population = sample_population(
+        build_scenario("paper-theoretical"), n_users, rng=seed,
+    )
+    build_seconds, kernel = _time(
+        CompiledMeanField, population, lazy_tables=True)
+    kernel.value(0.0)  # first probe materialises the probe layout
+    gammas = [i / (N_EVALUATIONS - 1) for i in range(N_EVALUATIONS)]
+    value_seconds, cold_values = _time(
+        lambda: [kernel.value(g) for g in gammas])
+
+    def _grid_warm():
+        probe = kernel.probe_state()
+        return [kernel.value(g, probe=probe) for g in gammas]
+
+    value_warm_seconds, warm_values = _time(_grid_warm)
+    assert warm_values == cold_values, "warm probe broke V(γ) bit-identity"
+    solve_warm_seconds, solve_warm = _time(solve_mfne, kernel)
+    solve_cold_seconds, solve_cold = _time(
+        solve_mfne, kernel, warm_probes=False)
+    assert solve_warm.history == solve_cold.history, \
+        "warm probes changed the solver trajectory"
+    return {
+        "n_users": n_users,
+        "lazy_fill": True,
+        "probe_state": True,
+        "compiled_only": True,
+        "max_threshold": kernel.stats.max_threshold,
+        "breakpoints_total": kernel.stats.breakpoints_total,
+        "kernel_bytes": kernel.stats.bytes,
+        "build_seconds": round(build_seconds, 4),
+        "value_evaluations": N_EVALUATIONS,
+        "value_compiled_seconds": round(value_seconds, 4),
+        "value_warm_seconds": round(value_warm_seconds, 4),
+        "solve_warm_seconds": round(solve_warm_seconds, 4),
+        "solve_cold_probe_seconds": round(solve_cold_seconds, 4),
+        "warm_probe_speedup": round(
+            solve_cold_seconds / solve_warm_seconds, 2),
+        "solve_iterations": solve_warm.iterations,
+        "gamma_star": round(solve_warm.utilization, 6),
+    }
+
+
+def _run_isolated(argv: list) -> dict:
+    """Run one measurement in a fresh interpreter; parse its JSON stdout.
+
+    The N = 10⁶⁺ kernels allocate hundreds of MB; measuring several
+    sizes in one process lets heap fragmentation and page-cache state
+    from earlier points inflate later timings by tens of percent. A
+    subprocess per point keeps every row a clean-slate measurement.
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     out = subprocess.run(
-        [sys.executable, str(Path(__file__).resolve()), "--point",
-         str(n_users)],
+        [sys.executable, str(Path(__file__).resolve()), *argv],
         check=True, capture_output=True, text=True, env=env,
     )
     return json.loads(out.stdout)
 
 
-def run_benchmark(quick: bool = False, isolate: bool = False) -> dict:
+def _measure_point_isolated(n_users: int) -> dict:
+    return _run_isolated(["--point", str(n_users)])
+
+
+def smoke_1e6(n_users: int = 1_000_000) -> dict:
+    """CI smoke for the shared-memory kernel path at N = 10⁶.
+
+    Builds a lazy kernel, moves it into shared memory, round-trips it
+    through a pickle *and* a process worker, checks the worker's ``V(γ)``
+    equals the in-process value bit-for-bit, and verifies no ``/dev/shm``
+    segment survives collection. Raises on any failure.
+    """
+    import gc
+    import multiprocessing
+
+    from repro.core.kernels import CompiledMeanField
+    from repro.population.scenarios import build_scenario
+    from repro.population.sampler import sample_population
+
+    def _segments() -> set:
+        # Only Python shared_memory segments (psm_*): the worker pool's
+        # own semaphores (sem.mp-*) come and go with it and are not ours.
+        if not os.path.isdir("/dev/shm"):
+            return set()
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+
+    leftovers_before = _segments()
+    population = sample_population(
+        build_scenario("paper-theoretical"), n_users, rng=7,
+    )
+    build_seconds, kernel = _time(
+        CompiledMeanField, population, lazy_tables=True)
+    local_value = kernel.value(0.5)
+    share_seconds, shared = _time(kernel.share_memory)
+    import pickle
+
+    payload = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+    clone = pickle.loads(payload)
+    assert clone.value(0.5) == local_value, \
+        "pickle round-trip changed V(0.5)"
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        worker_value = pool.apply(_worker_value, (kernel, 0.5))
+    assert worker_value == local_value, \
+        "process worker disagreed with the in-process V(0.5)"
+    segment = kernel.shared_memory_name
+    # The population holds the pack too (share_memory rebacks its arrays)
+    # — every referent must drop before the creator's finalizer unlinks.
+    del clone, shared, kernel, population
+    gc.collect()
+    leaked = _segments() - leftovers_before
+    assert not leaked, f"/dev/shm leaked segments: {sorted(leaked)}"
+    return {
+        "n_users": n_users,
+        "build_seconds": round(build_seconds, 4),
+        "share_seconds": round(share_seconds, 4),
+        "pickle_bytes": len(payload),
+        "segment": segment,
+        "worker_value_identical": True,
+        "shm_clean": True,
+    }
+
+
+def _worker_value(kernel, gamma: float) -> float:
+    """Module-level worker target (spawn context pickles by name)."""
+    return kernel.value(gamma)
+
+
+def run_benchmark(quick: bool = False, isolate: bool = False,
+                  large: bool = False) -> dict:
     from repro import __version__
 
     sizes = QUICK_SIZES if quick else FULL_SIZES
     measure = _measure_point_isolated if isolate else _measure_point
     points = [measure(n) for n in sizes]
+    if large and not quick:
+        points.append(
+            _run_isolated(["--point-large", str(LARGE_SIZE)])
+            if isolate else _measure_point_large(LARGE_SIZE))
     return {
         "benchmark": "repro.core.kernels — compiled vs uncompiled V(γ)",
         "repro_version": __version__,
@@ -166,6 +349,8 @@ def run_benchmark(quick: bool = False, isolate: bool = False) -> dict:
                      "scenario": "paper-theoretical",
                      "value_timings_use_prebuilt_kernel": True,
                      "solve_dtu_timings_include_build": True,
+                     "warm_probe_timings_use_prebuilt_kernel": True,
+                     "build_lazy_eager_are_constructor_only": True,
                      "value_repetitions_best_of": VALUE_REPETITIONS,
                      "run_repetitions_best_of": RUN_REPETITIONS,
                      "process_per_point": isolate},
@@ -182,19 +367,43 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_kernels.json")
     parser.add_argument("--point", type=int, metavar="N",
                         help=argparse.SUPPRESS)  # subprocess worker mode
+    parser.add_argument("--point-large", type=int, metavar="N",
+                        help=argparse.SUPPRESS)  # compiled-only worker mode
+    parser.add_argument("--smoke-1e6", action="store_true",
+                        help="shared-memory round-trip smoke at N=1e6 "
+                             "(no JSON artifact; exits non-zero on any "
+                             "mismatch or /dev/shm leak)")
+    parser.add_argument("--no-large", action="store_true",
+                        help="skip the compiled-only N=1e7 frontier point")
     args = parser.parse_args(argv)
     if args.point is not None:
         print(json.dumps(_measure_point(args.point)))
         return 0
-    report = run_benchmark(quick=args.quick, isolate=True)
+    if args.point_large is not None:
+        print(json.dumps(_measure_point_large(args.point_large)))
+        return 0
+    if args.smoke_1e6:
+        result = smoke_1e6()
+        print(json.dumps(result, indent=2))
+        return 0
+    report = run_benchmark(quick=args.quick, isolate=True,
+                           large=not args.no_large)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     for point in report["points"]:
-        print(f"N={point['n_users']:>9,}  "
+        if point.get("compiled_only"):
+            print(f"N={point['n_users']:>10,}  compiled-only  "
+                  f"value {point['value_compiled_seconds']:7.3f}s  "
+                  f"warm-probe {point['warm_probe_speedup']:4.1f}x  "
+                  f"build {point['build_seconds']:6.3f}s")
+            continue
+        print(f"N={point['n_users']:>10,}  "
               f"value {point['value_plain_seconds']:8.3f}s → "
               f"{point['value_compiled_seconds']:7.3f}s "
               f"({point['value_speedup']:6.1f}x)  "
               f"solve {point['solve_speedup']:5.1f}x  "
               f"dtu {point['dtu_speedup']:5.1f}x  "
+              f"lazy-build {point['lazy_build_speedup']:5.1f}x  "
+              f"warm-probe {point['warm_probe_speedup']:4.1f}x  "
               f"build {point['build_seconds']:6.3f}s")
     print(f"\nwrote {args.output}")
     return 0

@@ -40,6 +40,19 @@ class MfneResult:
         return self.utilization
 
 
+def _evaluate(mean_field: MeanFieldMap, gamma: float, probe) -> float:
+    """``V(γ)``, threading a warm-start probe when the map supports one.
+
+    ``probe`` is whatever ``mean_field.probe_state()`` returned — ``None``
+    for uncompiled maps and subclasses that do not opt in, in which case
+    the plain ``value`` signature is used so custom overrides keep
+    working.
+    """
+    if probe is None:
+        return mean_field.value(gamma)
+    return mean_field.value(gamma, probe=probe)
+
+
 def solve_mfne(
     mean_field: MeanFieldMap,
     tolerance: float = 1e-10,
@@ -48,6 +61,7 @@ def solve_mfne(
     damping: float = 0.5,
     recorder: Optional[Recorder] = None,
     compile_kernel: bool = True,
+    warm_probes: bool = True,
 ) -> MfneResult:
     """Solve ``V(γ) = γ`` for the unique MFNE of Theorem 1.
 
@@ -71,16 +85,29 @@ def solve_mfne(
         plain :class:`MeanFieldMap` is compiled — already-compiled kernels
         are reused as-is and subclasses with their own best-response
         semantics are left untouched.
+    warm_probes:
+        Seed each compiled threshold probe from the previous iterate's
+        counts (:meth:`repro.core.kernels.CompiledMeanField.probe_state`).
+        Consecutive solver iterates move few users, so warm probes gallop
+        in near-``O(N)``; the probe evaluates the same maximal-count
+        predicate, so the visited trajectory is bit-identical to cold
+        probes (pinned by the test suite). Maps without probe support
+        ignore this.
     """
     check_positive("tolerance", tolerance)
     check_int_positive("max_iterations", max_iterations)
     if compile_kernel and type(mean_field) is MeanFieldMap:
         mean_field = mean_field.compile()
+    # getattr: duck-typed stand-ins only need to provide ``value``.
+    probe_state = getattr(mean_field, "probe_state", None)
+    probe = probe_state() if (warm_probes and probe_state is not None) else None
     obs = resolve_recorder(recorder)
     if method == "bisection":
-        result = _solve_bisection(mean_field, tolerance, max_iterations, obs)
+        result = _solve_bisection(mean_field, tolerance, max_iterations, obs,
+                                  probe)
     elif method == "damped":
-        result = _solve_damped(mean_field, tolerance, max_iterations, damping, obs)
+        result = _solve_damped(mean_field, tolerance, max_iterations, damping,
+                               obs, probe)
     else:
         raise ValueError(f"unknown method {method!r}; use 'bisection' or 'damped'")
     if obs.enabled:
@@ -93,23 +120,23 @@ def solve_mfne(
 
 def _solve_bisection(
     mean_field: MeanFieldMap, tolerance: float, max_iterations: int,
-    obs: Recorder,
+    obs: Recorder, probe=None,
 ) -> MfneResult:
     history: List[float] = []
-    v0 = mean_field.value(0.0)
+    v0 = _evaluate(mean_field, 0.0, probe)
     history.append(0.0)
     if v0 <= tolerance:
         # Nobody offloads even at an idle edge; the equilibrium is γ* = v0
         # (0 up to tolerance). The paper's setting has γ* ∈ (0, 1) because
         # some users always offload, but the solver handles the corner.
-        value_v0 = mean_field.value(v0)
+        value_v0 = _evaluate(mean_field, v0, probe)
         return MfneResult(
             utilization=v0, value=value_v0,
             residual=abs(value_v0 - v0), iterations=1,
             converged=True, method="bisection", history=tuple(history),
         )
     low, high = 0.0, 1.0
-    v_high = mean_field.value(1.0)
+    v_high = _evaluate(mean_field, 1.0, probe)
     if v_high >= 1.0:
         raise ArithmeticError(
             "V(1) >= 1: the model violates A_max < c and has no interior MFNE"
@@ -119,7 +146,7 @@ def _solve_bisection(
     while high - low > tolerance and iterations < max_iterations:
         mid = 0.5 * (low + high)
         history.append(mid)
-        value_mid = mean_field.value(mid)
+        value_mid = _evaluate(mean_field, mid, probe)
         if value_mid > mid:
             low = mid
         else:
@@ -131,7 +158,7 @@ def _solve_bisection(
                       value=value_mid, low=low, high=high,
                       bracket=high - low)
     gamma = 0.5 * (low + high)
-    value = mean_field.value(gamma)
+    value = _evaluate(mean_field, gamma, probe)
     return MfneResult(
         utilization=gamma,
         value=value,
@@ -149,6 +176,7 @@ def _solve_damped(
     max_iterations: int,
     damping: float,
     obs: Recorder,
+    probe=None,
 ) -> MfneResult:
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
@@ -158,7 +186,7 @@ def _solve_damped(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        value = mean_field.value(gamma)
+        value = _evaluate(mean_field, gamma, probe)
         new_gamma = (1.0 - damping) * gamma + damping * value
         history.append(new_gamma)
         if tracing:
@@ -171,7 +199,7 @@ def _solve_damped(
             converged = True
             break
         gamma = new_gamma
-    value = mean_field.value(gamma)
+    value = _evaluate(mean_field, gamma, probe)
     return MfneResult(
         utilization=gamma,
         value=value,

@@ -527,6 +527,7 @@ def run_sharded_dtu(
     recorder: Optional[Recorder] = None,
     compile_kernels: bool = True,
     modulation: Optional[Callable[[float], float]] = None,
+    share_memory: bool = False,
 ) -> ShardedDtuResult:
     """Run the sharded multi-edge protocol over ``system``'s deployment.
 
@@ -552,6 +553,11 @@ def run_sharded_dtu(
         :mod:`repro.workload.schedule`): every device best-responds with
         its instantaneous rate ``a_n·m(t)``. Forces the scalar response
         path — the shared site tables are stationary.
+    share_memory:
+        Back the compiled site kernels with one shared-memory table image
+        (``system.compile(share_memory=True)``) so a multi-process host
+        can hand the kernels to workers by handle. No effect on the
+        single-process run itself — responses are bit-identical.
     """
     config = config or ShardedNetConfig()
     obs = resolve_recorder(recorder)
@@ -571,7 +577,7 @@ def run_sharded_dtu(
 
     site_kernels = None
     if compile_kernels and modulation is None:
-        system.compile()
+        system.compile(share_memory=share_memory)
         site_kernels = system.kernels
 
     initial = np.full(n_sites, config.initial_estimate)

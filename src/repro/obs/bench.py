@@ -44,8 +44,11 @@ SCHEMA = "repro.bench/v1"
 #: loop, devices per request) — different cases, not different values;
 #: ``period``/``policy`` from ``BENCH_workload.json`` (schedule period,
 #: device policy).
+#: ``lazy_fill``/``probe_state`` from ``BENCH_kernels.json`` (which of
+#: the kernel's deferred-build/warm-probe levers a row exercises).
 _CASE_FIELDS = ("workload", "scenario", "n_devices", "n_users", "n_sites",
-                "loss", "mode", "batch", "period", "policy")
+                "loss", "mode", "batch", "period", "policy",
+                "lazy_fill", "probe_state")
 
 #: Environment fields copied verbatim from the legacy top level.
 _ENV_FIELDS = ("repro_version", "python", "platform", "cpu_count", "quick")
@@ -61,15 +64,16 @@ def metric_direction(name: str) -> Optional[str]:
     Timings (``*_seconds``) and latency percentiles (``p50`` / ``p99`` /
     ``p999``, with or without a ``_seconds`` suffix) regress upward, as
     do equilibrium-tracking errors (``*_lag``, ``*_gap`` from
-    ``BENCH_workload.json``); throughput, speedup, and efficiency ratios
-    (``*speedup*``, ``*_per_second``, ``*_efficiency``) regress
-    downward.
+    ``BENCH_workload.json``) and shipped-payload sizes (``*_bytes``,
+    e.g. per-task pickle bytes from ``BENCH_runtime.json``); throughput,
+    speedup, and efficiency ratios (``*speedup*``, ``*_per_second``,
+    ``*_efficiency``) regress downward.
     """
     if "speedup" in name or name.endswith("_per_second") \
             or name.endswith("_efficiency"):
         return "higher"
     if name.endswith("_seconds") or name.endswith("_lag") \
-            or name.endswith("_gap") \
+            or name.endswith("_gap") or name.endswith("_bytes") \
             or _PERCENTILE.search(name) is not None:
         return "lower"
     return None

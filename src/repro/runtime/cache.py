@@ -21,7 +21,6 @@ corrupt or unreadable entry degrades to a cache miss.
 
 from __future__ import annotations
 
-import io
 import json
 import os
 import pickle
@@ -92,12 +91,27 @@ class ResultCache:
         return True, value
 
     def put(self, key: str, value: Any, document: Optional[str] = None) -> None:
-        """Store ``value`` under ``key`` atomically (last writer wins)."""
+        """Store ``value`` under ``key`` atomically (last writer wins).
+
+        The pickle streams straight into the temp file — no intermediate
+        ``io.BytesIO`` holding a second full copy of a multi-gigabyte
+        result in memory before the atomic rename.
+        """
         path = self._value_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        buffer = io.BytesIO()
-        pickle.dump(value, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-        self._atomic_write(path, buffer.getvalue())
+        handle = tempfile.NamedTemporaryFile(
+            dir=str(path.parent), prefix=".tmp-", delete=False,
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
         if document is not None:
             sidecar = json.dumps(
                 {"key": key, "document": json.loads(document)}, indent=2,

@@ -12,7 +12,10 @@ JSON-serialisable tree with a stable, order-independent encoding:
   megabytes of JSON);
 * dataclasses and plain objects are encoded as ``{"__type__": ..., fields}``
   so two configs of different classes with the same field values cannot
-  collide;
+  collide; objects may override this by defining ``__canonical__()``
+  returning their value identity as a canonicalizable tree (used by
+  shared-memory backed kernels/populations, whose raw ``__dict__`` holds
+  derived tables and memoryviews);
 * :class:`numpy.random.SeedSequence` is encoded by its entropy + spawn key —
   exactly the quantities that determine the stream.
 
@@ -71,6 +74,13 @@ def canonicalize(obj: Any) -> Any:
         return out
     if isinstance(obj, (list, tuple)):
         return [canonicalize(item) for item in obj]
+    hook = getattr(type(obj), "__canonical__", None)
+    if hook is not None:
+        # Objects with derived or non-encodable state (shared-memory
+        # backed kernels/populations, whose __dict__ drags in megabytes
+        # of tables and raw memoryviews) declare their value identity
+        # explicitly; the returned tree is canonicalized recursively.
+        return canonicalize(hook(obj))
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         fields = {
             f.name: canonicalize(getattr(obj, f.name))

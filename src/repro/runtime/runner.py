@@ -30,6 +30,7 @@ through the ambient :mod:`repro.obs` recorder.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import threading
 import time
 import traceback
@@ -89,6 +90,7 @@ class _Pending:
     key: Optional[str]
     document: Optional[str]
     attempt: int = 1
+    spec_bytes: Optional[int] = None
 
 
 class _ProcessWorker:
@@ -199,6 +201,13 @@ class TaskRunner:
         A :class:`ResultCache` (or a directory path for one).
     recorder:
         Explicit :mod:`repro.obs` recorder; defaults to the ambient one.
+    measure_bytes:
+        Record ``len(pickle.dumps(spec))`` on each result as
+        ``spec_bytes`` — the payload a process worker would receive.
+        Off by default: serialising a spec that carries a 10⁷-user
+        population just to weigh it costs more than running the task.
+        The fork start method never pickles the spec, so this is a
+        what-would-ship measurement, identical across backends.
     """
 
     def __init__(
@@ -209,6 +218,7 @@ class TaskRunner:
         retries: int = 1,
         cache: Optional[Any] = None,
         recorder: Optional[Recorder] = None,
+        measure_bytes: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -227,6 +237,7 @@ class TaskRunner:
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
+        self.measure_bytes = measure_bytes
         self._recorder = recorder
 
     # ---------------------------------------------------------------- run --
@@ -257,7 +268,15 @@ class TaskRunner:
                 if obs.enabled:
                     obs.count("runtime.cache_misses")
                     obs.event("cache.miss", task=spec.label, key=key[:16])
-            pending.append(_Pending(index, spec, key, document))
+            spec_bytes = None
+            if self.measure_bytes:
+                spec_bytes = len(
+                    pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                if obs.enabled:
+                    obs.observe("runtime.task_spec_bytes", spec_bytes)
+            pending.append(_Pending(index, spec, key, document,
+                                    spec_bytes=spec_bytes))
             if obs.enabled:
                 obs.count("runtime.tasks_scheduled")
                 obs.event("task.scheduled", task=spec.label, index=index,
@@ -350,6 +369,7 @@ class TaskRunner:
         results[item.index] = TaskResult(
             index=item.index, name=item.spec.label, value=value,
             attempts=item.attempt, seconds=elapsed, key=item.key,
+            spec_bytes=item.spec_bytes,
         )
         if obs.enabled:
             obs.count("runtime.tasks_completed")
@@ -367,12 +387,13 @@ class TaskRunner:
                           failure=failure.kind, message=failure.message)
             pending.append(_Pending(
                 item.index, item.spec, item.key, item.document,
-                attempt=item.attempt + 1,
+                attempt=item.attempt + 1, spec_bytes=item.spec_bytes,
             ))
             return
         results[item.index] = TaskResult(
             index=item.index, name=item.spec.label, error=failure,
             attempts=item.attempt, key=item.key,
+            spec_bytes=item.spec_bytes,
         )
         if obs.enabled:
             obs.count("runtime.tasks_failed")

@@ -1,0 +1,178 @@
+"""Zero-copy array sharing across processes.
+
+:class:`SharedArrayPack` lays a set of named numpy arrays into a single
+``multiprocessing.shared_memory`` segment and exposes them as zero-copy
+views. Pickling a pack ships only its *handle* (segment name + layout,
+a few hundred bytes), and unpickling reattaches to the same physical
+pages — so a ``TaskRunner`` process worker that receives a pack-backed
+kernel or population references the creator's table image instead of
+copying hundreds of megabytes per task.
+
+Lifetime rules (the part that keeps ``/dev/shm`` clean):
+
+* The *creating* process owns the segment. A ``weakref.finalize`` on the
+  pack unlinks it when the pack is garbage collected or the interpreter
+  exits — whichever comes first — so segments never outlive the run,
+  even on an unhandled exception.
+* Attached processes (workers) never unlink; their finalizer only closes
+  the local mapping. On Python < 3.13 the stdlib ``resource_tracker``
+  would otherwise unlink the segment when the *worker* exits (a known
+  stdlib sharp edge); attaching therefore unregisters the segment from
+  the worker-side tracker.
+* Unlinking is decoupled from closing: ``close()`` raises
+  ``BufferError`` while numpy views still export the buffer, but
+  ``unlink()`` works regardless, and the mapping itself dies with the
+  process. The finalizer unlinks first and treats a failed close as
+  best-effort.
+* A pack object inherited through ``fork`` is *not* the owner: the
+  finalizer compares PIDs so a worker exiting never unlinks the parent's
+  segment.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArrayPack"]
+
+#: Cache-line alignment for each array's offset inside the segment.
+_ALIGN = 64
+
+#: One entry per array: (name, dtype.str, shape, byte offset).
+Layout = Sequence[Tuple[str, str, Tuple[int, ...], int]]
+
+
+def _finalize(shm: shared_memory.SharedMemory, owner_pid: int) -> None:
+    """Unlink (owner only) and close a segment, best-effort.
+
+    Runs from ``weakref.finalize`` — at GC or interpreter exit — so it
+    must never raise. Fork children inherit the pack and its finalizer;
+    the PID guard keeps them from unlinking the parent's segment.
+    """
+    if owner_pid == os.getpid():
+        try:
+            # Same-process attaches (a pickle round-trip in the creator)
+            # may have unregistered the name via _untrack; re-register so
+            # unlink()'s own unregister always finds an entry instead of
+            # tripping a KeyError traceback in the tracker daemon.
+            from multiprocessing import resource_tracker
+            resource_tracker.register(getattr(shm, "_name", shm.name),
+                                      "shared_memory")
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    try:
+        shm.close()
+    except BufferError:
+        # Numpy views still export the buffer (interpreter teardown
+        # order is arbitrary); the mapping dies with the process.
+        pass
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Stop this process's resource tracker from unlinking ``shm``.
+
+    Attach-side only. Python 3.13 grew ``SharedMemory(track=False)``;
+    on older interpreters the tracker registers every attach and then
+    unlinks the segment when *this* process exits, which would tear the
+    creator's segment out from under it.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(getattr(shm, "_name", shm.name),
+                                    "shared_memory")
+    except Exception:  # pragma: no cover - platform-dependent bookkeeping
+        pass
+
+
+def _attach_pack(name: str, layout: Layout) -> "SharedArrayPack":
+    """Unpickle target: reattach to an existing segment by handle."""
+    return SharedArrayPack.attach(name, layout)
+
+
+class SharedArrayPack:
+    """Named numpy arrays backed by one shared-memory segment.
+
+    Parameters
+    ----------
+    arrays:
+        Mapping of name → array. Each is copied once into the segment
+        (C-contiguous); ``views[name]`` is then a zero-copy ndarray over
+        the shared pages.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        layout = []
+        offset = 0
+        contiguous = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = -(-offset // _ALIGN) * _ALIGN
+            layout.append((str(name), array.dtype.str,
+                           tuple(array.shape), offset))
+            contiguous[name] = array
+            offset += array.nbytes
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(offset, 1))
+        self.name = self._shm.name
+        self.layout: Layout = tuple(layout)
+        self.owner = True
+        self.views: Dict[str, np.ndarray] = self._map_views()
+        for name, array in contiguous.items():
+            self.views[name][...] = array
+        self._finalizer = weakref.finalize(self, _finalize, self._shm,
+                                           os.getpid())
+
+    @classmethod
+    def attach(cls, name: str, layout: Layout) -> "SharedArrayPack":
+        """A pack over an existing segment (does not own its lifetime)."""
+        pack = cls.__new__(cls)
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track kwarg
+            shm = shared_memory.SharedMemory(name=name)
+            _untrack(shm)
+        pack._shm = shm
+        pack.name = name
+        pack.layout = tuple(tuple(entry) for entry in layout)
+        pack.owner = False
+        pack.views = pack._map_views()
+        pack._finalizer = weakref.finalize(pack, _finalize, shm, -1)
+        return pack
+
+    def _map_views(self) -> Dict[str, np.ndarray]:
+        views = {}
+        for name, dtype, shape, offset in self.layout:
+            views[name] = np.ndarray(shape, dtype=np.dtype(dtype),
+                                     buffer=self._shm.buf, offset=offset)
+        return views
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment in bytes."""
+        return self._shm.size
+
+    def release(self) -> None:
+        """Unlink (if owner) and close now instead of at GC/exit.
+
+        Any live views over the segment keep the mapping valid in this
+        process until they are garbage collected; the *name* is removed
+        immediately, so no new attaches can occur and nothing leaks.
+        """
+        self._finalizer()
+
+    def __reduce__(self):
+        return (_attach_pack, (self.name, self.layout))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SharedArrayPack(name={self.name!r}, "
+                f"arrays={len(self.layout)}, nbytes={self.nbytes}, "
+                f"owner={self.owner})")

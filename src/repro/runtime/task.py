@@ -104,6 +104,12 @@ class TaskResult:
     seconds: float = 0.0
     cache_hit: bool = False
     key: Optional[str] = None
+    #: Pickled size of the spec shipped to a worker, when the runner was
+    #: asked to measure it (``TaskRunner(measure_bytes=True)``); ``None``
+    #: otherwise. Shared-memory backed populations/kernels pickle by
+    #: handle, so this is the number that shrinks from megabytes to a few
+    #: hundred bytes under zero-copy sharing.
+    spec_bytes: Optional[int] = None
 
     @property
     def ok(self) -> bool:

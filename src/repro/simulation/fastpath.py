@@ -184,6 +184,29 @@ def simulate_devices_vectorized(
     offloaded = np.zeros(n, dtype=np.int64)
     completed = np.zeros(n, dtype=np.int64)
 
+    # The tick loop runs ~R·horizon times; at N = 10⁶⁺ devices every
+    # throwaway N-element temporary costs more than the arithmetic it
+    # carries. All per-tick arrays live in these preallocated buffers and
+    # are filled with `out=` ufunc calls — the draws, the operations, and
+    # their order are unchanged, so every accumulated float (and the rng
+    # stream) is bit-identical to the allocating loop this replaces.
+    stationary_band = arrival + service   # λ + s, fixed unless modulated
+    tick = np.empty(n)
+    segment = np.empty(n)
+    lower = np.empty(n)
+    scratch = np.empty(n)
+    coins = np.empty((2, n))
+    scaled = np.empty(n)
+    admit_prob = np.empty(n)
+    busy = np.empty(n, dtype=bool)
+    active = np.empty(n, dtype=bool)
+    fires = np.empty(n, dtype=bool)
+    arrival_event = np.empty(n, dtype=bool)
+    service_event = np.empty(n, dtype=bool)
+    admit_event = np.empty(n, dtype=bool)
+    offload_event = np.empty(n, dtype=bool)
+    observed = np.empty(n, dtype=bool)
+
     obs = resolve_recorder(recorder)
     steps = 0
     with obs.timer("fastpath.seconds"):
@@ -198,21 +221,28 @@ def simulate_devices_vectorized(
             # One synchronized tick: state `queue` holds for Exp(R) on every
             # still-running device, then one uniformized transition fires.
             holding = gen.exponential(1.0 / rate, size=n)
-            tick = clock + holding
-            active = clock < horizon
-            segment = (np.minimum(tick, horizon)
-                       - np.maximum(clock, warmup)).clip(min=0.0)
+            np.add(clock, holding, out=tick)
+            np.less(clock, horizon, out=active)
+            np.minimum(tick, horizon, out=segment)
+            np.maximum(clock, warmup, out=lower)
+            segment -= lower
+            np.clip(segment, 0.0, None, out=segment)
             segment *= active
-            queue_area += queue * segment
-            busy_time += (queue > 0) * segment
+            np.greater(queue, 0, out=busy)
+            np.multiply(queue, segment, out=scratch)
+            queue_area += scratch
+            np.multiply(busy, segment, out=scratch)
+            busy_time += scratch
 
-            fires = active & (tick < horizon)
+            np.less(tick, horizon, out=fires)
+            fires &= active
             if not fires.any():
                 break
-            coins = gen.random((2, n))
-            scaled = coins[0] * rate
+            gen.random(out=coins)
+            np.multiply(coins[0], rate, out=scaled)
             if modulation is None:
                 lam = arrival
+                band = stationary_band
             else:
                 # Inhomogeneous thinning: λ_i(t) = a_i·m(t) at device i's
                 # own tick time. The factors must stay under the declared
@@ -224,27 +254,38 @@ def simulate_devices_vectorized(
                         f"m(t)={factors.max():g} > {bound:g}"
                     )
                 lam = arrival * factors
-            arrival_event = fires & (scaled < lam)
-            service_event = fires & (scaled >= lam) \
-                & (scaled < lam + service) & (queue > 0)
+                band = lam + service
+            np.less(scaled, lam, out=arrival_event)
+            arrival_event &= fires
+            # service band: λ ≤ u·R < λ + s, queue busy.
+            np.less(scaled, band, out=service_event)
+            service_event &= ~arrival_event
+            service_event &= fires
+            service_event &= busy
             # Admission probability given the pre-arrival queue (PASTA):
             # TRO admits below ⌊x⌋, coin-flips δ at ⌊x⌋, refuses above;
-            # DPO ignores the queue entirely.
-            admit_prob = np.where(
-                is_dpo, dpo_admit,
-                np.where(queue < floor, 1.0,
-                         np.where(queue == floor, fraction, 0.0)),
-            )
-            admit_event = arrival_event & (coins[1] < admit_prob)
+            # DPO ignores the queue entirely. Disjoint masked writes give
+            # the same floats as the nested np.where this replaces.
+            admit_prob[:] = 0.0
+            np.copyto(admit_prob, fraction, where=(queue == floor))
+            np.copyto(admit_prob, 1.0, where=(queue < floor))
+            np.copyto(admit_prob, dpo_admit, where=is_dpo)
+            np.less(coins[1], admit_prob, out=admit_event)
+            admit_event &= arrival_event
 
-            observed = tick >= warmup
-            arrivals += arrival_event & observed
-            admitted += admit_event & observed
-            offloaded += (arrival_event & ~admit_event) & observed
-            completed += service_event & observed
+            np.greater_equal(tick, warmup, out=observed)
+            np.logical_and(arrival_event, ~admit_event, out=offload_event)
+            arrival_event &= observed
+            admit_event_obs = admit_event & observed
+            offload_event &= observed
+            service_event_obs = service_event & observed
+            arrivals += arrival_event
+            admitted += admit_event_obs
+            offloaded += offload_event
+            completed += service_event_obs
             queue += admit_event
             queue -= service_event
-            clock = tick
+            clock, tick = tick, clock
 
     if obs.enabled:
         obs.count("fastpath.runs")

@@ -7,6 +7,8 @@ boundary ties ``U == f(m|θ)`` — so that compiling is purely a speed
 choice and never changes a published number.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -239,6 +241,7 @@ class TestKernelMechanics:
         """Spot-check stored f(m|θ) against a scalar replay of the
         incremental recurrence — same floats, not just close ones."""
         kernel = compile_mean_field(small_population, PAPER_DELAY_MODEL)
+        kernel.materialize()      # lazy builds defer the breakpoint image
         for index in range(0, small_population.size, 97):
             m_max = int(kernel._max_thresholds[index])
             if m_max == 0:
@@ -321,3 +324,175 @@ class TestSolverIntegration:
             mean_field.user_costs(0.3, thresholds))
         assert kernel.average_cost(0.3, thresholds) == \
             mean_field.average_cost(0.3, thresholds)
+
+
+# --- module-level worker target (the fork child below needs an importable
+# --- name; the payload itself travels as explicit pickle bytes).
+
+def _child_reattach_value(payload, gamma, conn):
+    import pickle as _pickle
+
+    kernel = _pickle.loads(payload)
+    conn.send((kernel.value(gamma), kernel.shared_memory_name))
+    conn.close()
+
+
+class TestLazyTables:
+    """Lever 2: deferred probe layout + on-demand α/Q fill, byte-equal."""
+
+    def test_lazy_matches_eager_byte_equal(self, small_population):
+        lazy = CompiledMeanField(small_population, lazy_tables=True)
+        eager = CompiledMeanField(small_population, lazy_tables=False)
+        # Gather through the lazy kernel in an arbitrary order first.
+        for gamma in (0.7, 0.0, 0.3):
+            assert lazy.value(gamma) == eager.value(gamma)
+        lazy.materialize()
+        np.testing.assert_array_equal(lazy._alpha_table, eager._alpha_table)
+        assert lazy._alpha_table.tobytes() == eager._alpha_table.tobytes()
+        assert lazy._queue_table.tobytes() == eager._queue_table.tobytes()
+        assert lazy._breakpoints.tobytes() == eager._breakpoints.tobytes()
+
+    def test_materialize_before_any_gather_byte_equal(self, small_population):
+        lazy = CompiledMeanField(small_population, lazy_tables=True)
+        eager = CompiledMeanField(small_population, lazy_tables=False)
+        lazy.materialize()
+        assert lazy._alpha_table.tobytes() == eager._alpha_table.tobytes()
+        assert lazy._queue_table.tobytes() == eager._queue_table.tobytes()
+
+    def test_table_gather_only_never_builds_probe_layout(
+            self, small_population):
+        """A kernel used purely for α/Q gathers skips the probe image."""
+        kernel = CompiledMeanField(small_population, lazy_tables=True)
+        thresholds = np.ones(small_population.size)
+        kernel.offload_probabilities(thresholds)
+        assert kernel._probe_breakpoints is None
+        kernel.value(0.5)        # first probe builds it
+        assert kernel._probe_breakpoints is not None
+
+
+class TestWarmProbes:
+    """Lever 3: warm-started galloping probes, trajectory bit-identity."""
+
+    def test_solve_mfne_warm_vs_cold_identical(self, mean_field):
+        from repro.core.equilibrium import solve_mfne
+
+        kernel = mean_field.compile()
+        warm = solve_mfne(kernel)
+        cold = solve_mfne(kernel, warm_probes=False)
+        assert warm.history == cold.history
+        assert warm.utilization == cold.utilization
+        assert warm.value == cold.value
+        assert warm.iterations == cold.iterations
+
+    def test_run_dtu_warm_vs_cold_identical(self, mean_field):
+        from repro.core.dtu import DtuConfig, run_dtu
+
+        kernel = mean_field.compile()
+        config = DtuConfig(seed=11, update_probability=0.8)
+        warm = run_dtu(kernel, config)
+        cold = run_dtu(kernel, config, warm_probes=False)
+        assert warm.estimated_utilization == cold.estimated_utilization
+        assert warm.actual_utilization == cold.actual_utilization
+        np.testing.assert_array_equal(
+            warm.trace.estimated_utilization,
+            cold.trace.estimated_utilization)
+        np.testing.assert_array_equal(
+            warm.trace.thresholds, cold.trace.thresholds)
+
+    def test_probe_grid_values_identical(self, mean_field):
+        kernel = mean_field.compile()
+        probe = kernel.probe_state()
+        for gamma in np.linspace(0.0, 1.0, 21):
+            gamma = float(gamma)
+            assert kernel.value(gamma, probe=probe) == kernel.value(gamma)
+
+    def test_probe_of_other_kernel_rejected(self, small_population):
+        first = CompiledMeanField(small_population)
+        second = CompiledMeanField(small_population)
+        with pytest.raises(ValueError, match="different kernel"):
+            second.value(0.5, probe=first.probe_state())
+
+
+class TestSharedMemoryKernel:
+    """Lever 1: one table image across processes, pickled by handle."""
+
+    def _segments(self):
+        import os
+
+        if not os.path.isdir("/dev/shm"):
+            return set()
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+
+    def test_pickle_roundtrip_by_handle(self, mean_field):
+        kernel = mean_field.compile()
+        values = [kernel.value(g) for g in (0.0, 0.25, 0.5, 1.0)]
+        kernel.share_memory()
+        payload = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(payload) < 16_384, \
+            "a shared kernel must pickle by handle, not by value"
+        clone = pickle.loads(payload)
+        assert [clone.value(g) for g in (0.0, 0.25, 0.5, 1.0)] == values
+        assert clone.shared_memory_name == kernel.shared_memory_name
+
+    def test_share_memory_idempotent_and_bit_identical(self, mean_field):
+        kernel = mean_field.compile()
+        before = [kernel.value(g) for g in (0.1, 0.6)]
+        thresholds_before = kernel.thresholds(0.4).copy()
+        assert kernel.share_memory() is kernel
+        assert kernel.share_memory() is kernel
+        assert [kernel.value(g) for g in (0.1, 0.6)] == before
+        np.testing.assert_array_equal(kernel.thresholds(0.4),
+                                      thresholds_before)
+
+    def test_process_worker_reproduces_value(self, mean_field):
+        """A *different process* reattaches by handle and agrees on V(γ)."""
+        import multiprocessing
+
+        kernel = mean_field.compile().share_memory()
+        expected = kernel.value(0.5)
+        payload = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe(duplex=False)
+        worker = ctx.Process(target=_child_reattach_value,
+                             args=(payload, 0.5, child))
+        worker.start()
+        child.close()
+        value, segment = parent.recv()
+        worker.join()
+        parent.close()
+        assert worker.exitcode == 0
+        assert value == expected
+        assert segment == kernel.shared_memory_name
+
+    def test_borrower_pickles_by_handle(self, small_population, paper_delay):
+        donor = CompiledMeanField(small_population, paper_delay)
+        donor.share_memory()
+        borrower = CompiledMeanField.with_shared_tables(
+            donor, small_population, paper_delay)
+        assert borrower.shares_tables_with(donor)
+        payload = pickle.dumps(borrower, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(payload) < 65_536
+        clone = pickle.loads(payload)
+        assert clone.value(0.5) == borrower.value(0.5) == donor.value(0.5)
+
+    def test_canonical_identity_unchanged_by_sharing(self, small_population,
+                                                     paper_delay):
+        from repro.runtime.canonical import content_digest
+
+        plain = CompiledMeanField(small_population, paper_delay)
+        unshared_digest = content_digest(plain)
+        plain.share_memory()
+        assert content_digest(plain) == unshared_digest
+
+    def test_no_dev_shm_leak_after_release(self, mean_field):
+        import gc
+
+        before = self._segments()
+        kernel = mean_field.compile().share_memory()
+        name = kernel.shared_memory_name
+        assert name in self._segments()
+        population = kernel.population
+        del kernel
+        population._shm = None          # drop the co-owning reference
+        gc.collect()
+        assert self._segments() - before == set()

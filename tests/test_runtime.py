@@ -354,3 +354,127 @@ class TestObservability:
         # No ambient recorder: the run must still work (guarded hooks).
         results = run_tasks(_square, [{"value": 3}])
         assert results[0].unwrap() == 9
+
+
+class TestSpecBytes:
+    """measure_bytes: per-task pickle payload reported on each result."""
+
+    def test_measured_when_enabled(self):
+        specs = [TaskSpec(_square, kwargs={"value": v}, seed=1)
+                 for v in (2, 3)]
+        results = TaskRunner(measure_bytes=True).run(specs)
+        for spec, result in zip(specs, results):
+            assert result.ok
+            # The measurement is the honest what-would-ship number.
+            assert result.spec_bytes == len(pickle.dumps(
+                spec, protocol=pickle.HIGHEST_PROTOCOL))
+            assert result.spec_bytes > 0
+
+    def test_absent_by_default(self):
+        result = TaskRunner().run(
+            [TaskSpec(_square, kwargs={"value": 2}, seed=1)])[0]
+        assert result.spec_bytes is None
+
+    def test_run_tasks_forwards_option(self):
+        results = run_tasks(_square, [{"value": 4}], measure_bytes=True)
+        assert results[0].spec_bytes is not None and results[0].spec_bytes > 0
+
+    def test_shared_population_shrinks_payload(self, tmp_path):
+        from repro.population.scenarios import build_scenario
+        from repro.population.sampler import sample_population
+
+        population = sample_population(
+            build_scenario("paper-theoretical"), 2000, rng=3)
+        copied = len(pickle.dumps(population,
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+        assert population.share_memory() is population
+        shared = len(pickle.dumps(population,
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+        assert shared < copied / 10, (copied, shared)
+        clone = pickle.loads(pickle.dumps(population))
+        np.testing.assert_array_equal(clone.arrival_rates,
+                                      population.arrival_rates)
+
+
+class TestCacheStreamingPut:
+    """put() streams the pickle straight to the temp file."""
+
+    def test_roundtrip_with_numpy_payload(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_seeded_draw, {"n": 64}, 5)
+        payload = np.random.default_rng(5).standard_normal(64)
+        cache.put(key, payload)
+        hit, value = cache.get(key)
+        assert hit
+        np.testing.assert_array_equal(value, payload)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key_for(_square, {"value": 3}, 0), 9)
+        leftovers = [p for p in tmp_path.rglob(".tmp-*")]
+        assert leftovers == []
+
+    def test_failed_put_cleans_up(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("no pickle for you")
+
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_square, {"value": 3}, 0)
+        with pytest.raises(RuntimeError, match="no pickle"):
+            cache.put(key, Unpicklable())
+        leftovers = [p for p in tmp_path.rglob(".tmp-*")]
+        assert leftovers == []
+        hit, _ = cache.get(key)
+        assert not hit
+
+
+class TestSharedMemoryEquivalence:
+    """Zero-copy sharing is a transport change, never a numbers change."""
+
+    def test_replications_identical_with_shared_population(self):
+        from repro.population.scenarios import build_scenario
+        from repro.population.sampler import sample_population
+        from repro.simulation.measurement import MeasurementConfig
+        from repro.simulation.system import (
+            simulate_system_replicated,
+            tro_policies,
+        )
+
+        config = MeasurementConfig(horizon=40.0, warmup=8.0, seed=3)
+
+        def measure(share):
+            population = sample_population(
+                build_scenario("paper-theoretical"), 12, rng=7)
+            policies = tro_policies(2.0, population.size)
+            return simulate_system_replicated(
+                population, policies, replications=3, config=config,
+                jobs=2, share_population=share)
+
+        plain = measure(False)
+        shared = measure(True)
+        assert shared.utilization.mean == plain.utilization.mean
+        assert shared.utilization.half_width == plain.utilization.half_width
+        assert shared.average_cost.mean == plain.average_cost.mean
+
+    def test_shared_kernel_sweep_rows_identical(self):
+        from repro.sweep import run_sweep
+
+        values = [9.0, 10.0, 12.0]
+        plain = run_sweep("capacity", values, n_users=200, seed=0,
+                          include_dtu=True, jobs=1)
+        shared = run_sweep("capacity", values, n_users=200, seed=0,
+                           include_dtu=True, jobs=2, shared_kernel=True)
+        assert shared.rows == plain.rows
+
+    def test_shared_kernel_sweep_validation(self):
+        from repro.sweep import run_sweep
+
+        with pytest.raises(ValueError, match="capacity"):
+            run_sweep("a-max", [1.0], n_users=50, shared_kernel=True)
+        with pytest.raises(ValueError, match="simulation"):
+            run_sweep("capacity", [10.0], n_users=50, backend="event",
+                      shared_kernel=True)
+        with pytest.raises(ValueError, match="compile_kernel"):
+            run_sweep("capacity", [10.0], n_users=50, compile_kernel=False,
+                      shared_kernel=True)
